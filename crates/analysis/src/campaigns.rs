@@ -1,0 +1,175 @@
+//! Campaign-level validation — a simulation-only luxury.
+//!
+//! The paper works at domain granularity "with the implicit
+//! understanding that domains represent a spam campaign", noting the
+//! relationship is complex (§4.2.3) — but it had no ground truth to
+//! check against. The simulator does. This module scores each feed at
+//! *campaign* granularity and quantifies how faithful the domain
+//! proxy is:
+//!
+//! * campaign coverage — campaigns with at least one of their domains
+//!   in the feed, split by loudness;
+//! * fragmentation — of the campaigns a feed sees, what fraction of
+//!   each campaign's domain rotation it sees (a feed that catches one
+//!   domain in fifty knows a campaign *exists* but cannot track it).
+
+use taster_ecosystem::campaign::CampaignStyle;
+use taster_feeds::{Feed, FeedId, FeedSet};
+use taster_mailsim::MailWorld;
+
+/// Campaign-level scores for one feed.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignCoverage {
+    /// The feed.
+    pub feed: FeedId,
+    /// Loud campaigns in the scenario / covered by the feed.
+    pub loud: (usize, usize),
+    /// Quiet campaigns in the scenario / covered by the feed.
+    pub quiet: (usize, usize),
+    /// Mean per-campaign fraction of rotated domains the feed saw,
+    /// over covered campaigns only (0 when none covered).
+    pub mean_fragmentation: f64,
+}
+
+impl CampaignCoverage {
+    /// Overall campaign coverage fraction.
+    pub fn coverage(&self) -> f64 {
+        let total = self.loud.0 + self.quiet.0;
+        let seen = self.loud.1 + self.quiet.1;
+        if total == 0 {
+            0.0
+        } else {
+            seen as f64 / total as f64
+        }
+    }
+
+    /// Loud-campaign coverage fraction.
+    pub fn loud_coverage(&self) -> f64 {
+        if self.loud.0 == 0 {
+            0.0
+        } else {
+            self.loud.1 as f64 / self.loud.0 as f64
+        }
+    }
+
+    /// Quiet-campaign coverage fraction.
+    pub fn quiet_coverage(&self) -> f64 {
+        if self.quiet.0 == 0 {
+            0.0
+        } else {
+            self.quiet.1 as f64 / self.quiet.0 as f64
+        }
+    }
+}
+
+/// Scores one feed at campaign granularity.
+pub fn campaign_coverage(world: &MailWorld, feed: &Feed) -> CampaignCoverage {
+    let mut loud = (0usize, 0usize);
+    let mut quiet = (0usize, 0usize);
+    let mut frag_acc = 0.0f64;
+    let mut frag_n = 0usize;
+    for campaign in world.truth.campaigns.iter().filter(|c| !c.poison) {
+        let slot = match campaign.style {
+            CampaignStyle::Loud => &mut loud,
+            CampaignStyle::Quiet => &mut quiet,
+        };
+        slot.0 += 1;
+        let total_domains = campaign.domains.len();
+        let seen = campaign
+            .domains
+            .iter()
+            .filter(|p| {
+                feed.contains(p.storefront)
+                    || p.landing.is_some_and(|l| feed.contains(l))
+            })
+            .count();
+        if seen > 0 {
+            slot.1 += 1;
+            frag_acc += seen as f64 / total_domains.max(1) as f64;
+            frag_n += 1;
+        }
+    }
+    CampaignCoverage {
+        feed: feed.id,
+        loud,
+        quiet,
+        mean_fragmentation: if frag_n == 0 {
+            0.0
+        } else {
+            frag_acc / frag_n as f64
+        },
+    }
+}
+
+/// Scores every feed.
+pub fn campaign_study(world: &MailWorld, feeds: &FeedSet) -> Vec<CampaignCoverage> {
+    FeedId::ALL
+        .iter()
+        .map(|&id| campaign_coverage(world, feeds.get(id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_ecosystem::{EcosystemConfig, GroundTruth};
+    use taster_feeds::{collect_all, FeedsConfig};
+    use taster_mailsim::MailConfig;
+
+    fn setup() -> (MailWorld, FeedSet) {
+        let truth =
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 139).unwrap();
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
+        let feeds = collect_all(&world, &FeedsConfig::default());
+        (world, feeds)
+    }
+
+    #[test]
+    fn totals_are_consistent_across_feeds() {
+        let (world, feeds) = setup();
+        let rows = campaign_study(&world, &feeds);
+        assert_eq!(rows.len(), 10);
+        let (loud0, quiet0) = (rows[0].loud.0, rows[0].quiet.0);
+        for r in &rows {
+            assert_eq!(r.loud.0, loud0, "{}: same denominator", r.feed);
+            assert_eq!(r.quiet.0, quiet0);
+            assert!(r.loud.1 <= r.loud.0);
+            assert!(r.quiet.1 <= r.quiet.0);
+            assert!((0.0..=1.0).contains(&r.mean_fragmentation));
+        }
+        assert!(loud0 > 0 && quiet0 > 0);
+    }
+
+    #[test]
+    fn honeypots_see_loud_not_quiet_campaigns() {
+        let (world, feeds) = setup();
+        let rows = campaign_study(&world, &feeds);
+        let mx2 = rows.iter().find(|r| r.feed == FeedId::Mx2).unwrap();
+        assert!(
+            mx2.loud_coverage() > 0.8,
+            "mx2 loud coverage {:.2}",
+            mx2.loud_coverage()
+        );
+        assert!(
+            mx2.quiet_coverage() < 0.35,
+            "mx2 quiet coverage {:.2}",
+            mx2.quiet_coverage()
+        );
+    }
+
+    #[test]
+    fn hu_covers_campaigns_broadly() {
+        let (world, feeds) = setup();
+        let rows = campaign_study(&world, &feeds);
+        let hu = rows.iter().find(|r| r.feed == FeedId::Hu).unwrap();
+        for r in &rows {
+            assert!(
+                hu.coverage() >= r.coverage() - 1e-9,
+                "Hu {:.2} vs {} {:.2}",
+                hu.coverage(),
+                r.feed,
+                r.coverage()
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! A labelled pairwise matrix (the container behind Figs 2, 4, 5, 7, 8).
+
+use taster_feeds::FeedId;
+
+/// One cell of a pairwise coverage matrix: `|A ∩ B|` both absolute and
+/// relative to `|B|` (the paper prints both numbers per cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapCell {
+    /// `|A ∩ B|`.
+    pub count: usize,
+    /// `|A ∩ B| / |B|`, 0 when `|B| = 0`.
+    pub fraction: f64,
+}
+
+/// A square (rows × columns) matrix over feed labels, with an optional
+/// extra column (the paper's "All" or "Mail" column).
+#[derive(Debug, Clone)]
+pub struct PairwiseMatrix<T> {
+    /// Row/column feeds, in display order.
+    pub feeds: Vec<FeedId>,
+    /// Label of the extra column, if any ("All", "Mail").
+    pub extra_label: Option<&'static str>,
+    /// `values[r][c]`; row-major; when an extra column exists each row
+    /// has `feeds.len() + 1` entries with the extra last.
+    values: Vec<Vec<T>>,
+}
+
+impl<T: Copy> PairwiseMatrix<T> {
+    /// Builds a matrix by evaluating `f(row, col)` over all pairs and
+    /// `extra(row)` for the optional extra column.
+    pub fn build(
+        feeds: &[FeedId],
+        extra_label: Option<&'static str>,
+        mut f: impl FnMut(FeedId, FeedId) -> T,
+        mut extra: impl FnMut(FeedId) -> T,
+    ) -> PairwiseMatrix<T> {
+        let values = feeds
+            .iter()
+            .map(|&row| {
+                let mut r: Vec<T> = feeds.iter().map(|&col| f(row, col)).collect();
+                if extra_label.is_some() {
+                    r.push(extra(row));
+                }
+                r
+            })
+            .collect();
+        PairwiseMatrix {
+            feeds: feeds.to_vec(),
+            extra_label,
+            values,
+        }
+    }
+
+    /// Cell at `(row, col)`.
+    pub fn get(&self, row: FeedId, col: FeedId) -> T {
+        let r = self.pos(row);
+        let c = self.pos(col);
+        self.values[r][c]
+    }
+
+    /// The extra-column entry of `row`; panics when there is none.
+    pub fn get_extra(&self, row: FeedId) -> T {
+        assert!(self.extra_label.is_some(), "matrix has no extra column");
+        let r = self.pos(row);
+        *self.values[r].last().expect("row non-empty")
+    }
+
+    /// Number of row/column feeds.
+    pub fn len(&self) -> usize {
+        self.feeds.len()
+    }
+
+    /// True when the matrix has no feeds.
+    pub fn is_empty(&self) -> bool {
+        self.feeds.is_empty()
+    }
+
+    fn pos(&self, id: FeedId) -> usize {
+        self.feeds
+            .iter()
+            .position(|&f| f == id)
+            .unwrap_or_else(|| panic!("{id} not in matrix"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let feeds = [FeedId::Hu, FeedId::Bot];
+        let m = PairwiseMatrix::build(
+            &feeds,
+            Some("All"),
+            |a, b| (a.index() * 10 + b.index()) as i64,
+            |a| -(a.index() as i64),
+        );
+        assert_eq!(m.get(FeedId::Hu, FeedId::Bot), 8);
+        assert_eq!(m.get(FeedId::Bot, FeedId::Hu), 80);
+        assert_eq!(m.get_extra(FeedId::Bot), -8);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in matrix")]
+    fn unknown_feed_panics() {
+        let m = PairwiseMatrix::build(&[FeedId::Hu], None, |_, _| 0u8, |_| 0u8);
+        m.get(FeedId::Bot, FeedId::Hu);
+    }
+
+    #[test]
+    #[should_panic(expected = "no extra column")]
+    fn missing_extra_panics() {
+        let m = PairwiseMatrix::build(&[FeedId::Hu], None, |_, _| 0u8, |_| 0u8);
+        m.get_extra(FeedId::Hu);
+    }
+}

@@ -1,0 +1,159 @@
+//! Figs 7–8: proportionality.
+//!
+//! Feeds that report volume define empirical distributions over tagged
+//! domains; the paper compares them pairwise — and against the
+//! incoming-mail oracle ("Mail") — with total variation distance
+//! (Fig 7) and Kendall's tau-b (Fig 8). Feeds without volume
+//! information (Hu, Hyb, dbl, uribl) are excluded (§4.3).
+
+use crate::classify::{Category, Classified};
+use crate::matrix::PairwiseMatrix;
+use std::collections::HashSet;
+use taster_feeds::{FeedId, FeedSet};
+use taster_stats::{kendall, variation_distance, EmpiricalDist};
+
+/// The tagged-domain volume distribution of one feed, restricted to
+/// tagged domains appearing in the union of all feeds.
+pub fn tagged_distribution(
+    feeds: &FeedSet,
+    classified: &Classified,
+    feed: FeedId,
+) -> EmpiricalDist {
+    let tagged_union: HashSet<u32> = classified
+        .union(&FeedId::ALL, Category::Tagged)
+        .iter()
+        .map(|d| d.0)
+        .collect();
+    feeds
+        .get(feed)
+        .volume_distribution()
+        .restricted_to(&tagged_union)
+}
+
+/// The oracle's distribution over the same tagged-domain universe.
+pub fn mail_distribution(classified: &Classified, oracle: &EmpiricalDist) -> EmpiricalDist {
+    let tagged_union: HashSet<u32> = classified
+        .union(&FeedId::ALL, Category::Tagged)
+        .iter()
+        .map(|d| d.0)
+        .collect();
+    oracle.restricted_to(&tagged_union)
+}
+
+/// Fig 7: pairwise variation distance over the volume-bearing feeds,
+/// with the "Mail" column.
+pub fn variation_matrix(
+    feeds: &FeedSet,
+    classified: &Classified,
+    oracle: &EmpiricalDist,
+) -> PairwiseMatrix<f64> {
+    let dists: Vec<EmpiricalDist> = FeedId::WITH_VOLUME
+        .iter()
+        .map(|&f| tagged_distribution(feeds, classified, f))
+        .collect();
+    let mail = mail_distribution(classified, oracle);
+    let pos = |id: FeedId| {
+        FeedId::WITH_VOLUME
+            .iter()
+            .position(|&f| f == id)
+            .expect("volume feed")
+    };
+    PairwiseMatrix::build(
+        &FeedId::WITH_VOLUME,
+        Some("Mail"),
+        |a, b| variation_distance(&dists[pos(a)], &dists[pos(b)]),
+        |a| variation_distance(&dists[pos(a)], &mail),
+    )
+}
+
+/// Fig 8: pairwise Kendall tau-b (over common domains of each pair),
+/// with the "Mail" column. `None` cells (degenerate pairs) render as 0
+/// like the paper's rounded figure.
+pub fn kendall_matrix(
+    feeds: &FeedSet,
+    classified: &Classified,
+    oracle: &EmpiricalDist,
+) -> PairwiseMatrix<f64> {
+    let dists: Vec<EmpiricalDist> = FeedId::WITH_VOLUME
+        .iter()
+        .map(|&f| tagged_distribution(feeds, classified, f))
+        .collect();
+    let mail = mail_distribution(classified, oracle);
+    let pos = |id: FeedId| {
+        FeedId::WITH_VOLUME
+            .iter()
+            .position(|&f| f == id)
+            .expect("volume feed")
+    };
+    let tau = |p: &EmpiricalDist, q: &EmpiricalDist| -> f64 {
+        // The sum runs over domains common to both feeds (§4.3).
+        let keys = p.common_keys(q);
+        let xs: Vec<u64> = keys.iter().map(|&k| p.count(k)).collect();
+        let ys: Vec<u64> = keys.iter().map(|&k| q.count(k)).collect();
+        kendall::kendall_tau_b_counts(&xs, &ys).unwrap_or(0.0)
+    };
+    PairwiseMatrix::build(
+        &FeedId::WITH_VOLUME,
+        Some("Mail"),
+        |a, b| tau(&dists[pos(a)], &dists[pos(b)]),
+        |a| tau(&dists[pos(a)], &mail),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::ClassifyOptions;
+    use taster_ecosystem::{EcosystemConfig, GroundTruth};
+    use taster_feeds::{collect_all, FeedsConfig};
+    use taster_mailsim::{MailConfig, MailWorld};
+
+    fn setup() -> (MailWorld, FeedSet, Classified) {
+        let truth =
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 103).unwrap();
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
+        let feeds = collect_all(&world, &FeedsConfig::default());
+        let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
+        (world, feeds, c)
+    }
+
+    #[test]
+    fn variation_matrix_properties() {
+        let (world, feeds, c) = setup();
+        let m = variation_matrix(&feeds, &c, &world.provider.oracle);
+        for a in FeedId::WITH_VOLUME {
+            assert!(m.get(a, a).abs() < 1e-12, "diagonal zero");
+            for b in FeedId::WITH_VOLUME {
+                let v = m.get(a, b);
+                assert!((0.0..=1.0).contains(&v));
+                assert!((v - m.get(b, a)).abs() < 1e-12, "symmetry");
+            }
+            assert!((0.0..=1.0).contains(&m.get_extra(a)));
+        }
+    }
+
+    #[test]
+    fn kendall_matrix_properties() {
+        let (world, feeds, c) = setup();
+        let m = kendall_matrix(&feeds, &c, &world.provider.oracle);
+        for a in FeedId::WITH_VOLUME {
+            let self_tau = m.get(a, a);
+            assert!(self_tau > 0.99 || self_tau == 0.0, "self tau {self_tau}");
+            for b in FeedId::WITH_VOLUME {
+                assert!((-1.0..=1.0).contains(&m.get(a, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn mx_feeds_resemble_each_other_more_than_ac2() {
+        let (world, feeds, c) = setup();
+        let m = variation_matrix(&feeds, &c, &world.provider.oracle);
+        let mx12 = m.get(FeedId::Mx1, FeedId::Mx2);
+        let mx1_ac2 = m.get(FeedId::Mx1, FeedId::Ac2);
+        assert!(
+            mx12 < mx1_ac2,
+            "mx1↔mx2 δ={mx12:.3} should beat mx1↔Ac2 δ={mx1_ac2:.3}"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation benchmarks: time (and print) the design-choice studies
+//! DESIGN.md calls out. Each target runs a pair of scenarios
+//! differing in one mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taster_bench::bench_scenario;
+use taster_core::ablation;
+
+fn poisoning(c: &mut Criterion) {
+    let s = bench_scenario();
+    let result = ablation::poisoning(&s);
+    eprintln!("ablation/poisoning: {result:?}");
+    c.bench_function("ablation/poisoning", |b| {
+        b.iter(|| black_box(ablation::poisoning(&s)))
+    });
+}
+
+fn blacklist_restriction(c: &mut Criterion) {
+    let s = bench_scenario();
+    let result = ablation::blacklist_restriction(&s);
+    eprintln!(
+        "ablation/blacklist_restriction: dbl dropped {:.1}%, uribl dropped {:.1}%",
+        result.dbl_dropped_fraction() * 100.0,
+        result.uribl_dropped_fraction() * 100.0
+    );
+    c.bench_function("ablation/blacklist_restriction", |b| {
+        b.iter(|| black_box(ablation::blacklist_restriction(&s)))
+    });
+}
+
+fn provider_filter(c: &mut Criterion) {
+    let s = bench_scenario();
+    let result = ablation::provider_filter(&s);
+    eprintln!("ablation/provider_filter: {result:?}");
+    c.bench_function("ablation/provider_filter", |b| {
+        b.iter(|| black_box(ablation::provider_filter(&s)))
+    });
+}
+
+fn ac2_seeding(c: &mut Criterion) {
+    let s = bench_scenario();
+    let result = ablation::ac2_seeding(&s);
+    eprintln!("ablation/ac2_seeding: {result:?}");
+    c.bench_function("ablation/ac2_seeding", |b| {
+        b.iter(|| black_box(ablation::ac2_seeding(&s)))
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = poisoning, blacklist_restriction, provider_filter, ac2_seeding
+}
+criterion_main!(ablations);

@@ -1,0 +1,106 @@
+//! Benchmarks regenerating every figure of the paper's evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taster_analysis::classify::Category;
+use taster_bench::shared_experiment;
+
+fn fig1_exclusive_scatter(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig1_exclusive_scatter());
+    c.bench_function("fig1_exclusive_scatter", |b| {
+        b.iter(|| {
+            black_box(e.table3());
+            black_box(e.exclusive_share(Category::Live));
+        })
+    });
+}
+
+fn fig2_pairwise_overlap(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig2_pairwise(Category::Live));
+    eprintln!("{}", e.report().fig2_pairwise(Category::Tagged));
+    c.bench_function("fig2_pairwise_overlap", |b| {
+        b.iter(|| {
+            black_box(e.fig2(Category::Live));
+            black_box(e.fig2(Category::Tagged));
+        })
+    });
+}
+
+fn fig3_volume_coverage(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig3_volume());
+    c.bench_function("fig3_volume_coverage", |b| {
+        b.iter(|| {
+            black_box(e.fig3(Category::Live));
+            black_box(e.fig3(Category::Tagged));
+        })
+    });
+}
+
+fn fig4_program_coverage(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig4_programs());
+    c.bench_function("fig4_program_coverage", |b| b.iter(|| black_box(e.fig4())));
+}
+
+fn fig5_affiliate_coverage(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig5_affiliates());
+    c.bench_function("fig5_affiliate_coverage", |b| b.iter(|| black_box(e.fig5())));
+}
+
+fn fig6_revenue_coverage(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig6_revenue());
+    c.bench_function("fig6_revenue_coverage", |b| b.iter(|| black_box(e.fig6())));
+}
+
+fn fig7_variation_distance(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig7_variation());
+    c.bench_function("fig7_variation_distance", |b| b.iter(|| black_box(e.fig7())));
+}
+
+fn fig8_kendall_tau(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig8_kendall());
+    c.bench_function("fig8_kendall_tau", |b| b.iter(|| black_box(e.fig8())));
+}
+
+fn fig9_first_appearance_all(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig9_first_appearance());
+    c.bench_function("fig9_first_appearance_all", |b| b.iter(|| black_box(e.fig9())));
+}
+
+fn fig10_first_appearance_honeypot(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig10_first_appearance_honeypots());
+    c.bench_function("fig10_first_appearance_honeypot", |b| {
+        b.iter(|| black_box(e.fig10()))
+    });
+}
+
+fn fig11_last_appearance(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig11_last_appearance());
+    c.bench_function("fig11_last_appearance", |b| b.iter(|| black_box(e.fig11())));
+}
+
+fn fig12_duration(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().fig12_duration());
+    c.bench_function("fig12_duration", |b| b.iter(|| black_box(e.fig12())));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig1_exclusive_scatter, fig2_pairwise_overlap, fig3_volume_coverage,
+        fig4_program_coverage, fig5_affiliate_coverage, fig6_revenue_coverage,
+        fig7_variation_distance, fig8_kendall_tau, fig9_first_appearance_all,
+        fig10_first_appearance_honeypot, fig11_last_appearance, fig12_duration
+}
+criterion_main!(figures);

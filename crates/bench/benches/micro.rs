@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the toolkit's hot paths: statistics kernels,
+//! domain parsing/interning, URL extraction and message rendering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngExt;
+use std::hint::black_box;
+use taster_domain::psl::SuffixList;
+use taster_domain::url::extract_urls;
+use taster_domain::{DomainName, DomainTable};
+use taster_sim::RngStream;
+use taster_stats::kendall::kendall_tau_b;
+use taster_stats::sample::Zipf;
+use taster_stats::{variation_distance, EmpiricalDist};
+
+fn stats_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    let mut rng = RngStream::new(1, "bench/stats");
+    for n in [100usize, 1_000, 10_000] {
+        let xs: Vec<f64> = (0..n).map(|_| rng.random_range(0..1000u32) as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.random_range(0..1000u32) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("kendall_tau_b", n), &n, |b, _| {
+            b.iter(|| black_box(kendall_tau_b(&xs, &ys)))
+        });
+        let p = EmpiricalDist::from_counts(
+            (0..n as u32).map(|k| (k, rng.random_range(1..100u64))),
+        );
+        let q = EmpiricalDist::from_counts(
+            (0..n as u32).map(|k| (k, rng.random_range(1..100u64))),
+        );
+        group.bench_with_input(BenchmarkId::new("variation_distance", n), &n, |b, _| {
+            b.iter(|| black_box(variation_distance(&p, &q)))
+        });
+    }
+    group.finish();
+}
+
+fn zipf_sampling(c: &mut Criterion) {
+    let z = Zipf::new(100_000, 1.05);
+    let mut rng = RngStream::new(2, "bench/zipf");
+    c.bench_function("stats/zipf_sample", |b| b.iter(|| black_box(z.sample(&mut rng))));
+}
+
+fn domain_layer(c: &mut Criterion) {
+    let psl = SuffixList::builtin();
+    let names = [
+        "www.example.com",
+        "a.b.c.cheap-pills.co.uk",
+        "shop.replica-watches.ru",
+        "x1y2z3.info",
+    ];
+    c.bench_function("domain/parse_and_reduce", |b| {
+        b.iter(|| {
+            for n in names {
+                let d = DomainName::parse(n).unwrap();
+                black_box(psl.registered_domain(&d));
+            }
+        })
+    });
+
+    let body = "Dear customer,\n\nOrder here: http://shop.cheap-pills-rx.com/buy?id=44\n\
+                As reviewed on http://www.news-site.org/article and \
+                https://short.ly/r/abc123 today.\nBest regards\n";
+    c.bench_function("domain/extract_urls", |b| b.iter(|| black_box(extract_urls(body))));
+
+    c.bench_function("domain/intern", |b| {
+        b.iter(|| {
+            let mut table = DomainTable::new();
+            for i in 0..1000 {
+                table.intern_str(&format!("domain-{}.com", i % 300));
+            }
+            black_box(table.len())
+        })
+    });
+}
+
+fn rng_stream(c: &mut Criterion) {
+    let mut rng = RngStream::new(3, "bench/rng");
+    c.bench_function("sim/rng_next_u64", |b| {
+        b.iter(|| black_box(rand::Rng::next_u64(&mut rng)))
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default();
+    targets = stats_kernels, zipf_sampling, domain_layer, rng_stream
+}
+criterion_main!(micro);

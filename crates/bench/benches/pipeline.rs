@@ -1,0 +1,67 @@
+//! End-to-end pipeline stage benchmarks: ground-truth generation, the
+//! mail layer, feed collection, crawling/classification, and the full
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taster_analysis::classify::{Classified, ClassifyOptions};
+use taster_bench::bench_scenario;
+use taster_core::Experiment;
+use taster_ecosystem::GroundTruth;
+use taster_feeds::collect_all;
+use taster_mailsim::MailWorld;
+
+fn ground_truth_generation(c: &mut Criterion) {
+    let s = bench_scenario();
+    c.bench_function("pipeline/ground_truth", |b| {
+        b.iter(|| black_box(GroundTruth::generate(&s.ecosystem, s.seed).unwrap()))
+    });
+}
+
+fn mail_world_build(c: &mut Criterion) {
+    let s = bench_scenario();
+    let truth = GroundTruth::generate(&s.ecosystem, s.seed).unwrap();
+    c.bench_function("pipeline/mail_world", |b| {
+        b.iter(|| black_box(MailWorld::build(truth.clone(), s.mail.clone())))
+    });
+}
+
+fn feed_collection(c: &mut Criterion) {
+    let s = bench_scenario();
+    let truth = GroundTruth::generate(&s.ecosystem, s.seed).unwrap();
+    let world = MailWorld::build(truth, s.mail.clone());
+    c.bench_function("pipeline/collect_feeds", |b| {
+        b.iter(|| black_box(collect_all(&world, &s.feeds)))
+    });
+}
+
+fn classification(c: &mut Criterion) {
+    let s = bench_scenario();
+    let truth = GroundTruth::generate(&s.ecosystem, s.seed).unwrap();
+    let world = MailWorld::build(truth, s.mail.clone());
+    let feeds = collect_all(&world, &s.feeds);
+    c.bench_function("pipeline/crawl_classify", |b| {
+        b.iter(|| {
+            black_box(Classified::build(
+                &world.truth,
+                &feeds,
+                ClassifyOptions::default(),
+            ))
+        })
+    });
+}
+
+fn full_experiment(c: &mut Criterion) {
+    let s = bench_scenario();
+    c.bench_function("pipeline/full_experiment", |b| {
+        b.iter(|| black_box(Experiment::run(&s)))
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = ground_truth_generation, mail_world_build, feed_collection,
+        classification, full_experiment
+}
+criterion_main!(pipeline);

@@ -1,0 +1,35 @@
+//! Benchmarks regenerating the paper's three tables.
+//!
+//! Each bench prints the rendered artifact once, then times the
+//! underlying computation over the shared experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taster_bench::shared_experiment;
+
+fn table1_feed_summary(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().table1_feed_summary());
+    c.bench_function("table1_feed_summary", |b| {
+        b.iter(|| black_box(e.table1()))
+    });
+}
+
+fn table2_purity(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().table2_purity());
+    c.bench_function("table2_purity", |b| b.iter(|| black_box(e.table2())));
+}
+
+fn table3_coverage(c: &mut Criterion) {
+    let e = shared_experiment();
+    eprintln!("{}", e.report().table3_coverage());
+    c.bench_function("table3_coverage", |b| b.iter(|| black_box(e.table3())));
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = table1_feed_summary, table2_purity, table3_coverage
+}
+criterion_main!(tables);

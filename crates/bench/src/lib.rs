@@ -1,0 +1,48 @@
+//! # taster-bench
+//!
+//! Criterion benchmarks regenerating every table and figure of the
+//! paper (see `benches/`), plus micro-benchmarks of the hot paths.
+//!
+//! Run everything with `cargo bench -p taster-bench`; individual
+//! targets with e.g. `cargo bench -p taster-bench -- table2`. Each
+//! table/figure bench prints the regenerated artifact once (to stderr)
+//! before timing it, so a bench run doubles as a reproduction log.
+//!
+//! The shared scenario scale defaults to 0.05 and can be overridden
+//! with the `TASTER_BENCH_SCALE` environment variable.
+
+use std::sync::OnceLock;
+use taster_core::{Experiment, Scenario};
+
+/// The scenario scale used by the benches.
+pub fn bench_scale() -> f64 {
+    std::env::var("TASTER_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// The scenario every artifact bench shares.
+pub fn bench_scenario() -> Scenario {
+    Scenario::default_paper()
+        .with_scale(bench_scale())
+        .with_seed(20_100_801)
+}
+
+/// A lazily-built shared experiment (world + feeds + classification),
+/// so individual artifact benches time only the analysis step.
+pub fn shared_experiment() -> &'static Experiment {
+    static EXP: OnceLock<Experiment> = OnceLock::new();
+    EXP.get_or_init(|| Experiment::run(&bench_scenario()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_experiment_builds() {
+        let e = shared_experiment();
+        assert_eq!(e.table1().len(), 10);
+    }
+}

@@ -1,0 +1,226 @@
+//! The end-to-end experiment driver.
+
+use crate::report::Report;
+use crate::scenario::Scenario;
+use taster_analysis::{Classified, PairwiseMatrix};
+use taster_analysis::classify::Category;
+use taster_analysis::coverage::{coverage_table, exclusive_share, pairwise_overlap, CoverageRow};
+use taster_analysis::matrix::OverlapCell;
+use taster_analysis::affiliates::{affiliate_coverage, revenue_coverage, RevenueBar};
+use taster_analysis::programs::program_coverage;
+use taster_analysis::proportionality::{kendall_matrix, variation_matrix};
+use taster_analysis::purity::{purity, PurityRow};
+use taster_analysis::blocking::{blocking_study, BlockingResult};
+use taster_analysis::campaigns::{campaign_study, CampaignCoverage};
+use taster_analysis::granularity::{granularity_study, GranularityRow};
+use taster_analysis::selection::{greedy_selection, type_redundancy, SelectionStep, TypeRedundancy};
+use taster_analysis::summary::{feed_summary, SummaryRow};
+use taster_analysis::timing::{
+    duration_error, first_appearance, last_appearance, FIG9_FEEDS, HONEYPOT_FEEDS,
+};
+use taster_analysis::volume::{volume_coverage, VolumeBar};
+use taster_ecosystem::GroundTruth;
+use taster_feeds::{collect_all, FeedId, FeedSet};
+use taster_mailsim::MailWorld;
+use taster_stats::Boxplot;
+
+/// A fully-executed experiment: ground truth, mail world, feeds and
+/// classification, with every paper table/figure available as a typed
+/// accessor.
+pub struct Experiment {
+    /// The scenario that produced this run.
+    pub scenario: Scenario,
+    /// The mail world (includes the ground truth).
+    pub world: MailWorld,
+    /// The ten collected feeds.
+    pub feeds: FeedSet,
+    /// Crawl + live/tagged classification.
+    pub classified: Classified,
+}
+
+impl Experiment {
+    /// Runs the scenario end-to-end. Panics on an invalid scenario
+    /// (validation errors are programmer errors here; use
+    /// [`Experiment::try_run`] to handle them).
+    pub fn run(scenario: &Scenario) -> Experiment {
+        Self::try_run(scenario).expect("valid scenario")
+    }
+
+    /// Runs the scenario, returning configuration errors.
+    pub fn try_run(scenario: &Scenario) -> Result<Experiment, String> {
+        scenario.validate()?;
+        let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed)?;
+        let world = MailWorld::build(truth, scenario.mail.clone());
+        let feeds = collect_all(&world, &scenario.feeds);
+        let classified = Classified::build(&world.truth, &feeds, scenario.classify);
+        Ok(Experiment {
+            scenario: scenario.clone(),
+            world,
+            feeds,
+            classified,
+        })
+    }
+
+    /// The plain-text report renderer.
+    pub fn report(&self) -> Report<'_> {
+        Report::new(self)
+    }
+
+    // ------------------------------------------------ typed results
+
+    /// Table 1 rows.
+    pub fn table1(&self) -> Vec<SummaryRow> {
+        feed_summary(&self.feeds)
+    }
+
+    /// Table 2 rows.
+    pub fn table2(&self) -> Vec<PurityRow> {
+        purity(&self.feeds, &self.classified)
+    }
+
+    /// Table 3 rows (also the Fig 1 scatter data).
+    pub fn table3(&self) -> Vec<CoverageRow> {
+        coverage_table(&self.classified)
+    }
+
+    /// Share of a category's union exclusive to a single feed.
+    pub fn exclusive_share(&self, category: Category) -> f64 {
+        exclusive_share(&self.classified, category)
+    }
+
+    /// Fig 2 matrix for a category.
+    pub fn fig2(&self, category: Category) -> PairwiseMatrix<OverlapCell> {
+        pairwise_overlap(&self.classified, category)
+    }
+
+    /// Fig 3 bars for a category.
+    pub fn fig3(&self, category: Category) -> Vec<VolumeBar> {
+        volume_coverage(&self.classified, &self.world.provider.oracle, category)
+    }
+
+    /// Fig 4 matrix (program coverage).
+    pub fn fig4(&self) -> PairwiseMatrix<OverlapCell> {
+        program_coverage(&self.classified)
+    }
+
+    /// Fig 5 matrix (RX affiliate-id coverage).
+    pub fn fig5(&self) -> PairwiseMatrix<OverlapCell> {
+        affiliate_coverage(&self.classified)
+    }
+
+    /// Fig 6 bars (revenue-weighted coverage).
+    pub fn fig6(&self) -> Vec<RevenueBar> {
+        revenue_coverage(&self.classified, &self.world.truth.roster)
+    }
+
+    /// Fig 7 matrix (variation distance, with Mail column).
+    pub fn fig7(&self) -> PairwiseMatrix<f64> {
+        variation_matrix(&self.feeds, &self.classified, &self.world.provider.oracle)
+    }
+
+    /// Fig 8 matrix (Kendall tau-b, with Mail column).
+    pub fn fig8(&self) -> PairwiseMatrix<f64> {
+        kendall_matrix(&self.feeds, &self.classified, &self.world.provider.oracle)
+    }
+
+    /// Campaign-granularity coverage against ground truth (beyond the
+    /// paper — possible only in simulation).
+    pub fn campaigns(&self) -> Vec<CampaignCoverage> {
+        campaign_study(&self.world, &self.feeds)
+    }
+
+    /// FQDN-vs-registered-domain granularity per feed (§3.1's
+    /// wildcarding argument, beyond the paper's figures).
+    pub fn granularity(&self) -> Vec<GranularityRow> {
+        granularity_study(&self.feeds)
+    }
+
+    /// Time-aware filter evaluation of every feed (beyond the paper).
+    pub fn blocking(&self) -> Vec<BlockingResult> {
+        blocking_study(&self.world, &self.feeds, &self.classified)
+    }
+
+    /// Greedy feed-acquisition order (beyond the paper; §5 guidance).
+    pub fn selection(&self, category: Category) -> Vec<SelectionStep> {
+        greedy_selection(&self.classified, category)
+    }
+
+    /// Within-type vs. across-type feed redundancy (§5 guidance).
+    pub fn redundancy(&self, category: Category) -> Vec<TypeRedundancy> {
+        type_redundancy(&self.classified, category)
+    }
+
+    /// Fig 9: relative first appearance, campaign start from all
+    /// non-Bot/Hyb feeds, days.
+    pub fn fig9(&self) -> Vec<(FeedId, Boxplot)> {
+        first_appearance(&self.feeds, &self.classified, &FIG9_FEEDS, &FIG9_FEEDS)
+    }
+
+    /// Fig 10: relative first appearance among honeypot feeds only.
+    pub fn fig10(&self) -> Vec<(FeedId, Boxplot)> {
+        first_appearance(
+            &self.feeds,
+            &self.classified,
+            &HONEYPOT_FEEDS,
+            &HONEYPOT_FEEDS,
+        )
+    }
+
+    /// Fig 11: last-appearance error among honeypot feeds, hours.
+    pub fn fig11(&self) -> Vec<(FeedId, Boxplot)> {
+        last_appearance(
+            &self.feeds,
+            &self.classified,
+            &HONEYPOT_FEEDS,
+            &HONEYPOT_FEEDS,
+        )
+    }
+
+    /// Fig 12: duration error among honeypot feeds, hours.
+    pub fn fig12(&self) -> Vec<(FeedId, Boxplot)> {
+        duration_error(
+            &self.feeds,
+            &self.classified,
+            &HONEYPOT_FEEDS,
+            &HONEYPOT_FEEDS,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn experiment() -> Experiment {
+        // Large enough that even the narrowest feed intersection
+        // (Fig 10's five-feed tagged set) is populated.
+        Experiment::run(&Scenario::default_paper().with_scale(0.08).with_seed(11))
+    }
+
+    #[test]
+    fn every_artifact_is_producible() {
+        let e = experiment();
+        assert_eq!(e.table1().len(), 10);
+        assert_eq!(e.table2().len(), 10);
+        assert_eq!(e.table3().len(), 10);
+        assert_eq!(e.fig2(Category::Live).len(), 10);
+        assert_eq!(e.fig3(Category::Tagged).len(), 10);
+        assert_eq!(e.fig4().len(), 10);
+        assert_eq!(e.fig5().len(), 10);
+        assert_eq!(e.fig6().len(), 10);
+        assert_eq!(e.fig7().len(), 6);
+        assert_eq!(e.fig8().len(), 6);
+        assert!(!e.fig10().is_empty());
+        assert!(!e.fig11().is_empty());
+        assert!(!e.fig12().is_empty());
+        let share = e.exclusive_share(Category::Live);
+        assert!((0.0..=1.0).contains(&share));
+    }
+
+    #[test]
+    fn invalid_scenario_is_reported() {
+        let mut s = Scenario::default_paper();
+        s.ecosystem.days = 0;
+        assert!(Experiment::try_run(&s).is_err());
+    }
+}

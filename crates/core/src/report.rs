@@ -1,0 +1,580 @@
+//! Plain-text rendering of every table and figure.
+//!
+//! Output mirrors the paper's presentation: pairwise matrices print
+//! `percent/count` cells, tables print the paper's columns, boxplot
+//! figures print five-number summaries per feed. All rendering is
+//! deterministic, so reports diff cleanly across runs.
+
+use crate::experiment::Experiment;
+use taster_analysis::classify::Category;
+use taster_analysis::matrix::OverlapCell;
+use taster_analysis::PairwiseMatrix;
+use taster_feeds::FeedId;
+use taster_stats::summary::{count_label, grouped, percent_label};
+use taster_stats::Boxplot;
+
+/// Renders an [`Experiment`] into paper-style text artifacts.
+pub struct Report<'a> {
+    experiment: &'a Experiment,
+}
+
+impl<'a> Report<'a> {
+    /// Wraps an experiment.
+    pub fn new(experiment: &'a Experiment) -> Report<'a> {
+        Report { experiment }
+    }
+
+    /// Table 1: feed summary.
+    pub fn table1_feed_summary(&self) -> String {
+        let mut out = header("Table 1: spam domain feeds", &self.experiment.scenario.name);
+        out.push_str(&format!(
+            "{:<6} {:<22} {:>14} {:>10}\n",
+            "Feed", "Type", "Samples", "Unique"
+        ));
+        for row in self.experiment.table1() {
+            out.push_str(&format!(
+                "{:<6} {:<22} {:>14} {:>10}\n",
+                row.feed.label(),
+                row.kind,
+                row.samples.map_or("n/a".to_string(), grouped),
+                grouped(row.unique_domains as u64),
+            ));
+        }
+        out
+    }
+
+    /// Table 2: purity indicators.
+    pub fn table2_purity(&self) -> String {
+        let mut out = header("Table 2: feed purity", &self.experiment.scenario.name);
+        out.push_str(&format!(
+            "{:<6} {:>6} {:>6} {:>7} {:>6} {:>6}\n",
+            "Feed", "DNS", "HTTP", "Tagged", "ODP", "Alexa"
+        ));
+        for row in self.experiment.table2() {
+            out.push_str(&format!(
+                "{:<6} {:>6} {:>6} {:>7} {:>6} {:>6}\n",
+                row.feed.label(),
+                percent_label(row.dns),
+                percent_label(row.http),
+                percent_label(row.tagged),
+                percent_label(row.odp),
+                percent_label(row.alexa),
+            ));
+        }
+        out
+    }
+
+    /// Table 3: coverage totals and exclusive contributions.
+    pub fn table3_coverage(&self) -> String {
+        let mut out = header("Table 3: feed domain coverage", &self.experiment.scenario.name);
+        out.push_str(&format!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
+            "Feed", "All", "AllExcl", "Live", "LiveExcl", "Tag", "TagExcl"
+        ));
+        for row in self.experiment.table3() {
+            out.push_str(&format!(
+                "{:<6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
+                row.feed.label(),
+                grouped(row.all.total as u64),
+                grouped(row.all.exclusive as u64),
+                grouped(row.live.total as u64),
+                grouped(row.live.exclusive as u64),
+                grouped(row.tagged.total as u64),
+                grouped(row.tagged.exclusive as u64),
+            ));
+        }
+        out.push_str(&format!(
+            "exclusive share: live {:.0}%, tagged {:.0}%\n",
+            self.experiment.exclusive_share(Category::Live) * 100.0,
+            self.experiment.exclusive_share(Category::Tagged) * 100.0,
+        ));
+        out
+    }
+
+    /// Fig 1: distinct-vs-exclusive scatter (printed as a table of
+    /// log10 coordinates).
+    pub fn fig1_exclusive_scatter(&self) -> String {
+        let mut out = header(
+            "Fig 1: distinct vs exclusive domains (log10)",
+            &self.experiment.scenario.name,
+        );
+        out.push_str(&format!(
+            "{:<6} {:>13} {:>14} {:>13} {:>14}\n",
+            "Feed", "live distinct", "live exclusive", "tag distinct", "tag exclusive"
+        ));
+        let log = |n: usize| {
+            if n == 0 {
+                "-inf".to_string()
+            } else {
+                format!("{:.2}", (n as f64).log10())
+            }
+        };
+        for row in self.experiment.table3() {
+            out.push_str(&format!(
+                "{:<6} {:>13} {:>14} {:>13} {:>14}\n",
+                row.feed.label(),
+                log(row.live.total),
+                log(row.live.exclusive),
+                log(row.tagged.total),
+                log(row.tagged.exclusive),
+            ));
+        }
+        out
+    }
+
+    /// Fig 2: pairwise domain intersection for one category.
+    pub fn fig2_pairwise(&self, category: Category) -> String {
+        let m = self.experiment.fig2(category);
+        render_overlap_matrix(
+            &format!("Fig 2: pairwise feed intersection ({})", category.label()),
+            &self.experiment.scenario.name,
+            &m,
+        )
+    }
+
+    /// Fig 3: volume coverage with Alexa+ODP overhang.
+    pub fn fig3_volume(&self) -> String {
+        let mut out = header(
+            "Fig 3: feed volume coverage (incoming-mail oracle)",
+            &self.experiment.scenario.name,
+        );
+        for category in [Category::Live, Category::Tagged] {
+            out.push_str(&format!("-- {} domains --\n", category.label()));
+            out.push_str(&format!(
+                "{:<6} {:>9} {:>12}  bar\n",
+                "Feed", "covered", "alexa+odp"
+            ));
+            for bar in self.experiment.fig3(category) {
+                let c = (bar.covered * 40.0).round() as usize;
+                let o = (bar.benign_overhang * 40.0).round() as usize;
+                out.push_str(&format!(
+                    "{:<6} {:>8.1}% {:>11.1}%  {}{}\n",
+                    bar.feed.label(),
+                    bar.covered * 100.0,
+                    bar.benign_overhang * 100.0,
+                    "#".repeat(c),
+                    "+".repeat(o),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Fig 4: affiliate-program coverage matrix.
+    pub fn fig4_programs(&self) -> String {
+        render_overlap_matrix(
+            "Fig 4: pairwise affiliate-program coverage",
+            &self.experiment.scenario.name,
+            &self.experiment.fig4(),
+        )
+    }
+
+    /// Fig 5: RX affiliate-id coverage matrix.
+    pub fn fig5_affiliates(&self) -> String {
+        render_overlap_matrix(
+            "Fig 5: pairwise RX-Promotion affiliate-id coverage",
+            &self.experiment.scenario.name,
+            &self.experiment.fig5(),
+        )
+    }
+
+    /// Fig 6: revenue-weighted affiliate coverage.
+    pub fn fig6_revenue(&self) -> String {
+        let mut out = header(
+            "Fig 6: RX-Promotion affiliate coverage weighted by revenue",
+            &self.experiment.scenario.name,
+        );
+        out.push_str(&format!(
+            "{:<6} {:>10} {:>16} {:>7}\n",
+            "Feed", "affiliates", "revenue (USD M)", "share"
+        ));
+        for bar in self.experiment.fig6() {
+            out.push_str(&format!(
+                "{:<6} {:>10} {:>16.2} {:>7}\n",
+                bar.feed.label(),
+                bar.affiliates,
+                bar.revenue_usd / 1.0e6,
+                percent_label(bar.revenue_share),
+            ));
+        }
+        out
+    }
+
+    /// Fig 7: pairwise variation distance (+Mail).
+    pub fn fig7_variation(&self) -> String {
+        render_float_matrix(
+            "Fig 7: pairwise variational distance of tagged-domain frequency",
+            &self.experiment.scenario.name,
+            &self.experiment.fig7(),
+        )
+    }
+
+    /// Fig 8: pairwise Kendall tau-b (+Mail).
+    pub fn fig8_kendall(&self) -> String {
+        render_float_matrix(
+            "Fig 8: pairwise Kendall rank correlation of tagged-domain frequency",
+            &self.experiment.scenario.name,
+            &self.experiment.fig8(),
+        )
+    }
+
+    /// Fig 9: relative first appearance, all-feed baseline (days).
+    pub fn fig9_first_appearance(&self) -> String {
+        render_boxplots(
+            "Fig 9: relative first appearance (days; campaign start from all feeds excl. Bot/Hyb)",
+            &self.experiment.scenario.name,
+            &self.experiment.fig9(),
+            "d",
+        )
+    }
+
+    /// Fig 10: relative first appearance, honeypot baseline (days).
+    pub fn fig10_first_appearance_honeypots(&self) -> String {
+        render_boxplots(
+            "Fig 10: relative first appearance (days; campaign start from honeypot feeds only)",
+            &self.experiment.scenario.name,
+            &self.experiment.fig10(),
+            "d",
+        )
+    }
+
+    /// Fig 11: last-appearance error (hours).
+    pub fn fig11_last_appearance(&self) -> String {
+        render_boxplots(
+            "Fig 11: last appearance vs campaign end (hours)",
+            &self.experiment.scenario.name,
+            &self.experiment.fig11(),
+            "h",
+        )
+    }
+
+    /// Fig 12: duration error (hours).
+    pub fn fig12_duration(&self) -> String {
+        render_boxplots(
+            "Fig 12: domain lifetime vs campaign duration (hours)",
+            &self.experiment.scenario.name,
+            &self.experiment.fig12(),
+            "h",
+        )
+    }
+
+    /// Beyond the paper: greedy acquisition order and within-type
+    /// redundancy (the §5 diversity guidance, quantified).
+    pub fn selection_study(&self, category: Category) -> String {
+        let mut out = header(
+            &format!("Feed-portfolio study ({} domains)", category.label()),
+            &self.experiment.scenario.name,
+        );
+        out.push_str("-- greedy acquisition order --\n");
+        out.push_str(&format!(
+            "{:<5} {:<6} {:>10} {:>12} {:>9}\n",
+            "step", "feed", "marginal", "cumulative", "coverage"
+        ));
+        for (i, s) in self.experiment.selection(category).iter().enumerate() {
+            out.push_str(&format!(
+                "{:<5} {:<6} {:>10} {:>12} {:>8.0}%\n",
+                i + 1,
+                s.feed.label(),
+                grouped(s.marginal as u64),
+                grouped(s.cumulative as u64),
+                s.cumulative_fraction * 100.0,
+            ));
+        }
+        out.push_str("-- within-type vs across-type similarity (Jaccard) --\n");
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>8}\n",
+            "type", "within", "across"
+        ));
+        for r in self.experiment.redundancy(category) {
+            out.push_str(&format!(
+                "{:<22} {:>8} {:>8.2}\n",
+                format!("{:?}", r.kind),
+                r.within.map_or("-".to_string(), |w| format!("{w:.2}")),
+                r.across,
+            ));
+        }
+        out
+    }
+
+    /// Beyond the paper: campaign-granularity coverage and the
+    /// domain-proxy fragmentation check.
+    pub fn campaign_study(&self) -> String {
+        let mut out = header(
+            "Campaign-granularity coverage (ground-truth validation)",
+            &self.experiment.scenario.name,
+        );
+        out.push_str(&format!(
+            "{:<6} {:>12} {:>12} {:>14}\n",
+            "Feed", "loud cov", "quiet cov", "fragmentation"
+        ));
+        for r in self.experiment.campaigns() {
+            out.push_str(&format!(
+                "{:<6} {:>11.0}% {:>11.0}% {:>13.0}%\n",
+                r.feed.label(),
+                r.loud_coverage() * 100.0,
+                r.quiet_coverage() * 100.0,
+                r.mean_fragmentation * 100.0,
+            ));
+        }
+        out
+    }
+
+    /// Beyond the paper: FQDN wildcarding per URL-granularity feed.
+    pub fn granularity_study(&self) -> String {
+        let mut out = header(
+            "Reporting granularity: FQDNs per registered domain",
+            &self.experiment.scenario.name,
+        );
+        out.push_str(&format!(
+            "{:<6} {:>11} {:>10} {:>9}\n",
+            "Feed", "registered", "FQDNs", "factor"
+        ));
+        for r in self.experiment.granularity() {
+            out.push_str(&format!(
+                "{:<6} {:>11} {:>10} {:>9}\n",
+                r.feed.label(),
+                grouped(r.registered as u64),
+                r.fqdns.map_or("-".to_string(), |f| grouped(f as u64)),
+                r.wildcard_factor()
+                    .map_or("-".to_string(), |f| format!("{f:.2}x")),
+            ));
+        }
+        out
+    }
+
+    /// Beyond the paper: heavy-tail concentration of the simulated
+    /// world (campaign volume and RX affiliate revenue).
+    pub fn concentration_study(&self) -> String {
+        use taster_stats::concentration::{gini, top_share};
+        let truth = &self.experiment.world.truth;
+        let volumes: Vec<f64> = truth
+            .campaigns
+            .iter()
+            .filter(|c| !c.poison)
+            .map(|c| c.volume as f64)
+            .collect();
+        let revenues: Vec<f64> = truth
+            .roster
+            .affiliates_of(taster_ecosystem::program::RX_PROGRAM)
+            .iter()
+            .map(|&a| truth.roster.affiliate(a).annual_revenue_usd)
+            .collect();
+        let mut out = header(
+            "Concentration: who dominates the simulated ecosystem",
+            &self.experiment.scenario.name,
+        );
+        for (label, values) in [("campaign volume", &volumes), ("RX affiliate revenue", &revenues)] {
+            out.push_str(&format!(
+                "{:<22} gini {:.2}, top 1% holds {:.0}%, top 10% holds {:.0}%\n",
+                label,
+                gini(values).unwrap_or(0.0),
+                top_share(values, 0.01).unwrap_or(0.0) * 100.0,
+                top_share(values, 0.10).unwrap_or(0.0) * 100.0,
+            ));
+        }
+        out
+    }
+
+    /// Beyond the paper: each feed replayed as a production filter.
+    pub fn blocking_study(&self) -> String {
+        let mut out = header(
+            "Filter replay: each feed as a domain blacklist",
+            &self.experiment.scenario.name,
+        );
+        out.push_str(&format!(
+            "{:<6} {:>9} {:>10} {:>13} {:>9}\n",
+            "Feed", "blocked", "eventual", "latency loss", "ham lost"
+        ));
+        for r in self.experiment.blocking() {
+            out.push_str(&format!(
+                "{:<6} {:>8.1}% {:>9.1}% {:>12.1}% {:>8.2}%\n",
+                r.feed.label(),
+                r.spam_block_rate() * 100.0,
+                r.eventual_block_rate() * 100.0,
+                r.latency_loss() * 100.0,
+                r.ham_block_rate() * 100.0,
+            ));
+        }
+        out
+    }
+
+    /// Every table and figure, in paper order.
+    pub fn full_report(&self) -> String {
+        [
+            self.table1_feed_summary(),
+            self.table2_purity(),
+            self.table3_coverage(),
+            self.fig1_exclusive_scatter(),
+            self.fig2_pairwise(Category::Live),
+            self.fig2_pairwise(Category::Tagged),
+            self.fig3_volume(),
+            self.fig4_programs(),
+            self.fig5_affiliates(),
+            self.fig6_revenue(),
+            self.fig7_variation(),
+            self.fig8_kendall(),
+            self.fig9_first_appearance(),
+            self.fig10_first_appearance_honeypots(),
+            self.fig11_last_appearance(),
+            self.fig12_duration(),
+            self.selection_study(Category::Live),
+            self.selection_study(Category::Tagged),
+            self.blocking_study(),
+            self.campaign_study(),
+            self.granularity_study(),
+            self.concentration_study(),
+        ]
+        .join("\n")
+    }
+}
+
+fn header(title: &str, scenario: &str) -> String {
+    format!("== {title}\n   scenario: {scenario}\n")
+}
+
+fn render_overlap_matrix(
+    title: &str,
+    scenario: &str,
+    m: &PairwiseMatrix<OverlapCell>,
+) -> String {
+    let mut out = header(title, scenario);
+    out.push_str("   cell = |row ∩ col| as % of col / count\n");
+    out.push_str(&format!("{:<7}", ""));
+    for col in &m.feeds {
+        out.push_str(&format!("{:>10}", col.label()));
+    }
+    if let Some(extra) = m.extra_label {
+        out.push_str(&format!("{:>10}", extra));
+    }
+    out.push('\n');
+    for &row in &m.feeds {
+        out.push_str(&format!("{:<7}", row.label()));
+        for &col in &m.feeds {
+            let cell = m.get(row, col);
+            out.push_str(&format!(
+                "{:>10}",
+                format!("{}/{}", percent_label(cell.fraction), count_label(cell.count))
+            ));
+        }
+        if m.extra_label.is_some() {
+            let cell = m.get_extra(row);
+            out.push_str(&format!(
+                "{:>10}",
+                format!("{}/{}", percent_label(cell.fraction), count_label(cell.count))
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_float_matrix(title: &str, scenario: &str, m: &PairwiseMatrix<f64>) -> String {
+    let mut out = header(title, scenario);
+    out.push_str(&format!("{:<7}", ""));
+    for col in &m.feeds {
+        out.push_str(&format!("{:>7}", col.label()));
+    }
+    if let Some(extra) = m.extra_label {
+        out.push_str(&format!("{:>7}", extra));
+    }
+    out.push('\n');
+    for &row in &m.feeds {
+        out.push_str(&format!("{:<7}", row.label()));
+        for &col in &m.feeds {
+            out.push_str(&format!("{:>7.2}", m.get(row, col)));
+        }
+        if m.extra_label.is_some() {
+            out.push_str(&format!("{:>7.2}", m.get_extra(row)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_boxplots(
+    title: &str,
+    scenario: &str,
+    rows: &[(FeedId, Boxplot)],
+    unit: &str,
+) -> String {
+    let mut out = header(title, scenario);
+    out.push_str(&format!(
+        "{:<6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+        "Feed", "n", "p5", "q1", "median", "q3", "p95"
+    ));
+    for (feed, b) in rows {
+        out.push_str(&format!(
+            "{:<6} {:>6} {:>7.2}{u} {:>7.2}{u} {:>7.2}{u} {:>7.2}{u} {:>7.2}{u}\n",
+            feed.label(),
+            b.n,
+            b.p5,
+            b.q1,
+            b.median,
+            b.q3,
+            b.p95,
+            u = unit,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Experiment, Scenario};
+    use taster_analysis::classify::Category;
+
+    #[test]
+    fn full_report_renders_every_section() {
+        let e = Experiment::run(&Scenario::default_paper().with_scale(0.02).with_seed(21));
+        let report = e.report().full_report();
+        for needle in [
+            "Table 1", "Table 2", "Table 3", "Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5",
+            "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10", "Fig 11", "Fig 12",
+        ] {
+            assert!(report.contains(needle), "missing section {needle}");
+        }
+        // Feed labels appear.
+        for label in ["Hu", "dbl", "uribl", "mx1", "mx2", "mx3", "Ac1", "Ac2", "Bot", "Hyb"] {
+            assert!(report.contains(label), "missing feed {label}");
+        }
+    }
+
+    #[test]
+    fn extra_study_sections_render() {
+        let e = Experiment::run(&Scenario::default_paper().with_scale(0.02).with_seed(21));
+        let r = e.report();
+        let blocking = r.blocking_study();
+        assert!(blocking.contains("Filter replay"));
+        assert!(blocking.contains("latency loss"));
+        let campaigns = r.campaign_study();
+        assert!(campaigns.contains("fragmentation"));
+        let granularity = r.granularity_study();
+        assert!(granularity.contains("FQDNs"));
+        let concentration = r.concentration_study();
+        assert!(concentration.contains("gini"));
+        let selection = r.selection_study(Category::Live);
+        assert!(selection.contains("greedy acquisition order"));
+        // Every feed label appears in each per-feed section.
+        for section in [&blocking, &campaigns, &granularity] {
+            for label in ["Hu", "dbl", "uribl", "Bot", "Hyb"] {
+                assert!(section.contains(label), "{label} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let s = Scenario::default_paper().with_scale(0.02).with_seed(5);
+        let a = Experiment::run(&s).report().full_report();
+        let b = Experiment::run(&s).report().full_report();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn category_sections_differ() {
+        let e = Experiment::run(&Scenario::default_paper().with_scale(0.02).with_seed(9));
+        let live = e.report().fig2_pairwise(Category::Live);
+        let tagged = e.report().fig2_pairwise(Category::Tagged);
+        assert_ne!(live, tagged);
+    }
+}

@@ -1,0 +1,268 @@
+//! The crawl pipeline: DNS + HTTP + tagging for a set of domains.
+
+use crate::oracle::{DnsOracle, FetchOutcome, HttpOracle, ListMembership};
+use crate::page::render_page;
+use crate::tagger::{extract_affiliate_id, SignatureSet};
+use std::collections::HashMap;
+use taster_domain::DomainId;
+use taster_ecosystem::ids::{AffiliateId, ProgramId};
+use taster_ecosystem::GroundTruth;
+
+/// A storefront classification produced by signature matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tag {
+    /// The matched program.
+    pub program: ProgramId,
+    /// The embedded affiliate identifier, when the program exposes one.
+    pub affiliate: Option<AffiliateId>,
+}
+
+/// Everything the crawler learned about one domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrawlResult {
+    /// Present in the zone files.
+    pub registered: bool,
+    /// At least one URL fetch returned 200.
+    pub http_ok: bool,
+    /// Terminal domain of the redirect chain (self when no redirect).
+    pub final_domain: DomainId,
+    /// Storefront classification, if the final page matched.
+    pub tag: Option<Tag>,
+    /// Alexa top-list rank.
+    pub alexa_rank: Option<u32>,
+    /// Listed in the Open Directory.
+    pub odp: bool,
+}
+
+impl CrawlResult {
+    /// The paper's *live* predicate **before** benign-list exclusion.
+    pub fn responded(&self) -> bool {
+        self.http_ok
+    }
+
+    /// On either benign list (Alexa/ODP).
+    pub fn benign_listed(&self) -> bool {
+        self.alexa_rank.is_some() || self.odp
+    }
+
+    /// The paper's *live domain* definition (§4.1.4): HTTP-responsive
+    /// and not on the Alexa/ODP lists.
+    pub fn is_live(&self) -> bool {
+        self.http_ok && !self.benign_listed()
+    }
+
+    /// The paper's *tagged domain* definition: leads to a classified
+    /// storefront and not on the benign lists.
+    pub fn is_tagged(&self) -> bool {
+        self.tag.is_some() && !self.benign_listed()
+    }
+}
+
+/// A completed crawl over a set of domains.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlReport {
+    results: HashMap<DomainId, CrawlResult>,
+}
+
+impl CrawlReport {
+    /// Result for one domain, if it was crawled.
+    pub fn get(&self, domain: DomainId) -> Option<&CrawlResult> {
+        self.results.get(&domain)
+    }
+
+    /// Number of crawled domains.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when nothing was crawled.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Iterates `(domain, result)`.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &CrawlResult)> {
+        self.results.iter().map(|(&d, r)| (d, r))
+    }
+}
+
+/// The crawler: wraps the oracles and signature set.
+#[derive(Debug, Clone)]
+pub struct Crawler<'a> {
+    truth: &'a GroundTruth,
+    dns: DnsOracle<'a>,
+    http: HttpOracle<'a>,
+    lists: ListMembership<'a>,
+    signatures: SignatureSet,
+}
+
+impl<'a> Crawler<'a> {
+    /// Builds a crawler (compiles the signature set from the roster).
+    pub fn new(truth: &'a GroundTruth) -> Crawler<'a> {
+        Crawler {
+            truth,
+            dns: DnsOracle::new(truth),
+            http: HttpOracle::new(truth),
+            lists: ListMembership::new(truth),
+            signatures: SignatureSet::from_roster(&truth.roster),
+        }
+    }
+
+    /// Crawls one domain.
+    pub fn crawl_one(&self, domain: DomainId) -> CrawlResult {
+        let registered = self.dns.registered(domain);
+        let (http_ok, final_domain) = match self.http.fetch(domain) {
+            FetchOutcome::Ok { final_domain, .. } => (true, final_domain),
+            FetchOutcome::Failed => (false, domain),
+        };
+        let tag = if http_ok {
+            render_page(self.truth, final_domain).and_then(|html| {
+                self.signatures.match_page(&html).map(|program| Tag {
+                    program,
+                    affiliate: extract_affiliate_id(&html),
+                })
+            })
+        } else {
+            None
+        };
+        CrawlResult {
+            registered,
+            http_ok,
+            final_domain,
+            tag,
+            alexa_rank: self.lists.alexa_rank(domain),
+            odp: self.lists.odp_listed(domain),
+        }
+    }
+
+    /// Crawls a deduplicated set of domains.
+    pub fn crawl<I: IntoIterator<Item = DomainId>>(&self, domains: I) -> CrawlReport {
+        let mut results = HashMap::new();
+        for d in domains {
+            results.entry(d).or_insert_with(|| self.crawl_one(d));
+        }
+        CrawlReport { results }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_ecosystem::domains::DomainKind;
+    use taster_ecosystem::program::RX_PROGRAM;
+    use taster_ecosystem::EcosystemConfig;
+
+    fn world() -> GroundTruth {
+        GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 37).unwrap()
+    }
+
+    #[test]
+    fn storefronts_of_tagged_programs_get_tagged() {
+        let truth = world();
+        let crawler = Crawler::new(&truth);
+        let mut tagged = 0;
+        let mut untagged_live = 0;
+        for (id, rec) in truth.universe.iter() {
+            if let DomainKind::Storefront { program, affiliate } = rec.kind {
+                let r = crawler.crawl_one(id);
+                if !rec.live {
+                    assert!(!r.http_ok);
+                    continue;
+                }
+                let is_tagged_prog = truth.roster.program(program).tagged;
+                match r.tag {
+                    Some(tag) => {
+                        assert!(is_tagged_prog);
+                        assert_eq!(tag.program, program);
+                        if program == RX_PROGRAM {
+                            assert_eq!(tag.affiliate, Some(affiliate));
+                        } else {
+                            assert_eq!(tag.affiliate, None);
+                        }
+                        tagged += 1;
+                    }
+                    None => {
+                        assert!(!is_tagged_prog, "tagged program page missed");
+                        untagged_live += 1;
+                    }
+                }
+            }
+        }
+        assert!(tagged > 0 && untagged_live > 0);
+    }
+
+    #[test]
+    fn landing_domains_tag_through_redirects() {
+        let truth = world();
+        let crawler = Crawler::new(&truth);
+        let mut via_landing = 0;
+        for (id, rec) in truth.universe.iter() {
+            if rec.kind == DomainKind::Landing {
+                let r = crawler.crawl_one(id);
+                if r.http_ok {
+                    assert_ne!(r.final_domain, id);
+                    if r.tag.is_some() {
+                        via_landing += 1;
+                    }
+                }
+            }
+        }
+        assert!(via_landing > 0, "redirect-resolved tags exist");
+    }
+
+    #[test]
+    fn poison_is_dead_and_untagged() {
+        let truth = world();
+        let crawler = Crawler::new(&truth);
+        let mut poison_seen = 0;
+        let mut poison_ok = 0;
+        for (id, rec) in truth.universe.iter() {
+            if rec.kind == DomainKind::Poison {
+                poison_seen += 1;
+                let r = crawler.crawl_one(id);
+                assert!(r.tag.is_none());
+                if r.http_ok {
+                    poison_ok += 1;
+                }
+            }
+        }
+        assert!(poison_seen > 100);
+        assert!(
+            (poison_ok as f64) < poison_seen as f64 * 0.01,
+            "{poison_ok}/{poison_seen} poison responding"
+        );
+    }
+
+    #[test]
+    fn live_and_tagged_exclude_benign_lists() {
+        let truth = world();
+        let crawler = Crawler::new(&truth);
+        // Pick an uncompromised listed benign domain (a compromised
+        // one may redirect to a dead storefront and legitimately fail).
+        let (benign_id, _) = truth
+            .universe
+            .iter()
+            .find(|(id, r)| {
+                r.kind == DomainKind::Benign
+                    && r.alexa_rank.is_some()
+                    && truth.universe.redirect_target(*id).is_none()
+            })
+            .unwrap();
+        let r = crawler.crawl_one(benign_id);
+        assert!(r.http_ok);
+        assert!(r.benign_listed());
+        assert!(!r.is_live(), "Alexa-listed domain is excluded from live");
+        assert!(!r.is_tagged());
+    }
+
+    #[test]
+    fn crawl_set_deduplicates() {
+        let truth = world();
+        let crawler = Crawler::new(&truth);
+        let ids: Vec<DomainId> = truth.universe.iter().take(50).map(|(d, _)| d).collect();
+        let doubled: Vec<DomainId> = ids.iter().chain(ids.iter()).copied().collect();
+        let report = crawler.crawl(doubled);
+        assert_eq!(report.len(), 50);
+        assert!(report.get(ids[0]).is_some());
+    }
+}

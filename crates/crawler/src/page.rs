@@ -1,0 +1,126 @@
+//! Storefront page rendering.
+//!
+//! The crawler tags a domain by looking at the *content* it serves, so
+//! the simulation serves content: each live storefront renders an HTML
+//! page carrying its program's branding (the hook for the
+//! hand-generated signatures of §3.4) and — for programs that do so —
+//! an embedded affiliate identifier (RX-Promotion's behaviour, §4.2.3).
+
+use taster_domain::DomainId;
+use taster_ecosystem::domains::DomainKind;
+use taster_ecosystem::ids::Vertical;
+use taster_ecosystem::GroundTruth;
+
+/// Renders the page served by `domain`, or `None` when the domain does
+/// not serve content (dead, or not a storefront/benign host).
+///
+/// Redirect resolution is the HTTP oracle's job — pass the *final*
+/// domain of a fetch here.
+pub fn render_page(truth: &GroundTruth, domain: DomainId) -> Option<String> {
+    let rec = truth.universe.record(domain);
+    if !rec.live {
+        return None;
+    }
+    match rec.kind {
+        DomainKind::Storefront { program, affiliate } => {
+            let prog = truth.roster.program(program);
+            let title = match prog.vertical {
+                Vertical::Pharma => "Trusted Online Pharmacy",
+                Vertical::Replica => "Luxury Replica Boutique",
+                Vertical::Software => "OEM Software Warehouse",
+                Vertical::Casino => "Grand Casino Online",
+                Vertical::Dating => "Meet Someone Tonight",
+                Vertical::Ebook => "Instant eBook Library",
+            };
+            let aff_meta = if prog.embeds_affiliate_id {
+                format!("\n  <meta name=\"affid\" content=\"{}\">", affiliate.0)
+            } else {
+                String::new()
+            };
+            Some(format!(
+                "<!DOCTYPE html>\n<html>\n<head>\n  <title>{title}</title>\n  \
+                 <meta name=\"generator\" content=\"{}\">{aff_meta}\n</head>\n<body>\n\
+                 <h1>{title}</h1>\n<p>Welcome to {}!</p>\n\
+                 <div class=\"cart\">Add to cart</div>\n</body>\n</html>\n",
+                prog.name,
+                truth.universe.table.text(domain),
+            ))
+        }
+        DomainKind::Benign => Some(format!(
+            "<!DOCTYPE html>\n<html><head><title>{0}</title></head>\n\
+             <body><p>Welcome to {0}.</p></body></html>\n",
+            truth.universe.table.text(domain)
+        )),
+        // A live landing domain serves only a redirect; a fetch never
+        // terminates here. Poison domains never serve storefronts.
+        DomainKind::Landing | DomainKind::Poison => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_ecosystem::program::RX_PROGRAM;
+    use taster_ecosystem::EcosystemConfig;
+
+    fn world() -> GroundTruth {
+        GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 31).unwrap()
+    }
+
+    #[test]
+    fn rx_storefronts_embed_affiliate_ids() {
+        let truth = world();
+        let mut checked = 0;
+        for (id, rec) in truth.universe.iter() {
+            if let DomainKind::Storefront { program, affiliate } = rec.kind {
+                if program == RX_PROGRAM && rec.live {
+                    let html = render_page(&truth, id).unwrap();
+                    assert!(html.contains("RX-Promotion"));
+                    assert!(html.contains(&format!("content=\"{}\"", affiliate.0)));
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn non_rx_pages_have_no_affid() {
+        let truth = world();
+        for (id, rec) in truth.universe.iter() {
+            if let DomainKind::Storefront { program, .. } = rec.kind {
+                if program != RX_PROGRAM && rec.live {
+                    let html = render_page(&truth, id).unwrap();
+                    assert!(!html.contains("affid"), "{html}");
+                    return;
+                }
+            }
+        }
+        panic!("no non-RX storefront found");
+    }
+
+    #[test]
+    fn dead_and_poison_serve_nothing() {
+        let truth = world();
+        for (id, rec) in truth.universe.iter() {
+            if !rec.live {
+                assert!(render_page(&truth, id).is_none());
+            }
+            if rec.kind == DomainKind::Poison {
+                assert!(render_page(&truth, id).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn benign_pages_render() {
+        let truth = world();
+        let (id, _) = truth
+            .universe
+            .iter()
+            .find(|(_, r)| r.kind == DomainKind::Benign)
+            .unwrap();
+        let html = render_page(&truth, id).unwrap();
+        assert!(html.contains("<title>"));
+    }
+}

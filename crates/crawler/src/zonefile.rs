@@ -1,0 +1,265 @@
+//! Zone-file generation and parsing.
+//!
+//! The paper's DNS purity check "checked the DNS zone files for the
+//! com, net, org, biz, us, aero and info top-level domains" (§4.1.1).
+//! This module gives the simulation the same artifact: per-TLD zone
+//! files in RFC 1035 master-file syntax (the delegation subset real
+//! gTLD zone files contain: NS records per registered name), a parser
+//! for them, and a registry the DNS oracle can answer from.
+//!
+//! Generating text and parsing it back is deliberate: the crawl
+//! pipeline consumes the same artifact a researcher would download,
+//! so a syntax mistake breaks tests instead of hiding in a boolean.
+
+use std::collections::{BTreeMap, BTreeSet};
+use taster_ecosystem::GroundTruth;
+
+/// A set of per-TLD zone files.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneFiles {
+    /// TLD → rendered master-file text.
+    files: BTreeMap<String, String>,
+}
+
+/// The registration registry parsed back out of zone files.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneRegistry {
+    registered: BTreeSet<String>,
+    tlds: BTreeSet<String>,
+}
+
+/// Errors from [`parse_zone_file`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneParseError {
+    /// Missing `$ORIGIN` directive.
+    MissingOrigin,
+    /// A record line had fewer than 4 fields.
+    ShortRecord(usize),
+    /// A record class other than `IN`.
+    BadClass(usize),
+}
+
+impl std::fmt::Display for ZoneParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZoneParseError::MissingOrigin => write!(f, "zone file lacks $ORIGIN"),
+            ZoneParseError::ShortRecord(l) => write!(f, "line {l}: truncated record"),
+            ZoneParseError::BadClass(l) => write!(f, "line {l}: unsupported class"),
+        }
+    }
+}
+
+impl std::error::Error for ZoneParseError {}
+
+impl ZoneFiles {
+    /// Renders zone files covering every *registered* domain in the
+    /// world, one file per observed public suffix.
+    pub fn generate(truth: &GroundTruth) -> ZoneFiles {
+        let mut by_tld: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (id, record) in truth.universe.iter() {
+            if !record.registered {
+                continue;
+            }
+            let name = truth.universe.table.text(id);
+            let (label, suffix) = match name.split_once('.') {
+                Some(pair) => pair,
+                None => continue,
+            };
+            by_tld
+                .entry(suffix.to_string())
+                .or_default()
+                .push(label.to_string());
+        }
+        let mut files = BTreeMap::new();
+        for (tld, mut labels) in by_tld {
+            labels.sort();
+            labels.dedup();
+            let mut text = String::with_capacity(labels.len() * 40 + 128);
+            text.push_str(&format!("$ORIGIN {tld}.\n$TTL 172800\n"));
+            text.push_str(&format!(
+                "@ IN SOA a.gtld-servers.net. nstld.verisign-grs.com. 2010080100 1800 900 604800 86400\n"
+            ));
+            for label in labels {
+                // Real gTLD zones carry two NS delegations per name.
+                text.push_str(&format!("{label} IN NS ns1.{label}.{tld}.\n"));
+                text.push_str(&format!("{label} IN NS ns2.{label}.{tld}.\n"));
+            }
+            files.insert(tld, text);
+        }
+        ZoneFiles { files }
+    }
+
+    /// The TLDs for which a file exists.
+    pub fn tlds(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(|s| s.as_str())
+    }
+
+    /// The rendered file for one TLD.
+    pub fn file(&self, tld: &str) -> Option<&str> {
+        self.files.get(tld).map(|s| s.as_str())
+    }
+
+    /// Parses every file into a queryable registry.
+    pub fn parse_all(&self) -> Result<ZoneRegistry, ZoneParseError> {
+        let mut registry = ZoneRegistry::default();
+        for text in self.files.values() {
+            parse_zone_file(text, &mut registry)?;
+        }
+        Ok(registry)
+    }
+}
+
+/// Parses one master-file text into `registry`.
+pub fn parse_zone_file(
+    text: &str,
+    registry: &mut ZoneRegistry,
+) -> Result<(), ZoneParseError> {
+    let mut origin: Option<String> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("$ORIGIN") {
+            origin = Some(rest.trim().trim_end_matches('.').to_ascii_lowercase());
+            continue;
+        }
+        if line.starts_with('$') {
+            continue; // $TTL and friends
+        }
+        let origin_ref = origin.as_ref().ok_or(ZoneParseError::MissingOrigin)?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 4 {
+            return Err(ZoneParseError::ShortRecord(lineno + 1));
+        }
+        // <owner> [ttl] IN <type> <rdata...> — we accept the simple
+        // 4-field layout our generator emits plus optional TTL.
+        let (owner, class_idx) = (fields[0], if fields[1].eq_ignore_ascii_case("IN") { 1 } else { 2 });
+        if !fields
+            .get(class_idx)
+            .is_some_and(|c| c.eq_ignore_ascii_case("IN"))
+        {
+            return Err(ZoneParseError::BadClass(lineno + 1));
+        }
+        let rtype = fields.get(class_idx + 1).copied().unwrap_or("");
+        if owner == "@" || !rtype.eq_ignore_ascii_case("NS") {
+            continue; // SOA / apex records
+        }
+        let name = format!("{}.{}", owner.to_ascii_lowercase(), origin_ref);
+        registry.registered.insert(name);
+        registry.tlds.insert(origin_ref.clone());
+    }
+    Ok(())
+}
+
+impl ZoneRegistry {
+    /// Whether `domain` (a registered-domain string) is delegated.
+    pub fn contains(&self, domain: &str) -> bool {
+        self.registered.contains(domain)
+    }
+
+    /// Number of delegated names.
+    pub fn len(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// True when no names are delegated.
+    pub fn is_empty(&self) -> bool {
+        self.registered.is_empty()
+    }
+
+    /// TLDs covered.
+    pub fn tlds(&self) -> impl Iterator<Item = &str> {
+        self.tlds.iter().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_ecosystem::EcosystemConfig;
+
+    fn world() -> GroundTruth {
+        GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 113).unwrap()
+    }
+
+    #[test]
+    fn round_trip_matches_ground_truth() {
+        let truth = world();
+        let zones = ZoneFiles::generate(&truth);
+        let registry = zones.parse_all().unwrap();
+        let mut checked_registered = 0;
+        let mut checked_unregistered = 0;
+        for (id, record) in truth.universe.iter() {
+            let name = truth.universe.table.text(id);
+            assert_eq!(
+                registry.contains(name),
+                record.registered,
+                "zone-file round trip for {name}"
+            );
+            if record.registered {
+                checked_registered += 1;
+            } else {
+                checked_unregistered += 1;
+            }
+        }
+        assert!(checked_registered > 100);
+        assert!(checked_unregistered > 100, "poison gives unregistered names");
+    }
+
+    #[test]
+    fn files_look_like_master_files() {
+        let truth = world();
+        let zones = ZoneFiles::generate(&truth);
+        let com = zones.file("com").expect("com zone exists");
+        assert!(com.starts_with("$ORIGIN com.\n"));
+        assert!(com.contains(" IN SOA "));
+        assert!(com.contains(" IN NS ns1."));
+        // Two NS records per delegated name.
+        let ns = com.matches(" IN NS ").count();
+        let names: std::collections::HashSet<_> = com
+            .lines()
+            .filter(|l| l.contains(" IN NS "))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(ns, names.len() * 2);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        let mut reg = ZoneRegistry::default();
+        assert_eq!(
+            parse_zone_file("foo IN NS ns1.foo.com.", &mut reg),
+            Err(ZoneParseError::MissingOrigin)
+        );
+        assert_eq!(
+            parse_zone_file("$ORIGIN com.\nfoo IN\n", &mut reg),
+            Err(ZoneParseError::ShortRecord(2))
+        );
+        assert_eq!(
+            parse_zone_file("$ORIGIN com.\nfoo 3600 CH NS x.\n", &mut reg),
+            Err(ZoneParseError::BadClass(2))
+        );
+    }
+
+    #[test]
+    fn parser_accepts_ttl_and_comments() {
+        let mut reg = ZoneRegistry::default();
+        let text = "$ORIGIN net.\n$TTL 3600\n; comment line\n\
+                    example 86400 IN NS ns1.example.net. ; inline comment\n";
+        parse_zone_file(text, &mut reg).unwrap();
+        assert!(reg.contains("example.net"));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.tlds().collect::<Vec<_>>(), vec!["net"]);
+    }
+
+    #[test]
+    fn multi_label_suffixes_get_their_own_zone() {
+        let truth = world();
+        let zones = ZoneFiles::generate(&truth);
+        // The generator writes e.g. a `co.uk` zone when such domains
+        // exist in the world.
+        let has_multi = zones.tlds().any(|t| t.contains('.'));
+        assert!(has_multi, "expected at least one second-level registry zone");
+    }
+}

@@ -1,0 +1,347 @@
+//! Domain-name generators used by the ecosystem simulator.
+//!
+//! Three generator families correspond to three phenomena in the paper:
+//!
+//! * [`BrandableGen`] — pronounceable store-front names of the kind
+//!   affiliate programs register in bulk ("new domains must be
+//!   constantly registered and assigned", §4.2.3, footnote 6).
+//! * [`DgaGen`] — random-character names, modelling the several-week
+//!   window in which the Rustock botnet spammed randomly-generated
+//!   domains (§4.1.1), poisoning the `Bot` and `mx2` feeds.
+//! * [`typo_of`] — single-edit typos of a target name, the mechanism by
+//!   which lexically-similar MX honeypot domains receive legitimate
+//!   mail (§3.3, citing Gee & Kim's "doppelganger domains").
+
+use rand::{Rng, RngExt};
+
+/// TLD pools with rough relative registration weights, used when a
+/// generator needs to pick a TLD. The skew towards `com`/`net`/`ru`
+/// mirrors where 2010-era spam domains were registered.
+pub const SPAM_TLD_POOL: &[(&str, u32)] = &[
+    ("com", 55),
+    ("net", 12),
+    ("ru", 12),
+    ("org", 6),
+    ("info", 6),
+    ("biz", 4),
+    ("in", 2),
+    ("co.uk", 2),
+    ("us", 1),
+];
+
+/// TLD pool for benign/legitimate domains.
+pub const BENIGN_TLD_POOL: &[(&str, u32)] = &[
+    ("com", 50),
+    ("org", 14),
+    ("net", 10),
+    ("edu", 6),
+    ("gov", 2),
+    ("co.uk", 6),
+    ("de", 6),
+    ("fr", 3),
+    ("co.jp", 3),
+];
+
+/// Picks a TLD from a weighted pool.
+pub fn pick_tld<R: Rng>(rng: &mut R, pool: &[(&'static str, u32)]) -> &'static str {
+    let total: u32 = pool.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.random_range(0..total);
+    for &(tld, w) in pool {
+        if roll < w {
+            return tld;
+        }
+        roll -= w;
+    }
+    pool.last().expect("non-empty pool").0
+}
+
+/// Generator for pronounceable, store-like registrant labels.
+///
+/// Names are built from CV/CVC syllables with optional spam-flavoured
+/// affixes (`my`, `best`, `-shop`, `-rx`, digits), giving a large,
+/// collision-light namespace that still *looks* like 2010 spam.
+#[derive(Debug, Clone)]
+pub struct BrandableGen {
+    /// Minimum number of syllables.
+    pub min_syllables: usize,
+    /// Maximum number of syllables (inclusive).
+    pub max_syllables: usize,
+    /// Probability of a spammy prefix.
+    pub prefix_prob: f64,
+    /// Probability of a spammy suffix.
+    pub suffix_prob: f64,
+    /// Probability of appending 1–3 digits.
+    pub digit_prob: f64,
+    /// Probability of minting an IDN (`xn--`) label instead — Cyrillic
+    /// homograph-style names, encoded with the RFC 3492 codec.
+    pub idn_prob: f64,
+}
+
+impl Default for BrandableGen {
+    fn default() -> Self {
+        BrandableGen {
+            min_syllables: 2,
+            max_syllables: 4,
+            prefix_prob: 0.20,
+            suffix_prob: 0.30,
+            digit_prob: 0.15,
+            idn_prob: 0.015,
+        }
+    }
+}
+
+const ONSETS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch",
+    "sh", "st", "dr", "pl", "tr", "gr",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ea", "oo"];
+const CODAS: &[&str] = &["", "", "", "n", "r", "s", "x", "l", "m"];
+const PREFIXES: &[&str] = &["my", "best", "top", "e", "go", "buy", "the"];
+const SUFFIXES: &[&str] = &["shop", "store", "rx", "meds", "deal", "mart", "online", "direct"];
+
+const CYRILLIC: &[char] = &[
+    'а', 'б', 'в', 'г', 'д', 'е', 'и', 'к', 'л', 'м', 'н', 'о', 'п', 'р', 'с', 'т', 'у',
+];
+
+impl BrandableGen {
+    /// Generates a registrant label (no TLD).
+    pub fn label<R: Rng>(&self, rng: &mut R) -> String {
+        if rng.random_bool(self.idn_prob) {
+            // Homograph-flavoured IDN label, shipped in ACE form like
+            // every wire artifact in the pipeline.
+            let len = rng.random_range(4..=9usize);
+            let unicode: String = (0..len)
+                .map(|_| CYRILLIC[rng.random_range(0..CYRILLIC.len())])
+                .collect();
+            return crate::punycode::to_ascii_label(&unicode)
+                .expect("generated label encodes");
+        }
+        let mut s = String::new();
+        if rng.random_bool(self.prefix_prob) {
+            s.push_str(PREFIXES[rng.random_range(0..PREFIXES.len())]);
+        }
+        let n = rng.random_range(self.min_syllables..=self.max_syllables);
+        for _ in 0..n {
+            s.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+            s.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+            s.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+        }
+        if rng.random_bool(self.suffix_prob) {
+            s.push('-');
+            s.push_str(SUFFIXES[rng.random_range(0..SUFFIXES.len())]);
+        }
+        if rng.random_bool(self.digit_prob) {
+            let digits = rng.random_range(1..=3u32);
+            for _ in 0..digits {
+                s.push(char::from(b'0' + rng.random_range(0..10u8)));
+            }
+        }
+        s
+    }
+
+    /// Generates a full registered domain using a weighted TLD pool.
+    pub fn domain<R: Rng>(&self, rng: &mut R, pool: &[(&'static str, u32)]) -> String {
+        format!("{}.{}", self.label(rng), pick_tld(rng, pool))
+    }
+}
+
+/// Generator for DGA-style random names (the Rustock poisoning).
+///
+/// Labels are uniform random lowercase strings; nearly none of them is
+/// a registered domain, which is exactly the property the poisoning
+/// exploited ("such bogus domains cost spammers nearly nothing…").
+#[derive(Debug, Clone)]
+pub struct DgaGen {
+    /// Minimum label length.
+    pub min_len: usize,
+    /// Maximum label length (inclusive).
+    pub max_len: usize,
+}
+
+impl Default for DgaGen {
+    fn default() -> Self {
+        DgaGen {
+            min_len: 8,
+            max_len: 16,
+        }
+    }
+}
+
+impl DgaGen {
+    /// Generates a random registrant label.
+    pub fn label<R: Rng>(&self, rng: &mut R) -> String {
+        let len = rng.random_range(self.min_len..=self.max_len);
+        (0..len)
+            .map(|_| char::from(b'a' + rng.random_range(0..26u8)))
+            .collect()
+    }
+
+    /// Generates a full random domain; Rustock used mostly `.com`.
+    pub fn domain<R: Rng>(&self, rng: &mut R) -> String {
+        let tld = if rng.random_bool(0.85) { "com" } else { "net" };
+        format!("{}.{}", self.label(rng), tld)
+    }
+}
+
+/// Produces a single-edit typo of a registrant label: transposition,
+/// deletion, duplication or substitution of one character. The TLD is
+/// left untouched (typo-squats and sender typos usually share the TLD).
+pub fn typo_of<R: Rng>(rng: &mut R, domain: &str) -> String {
+    let (label, tld) = match domain.split_once('.') {
+        Some((l, t)) => (l, Some(t)),
+        None => (domain, None),
+    };
+    let chars: Vec<char> = label.chars().collect();
+    let mut out: Vec<char> = chars.clone();
+    if chars.len() >= 2 {
+        match rng.random_range(0..4u8) {
+            0 => {
+                // transpose two adjacent characters
+                let i = rng.random_range(0..chars.len() - 1);
+                out.swap(i, i + 1);
+            }
+            1 => {
+                // delete one character
+                let i = rng.random_range(0..chars.len());
+                out.remove(i);
+            }
+            2 => {
+                // duplicate one character
+                let i = rng.random_range(0..chars.len());
+                out.insert(i, chars[i]);
+            }
+            _ => {
+                // substitute one character with a neighbouring letter
+                let i = rng.random_range(0..chars.len());
+                let c = chars[i];
+                let sub = if c.is_ascii_lowercase() {
+                    let off = rng.random_range(1..3u8);
+                    char::from((c as u8 - b'a' + off) % 26 + b'a')
+                } else {
+                    'x'
+                };
+                out[i] = sub;
+            }
+        }
+    } else {
+        out.push('x');
+    }
+    // A leading/trailing hyphen after editing would make the label
+    // invalid; patch it rather than reject.
+    if out.first() == Some(&'-') {
+        out[0] = 'x';
+    }
+    if out.last() == Some(&'-') {
+        let last = out.len() - 1;
+        out[last] = 'x';
+    }
+    let label: String = out.into_iter().collect();
+    match tld {
+        Some(t) => format!("{label}.{t}"),
+        None => label,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::DomainName;
+    use crate::psl::SuffixList;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn brandable_domains_are_valid_registered_domains() {
+        let psl = SuffixList::builtin();
+        let gen = BrandableGen::default();
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = gen.domain(&mut r, SPAM_TLD_POOL);
+            let name = DomainName::parse(&d).unwrap_or_else(|e| panic!("{d}: {e}"));
+            let reg = psl.registered_domain(&name).expect("registrable");
+            assert_eq!(reg.as_str(), d, "generator must emit registered domains");
+        }
+    }
+
+    #[test]
+    fn dga_domains_are_valid() {
+        let gen = DgaGen::default();
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = gen.domain(&mut r);
+            DomainName::parse(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn dga_collision_rate_is_negligible() {
+        let gen = DgaGen::default();
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            seen.insert(gen.domain(&mut r));
+        }
+        assert!(seen.len() > 9_990);
+    }
+
+    #[test]
+    fn typos_stay_valid_and_differ() {
+        let mut r = rng();
+        let mut changed = 0;
+        for _ in 0..300 {
+            let t = typo_of(&mut r, "pharmacy-direct.com");
+            DomainName::parse(&t).unwrap_or_else(|e| panic!("{t}: {e}"));
+            assert!(t.ends_with(".com"));
+            if t != "pharmacy-direct.com" {
+                changed += 1;
+            }
+        }
+        // Duplication/substitution always changes; transposition can
+        // no-op on equal neighbours, but most edits must differ.
+        assert!(changed > 250);
+    }
+
+    #[test]
+    fn idn_labels_are_valid_ace_forms() {
+        let gen = BrandableGen {
+            idn_prob: 1.0,
+            ..BrandableGen::default()
+        };
+        let mut r = rng();
+        for _ in 0..200 {
+            let label = gen.label(&mut r);
+            assert!(label.starts_with("xn--"), "{label}");
+            crate::label::validate_label(&label).unwrap();
+            // The ACE form decodes back to pure Cyrillic.
+            let unicode = crate::punycode::to_unicode_label(&label).unwrap();
+            assert!(unicode.chars().all(|c| !c.is_ascii()), "{unicode}");
+        }
+    }
+
+    #[test]
+    fn tld_pick_respects_pool() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = pick_tld(&mut r, SPAM_TLD_POOL);
+            assert!(SPAM_TLD_POOL.iter().any(|&(x, _)| x == t));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = BrandableGen::default();
+        let a: Vec<String> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..20).map(|_| gen.domain(&mut r, SPAM_TLD_POOL)).collect()
+        };
+        let b: Vec<String> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..20).map(|_| gen.domain(&mut r, SPAM_TLD_POOL)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

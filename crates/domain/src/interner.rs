@@ -1,0 +1,282 @@
+//! Registered-domain interning.
+//!
+//! The analyses in `taster-analysis` are set and multiset operations
+//! over millions of feed records. Interning registered domains to
+//! dense `u32` ids turns those into bit-set and vector operations.
+
+use crate::psl::RegisteredDomain;
+use std::collections::HashMap;
+
+/// A dense identifier for an interned registered domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only interner from registered-domain text to [`DomainId`].
+///
+/// Ids are assigned in first-seen order, which makes runs reproducible
+/// given a deterministic generation order.
+#[derive(Debug, Default, Clone)]
+pub struct DomainTable {
+    by_text: HashMap<String, DomainId>,
+    by_id: Vec<String>,
+}
+
+impl DomainTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a registered domain, returning its id (existing or new).
+    pub fn intern(&mut self, domain: &RegisteredDomain) -> DomainId {
+        self.intern_str(domain.as_str())
+    }
+
+    /// Interns raw registered-domain text.
+    ///
+    /// The caller is responsible for the text already being a
+    /// normalised registered domain (lowercase, no trailing dot);
+    /// this is the hot path and performs no validation.
+    pub fn intern_str(&mut self, text: &str) -> DomainId {
+        if let Some(&id) = self.by_text.get(text) {
+            return id;
+        }
+        let id = DomainId(u32::try_from(self.by_id.len()).expect("fewer than 2^32 domains"));
+        self.by_text.insert(text.to_string(), id);
+        self.by_id.push(text.to_string());
+        id
+    }
+
+    /// Looks up an id without interning.
+    pub fn get(&self, text: &str) -> Option<DomainId> {
+        self.by_text.get(text).copied()
+    }
+
+    /// Resolves an id back to its text. Panics on a foreign id.
+    pub fn text(&self, id: DomainId) -> &str {
+        &self.by_id[id.index()]
+    }
+
+    /// Resolves an id if it belongs to this table.
+    pub fn try_text(&self, id: DomainId) -> Option<&str> {
+        self.by_id.get(id.index()).map(|s| s.as_str())
+    }
+
+    /// Number of interned domains.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates `(id, text)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (DomainId(i as u32), s.as_str()))
+    }
+}
+
+/// A set of [`DomainId`]s backed by a bit vector, sized to a table.
+///
+/// Supports the set algebra the coverage analyses need (union,
+/// intersection, difference counts) in O(words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl DomainSet {
+    /// An empty set able to hold ids `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DomainSet {
+            bits: vec![0; capacity.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Inserts an id; returns `true` when newly inserted.
+    pub fn insert(&mut self, id: DomainId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.bits[w] & mask == 0 {
+            self.bits[w] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: DomainId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.bits.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates member ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let b = word.trailing_zeros();
+                    word &= word - 1;
+                    Some(DomainId((w * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// `|self ∩ other|`.
+    pub fn intersection_len(&self, other: &DomainSet) -> usize {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|`.
+    pub fn union_len(&self, other: &DomainSet) -> usize {
+        let (long, short) = if self.bits.len() >= other.bits.len() {
+            (&self.bits, &other.bits)
+        } else {
+            (&other.bits, &self.bits)
+        };
+        let mut n = 0usize;
+        for (i, &w) in long.iter().enumerate() {
+            let o = short.get(i).copied().unwrap_or(0);
+            n += (w | o).count_ones() as usize;
+        }
+        n
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &DomainSet) {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        for (i, &w) in other.bits.iter().enumerate() {
+            self.bits[i] |= w;
+        }
+        self.len = self.bits.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &DomainSet) {
+        for (i, w) in self.bits.iter_mut().enumerate() {
+            *w &= other.bits.get(i).copied().unwrap_or(0);
+        }
+        self.len = self.bits.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn subtract(&mut self, other: &DomainSet) {
+        for (i, w) in self.bits.iter_mut().enumerate() {
+            *w &= !other.bits.get(i).copied().unwrap_or(0);
+        }
+        self.len = self.bits.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl FromIterator<DomainId> for DomainSet {
+    fn from_iter<I: IntoIterator<Item = DomainId>>(iter: I) -> Self {
+        let mut set = DomainSet::with_capacity(0);
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = DomainTable::new();
+        let a = t.intern_str("example.com");
+        let b = t.intern_str("example.org");
+        let a2 = t.intern_str("example.com");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.text(a), "example.com");
+        assert_eq!(t.get("example.org"), Some(b));
+        assert_eq!(t.get("missing.net"), None);
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let mut t = DomainTable::new();
+        for d in ["c.com", "a.com", "b.com"] {
+            t.intern_str(d);
+        }
+        let texts: Vec<_> = t.iter().map(|(_, s)| s).collect();
+        assert_eq!(texts, vec!["c.com", "a.com", "b.com"]);
+    }
+
+    #[test]
+    fn set_basics() {
+        let mut s = DomainSet::with_capacity(10);
+        assert!(s.insert(DomainId(3)));
+        assert!(!s.insert(DomainId(3)));
+        assert!(s.insert(DomainId(130))); // forces growth
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(DomainId(3)));
+        assert!(s.contains(DomainId(130)));
+        assert!(!s.contains(DomainId(4)));
+        let ids: Vec<_> = s.iter().collect();
+        assert_eq!(ids, vec![DomainId(3), DomainId(130)]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: DomainSet = [1u32, 2, 3, 64].iter().map(|&i| DomainId(i)).collect();
+        let b: DomainSet = [3u32, 64, 65].iter().map(|&i| DomainId(i)).collect();
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.union_len(&b), 5);
+        assert_eq!(b.union_len(&a), 5);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 5);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![DomainId(3), DomainId(64)]);
+
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![DomainId(1), DomainId(2)]);
+    }
+}

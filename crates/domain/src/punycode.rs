@@ -1,0 +1,292 @@
+//! Punycode (RFC 3492) and IDNA `xn--` label handling.
+//!
+//! Internationalised domain names reached spam early — homograph
+//! lookalikes and cheap non-Latin namespaces — and they appear on the
+//! wire as ASCII-compatible `xn--` labels, which is all a registered-
+//! domain pipeline ever sees. This module implements the Punycode
+//! codec so generators can mint IDN labels and analyses can display
+//! them, with the RFC 3492 §7.1 sample strings as test vectors.
+
+const BASE: u32 = 36;
+const TMIN: u32 = 1;
+const TMAX: u32 = 26;
+const SKEW: u32 = 38;
+const DAMP: u32 = 700;
+const INITIAL_BIAS: u32 = 72;
+const INITIAL_N: u32 = 128;
+const DELIMITER: char = '-';
+
+/// The IDNA ASCII-compatible-encoding prefix.
+pub const ACE_PREFIX: &str = "xn--";
+
+/// Errors from the codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PunycodeError {
+    /// Decoded code point exceeded U+10FFFF or arithmetic overflowed.
+    Overflow,
+    /// Input contained a byte outside the base-36 digit alphabet.
+    BadDigit(u8),
+    /// Input ended in the middle of a variable-length integer.
+    Truncated,
+}
+
+impl std::fmt::Display for PunycodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PunycodeError::Overflow => write!(f, "punycode overflow"),
+            PunycodeError::BadDigit(b) => write!(f, "invalid punycode digit {:?}", *b as char),
+            PunycodeError::Truncated => write!(f, "truncated punycode input"),
+        }
+    }
+}
+
+impl std::error::Error for PunycodeError {}
+
+fn adapt(mut delta: u32, num_points: u32, first_time: bool) -> u32 {
+    delta /= if first_time { DAMP } else { 2 };
+    delta += delta / num_points;
+    let mut k = 0;
+    while delta > ((BASE - TMIN) * TMAX) / 2 {
+        delta /= BASE - TMIN;
+        k += BASE;
+    }
+    k + (((BASE - TMIN + 1) * delta) / (delta + SKEW))
+}
+
+fn encode_digit(d: u32) -> char {
+    debug_assert!(d < BASE);
+    if d < 26 {
+        char::from(b'a' + d as u8)
+    } else {
+        char::from(b'0' + (d - 26) as u8)
+    }
+}
+
+fn decode_digit(b: u8) -> Result<u32, PunycodeError> {
+    match b {
+        b'a'..=b'z' => Ok((b - b'a') as u32),
+        b'A'..=b'Z' => Ok((b - b'A') as u32),
+        b'0'..=b'9' => Ok((b - b'0') as u32 + 26),
+        other => Err(PunycodeError::BadDigit(other)),
+    }
+}
+
+/// Encodes a Unicode string to its Punycode form (without the
+/// `xn--` prefix).
+pub fn encode(input: &str) -> Result<String, PunycodeError> {
+    let chars: Vec<u32> = input.chars().map(|c| c as u32).collect();
+    let mut output = String::new();
+    let basic: Vec<u32> = chars.iter().copied().filter(|&c| c < 0x80).collect();
+    for &c in &basic {
+        output.push(char::from_u32(c).expect("ascii"));
+    }
+    let b = basic.len() as u32;
+    let mut h = b;
+    if b > 0 {
+        output.push(DELIMITER);
+    }
+    let mut n = INITIAL_N;
+    let mut delta: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let total = chars.len() as u32;
+    while h < total {
+        let m = chars
+            .iter()
+            .copied()
+            .filter(|&c| c >= n)
+            .min()
+            .expect("h < total implies a remaining code point");
+        delta = delta
+            .checked_add(
+                (m - n)
+                    .checked_mul(h + 1)
+                    .ok_or(PunycodeError::Overflow)?,
+            )
+            .ok_or(PunycodeError::Overflow)?;
+        n = m;
+        for &c in &chars {
+            if c < n {
+                delta = delta.checked_add(1).ok_or(PunycodeError::Overflow)?;
+            }
+            if c == n {
+                let mut q = delta;
+                let mut k = BASE;
+                loop {
+                    let t = if k <= bias {
+                        TMIN
+                    } else if k >= bias + TMAX {
+                        TMAX
+                    } else {
+                        k - bias
+                    };
+                    if q < t {
+                        break;
+                    }
+                    output.push(encode_digit(t + (q - t) % (BASE - t)));
+                    q = (q - t) / (BASE - t);
+                    k += BASE;
+                }
+                output.push(encode_digit(q));
+                bias = adapt(delta, h + 1, h == b);
+                delta = 0;
+                h += 1;
+            }
+        }
+        delta += 1;
+        n += 1;
+    }
+    Ok(output)
+}
+
+/// Decodes a Punycode string (without the `xn--` prefix).
+pub fn decode(input: &str) -> Result<String, PunycodeError> {
+    let (mut output, extended): (Vec<char>, &str) = match input.rfind(DELIMITER) {
+        Some(pos) => (input[..pos].chars().collect(), &input[pos + 1..]),
+        None => (Vec::new(), input),
+    };
+    let mut n = INITIAL_N;
+    let mut i: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let bytes = extended.as_bytes();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let old_i = i;
+        let mut w: u32 = 1;
+        let mut k = BASE;
+        loop {
+            if pos >= bytes.len() {
+                return Err(PunycodeError::Truncated);
+            }
+            let digit = decode_digit(bytes[pos])?;
+            pos += 1;
+            i = i
+                .checked_add(digit.checked_mul(w).ok_or(PunycodeError::Overflow)?)
+                .ok_or(PunycodeError::Overflow)?;
+            let t = if k <= bias {
+                TMIN
+            } else if k >= bias + TMAX {
+                TMAX
+            } else {
+                k - bias
+            };
+            if digit < t {
+                break;
+            }
+            w = w
+                .checked_mul(BASE - t)
+                .ok_or(PunycodeError::Overflow)?;
+            k += BASE;
+        }
+        let len = output.len() as u32 + 1;
+        bias = adapt(i - old_i, len, old_i == 0);
+        n = n.checked_add(i / len).ok_or(PunycodeError::Overflow)?;
+        i %= len;
+        let c = char::from_u32(n).ok_or(PunycodeError::Overflow)?;
+        output.insert(i as usize, c);
+        i += 1;
+    }
+    Ok(output.into_iter().collect())
+}
+
+/// Encodes a Unicode label to its IDNA ASCII form: ASCII-only labels
+/// pass through lowercased; others gain the `xn--` prefix.
+pub fn to_ascii_label(label: &str) -> Result<String, PunycodeError> {
+    if label.is_ascii() {
+        Ok(label.to_ascii_lowercase())
+    } else {
+        Ok(format!("{ACE_PREFIX}{}", encode(&label.to_lowercase())?))
+    }
+}
+
+/// Decodes an IDNA label for display: `xn--` labels are Punycode-
+/// decoded, everything else passes through.
+pub fn to_unicode_label(label: &str) -> Result<String, PunycodeError> {
+    match label.strip_prefix(ACE_PREFIX) {
+        Some(rest) => decode(rest),
+        None => Ok(label.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 3492 §7.1 sample strings (a representative subset).
+    const VECTORS: &[(&str, &str)] = &[
+        // (A) Arabic (Egyptian)
+        (
+            "\u{0644}\u{064A}\u{0647}\u{0645}\u{0627}\u{0628}\u{062A}\u{0643}\u{0644}\u{0645}\u{0648}\u{0634}\u{0639}\u{0631}\u{0628}\u{064A}\u{061F}",
+            "egbpdaj6bu4bxfgehfvwxn",
+        ),
+        // (B) Chinese (simplified)
+        (
+            "\u{4ED6}\u{4EEC}\u{4E3A}\u{4EC0}\u{4E48}\u{4E0D}\u{8BF4}\u{4E2D}\u{6587}",
+            "ihqwcrb4cv8a8dqg056pqjye",
+        ),
+        // (F) Japanese
+        (
+            "\u{306A}\u{305C}\u{307F}\u{3093}\u{306A}\u{65E5}\u{672C}\u{8A9E}\u{3092}\u{8A71}\u{3057}\u{3066}\u{304F}\u{308C}\u{306A}\u{3044}\u{306E}\u{304B}",
+            "n8jok5ay5dzabd5bym9f0cm5685rrjetr6pdxa",
+        ),
+        // (I) Russian (Cyrillic)
+        (
+            "\u{043F}\u{043E}\u{0447}\u{0435}\u{043C}\u{0443}\u{0436}\u{0435}\u{043E}\u{043D}\u{0438}\u{043D}\u{0435}\u{0433}\u{043E}\u{0432}\u{043E}\u{0440}\u{044F}\u{0442}\u{043F}\u{043E}\u{0440}\u{0443}\u{0441}\u{0441}\u{043A}\u{0438}",
+            "b1abfaaepdrnnbgefbadotcwatmq2g4l",
+        ),
+        // (K) Vietnamese
+        (
+            "T\u{1EA1}isaoh\u{1ECD}kh\u{00F4}ngth\u{1EC3}ch\u{1EC9}n\u{00F3}iti\u{1EBF}ngVi\u{1EC7}t",
+            "TisaohkhngthchnitingVit-kjcr8268qyxafd2f1b9g",
+        ),
+        // (L) 3<nen>B<gumi><kinpachi><sensei>
+        (
+            "3\u{5E74}B\u{7D44}\u{91D1}\u{516B}\u{5148}\u{751F}",
+            "3B-ww4c5e180e575a65lsy2b",
+        ),
+    ];
+
+    #[test]
+    fn rfc3492_vectors_encode() {
+        for (unicode, puny) in VECTORS {
+            assert_eq!(&encode(unicode).unwrap(), puny, "encode {unicode}");
+        }
+    }
+
+    #[test]
+    fn rfc3492_vectors_decode() {
+        for (unicode, puny) in VECTORS {
+            assert_eq!(&decode(puny).unwrap(), unicode, "decode {puny}");
+        }
+    }
+
+    #[test]
+    fn ascii_passthrough() {
+        assert_eq!(encode("plainascii").unwrap(), "plainascii-");
+        assert_eq!(decode("plainascii-").unwrap(), "plainascii");
+        assert_eq!(to_ascii_label("Example").unwrap(), "example");
+        assert_eq!(to_unicode_label("example").unwrap(), "example");
+    }
+
+    #[test]
+    fn idna_round_trip() {
+        let label = "b\u{00FC}cher"; // bücher
+        let ascii = to_ascii_label(label).unwrap();
+        assert_eq!(ascii, "xn--bcher-kva");
+        assert_eq!(to_unicode_label(&ascii).unwrap(), label);
+        // The ACE form is a valid DNS label for the rest of the stack.
+        crate::label::validate_label(&ascii).unwrap();
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode("abc~"), Err(PunycodeError::BadDigit(b'~')));
+        // A huge value must overflow, not wrap.
+        assert_eq!(decode("99999999999"), Err(PunycodeError::Overflow));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(encode("").unwrap(), "");
+        assert_eq!(decode("").unwrap(), "");
+    }
+}

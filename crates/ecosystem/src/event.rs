@@ -1,0 +1,255 @@
+//! Per-delivered-copy spam events.
+//!
+//! The unit of simulation is one *delivered copy*: a message as it
+//! crosses the SMTP boundary towards one recipient class. All feed
+//! collectors, the incoming-mail oracle and the analyses consume this
+//! stream. (Real 2010 spam volumes were ~10⁵× larger; the stream is a
+//! proportional sample, which preserves every relative quantity the
+//! paper measures.)
+
+use crate::campaign::{Campaign, DeliveryVector, TargetClass};
+use crate::config::{EcosystemConfig, PoisonConfig};
+use crate::domains::DomainUniverse;
+use crate::ids::CampaignId;
+use rand::{Rng, RngExt};
+use taster_domain::DomainId;
+use taster_sim::{SimTime, TimeWindow};
+
+/// One delivered spam copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpamEvent {
+    /// Delivery instant.
+    pub time: SimTime,
+    /// Originating campaign.
+    pub campaign: CampaignId,
+    /// The spam-advertised domain in the message body (storefront or
+    /// landing/redirect domain).
+    pub advertised: DomainId,
+    /// Optional benign chaff domain also present in the body.
+    pub chaff: Option<DomainId>,
+    /// Which address-list class the recipient belongs to.
+    pub target: TargetClass,
+    /// How the copy was delivered.
+    pub delivery: DeliveryVector,
+}
+
+/// Generates all events of one planned campaign, appending to `out`.
+pub fn generate_campaign_events<R: Rng>(
+    config: &EcosystemConfig,
+    campaign: &Campaign,
+    universe: &DomainUniverse,
+    rng: &mut R,
+    out: &mut Vec<SpamEvent>,
+) {
+    debug_assert!(!campaign.poison, "poison events use generate_poison_events");
+    // Volume splits across rotation slots proportional to slot length
+    // (slots may run in parallel lanes); within a slot, a small
+    // warm-up share goes to real users only (deliverability testing)
+    // before the blast.
+    let total_secs = campaign
+        .domains
+        .iter()
+        .map(|p| p.window.len_secs())
+        .sum::<u64>()
+        .max(1) as f64;
+    for plan in &campaign.domains {
+        let share = plan.window.len_secs() as f64 / total_secs;
+        let copies = ((campaign.volume as f64) * share).round() as u64;
+        let warmup_copies =
+            (((copies as f64) * config.trickle_volume_fraction).round() as u64).max(2);
+        let blast_copies = copies.saturating_sub(warmup_copies);
+        for _ in 0..warmup_copies {
+            let advertised = advertised_domain(config, plan, rng);
+            out.push(SpamEvent {
+                time: uniform_in(plan.warmup(), rng),
+                campaign: campaign.id,
+                advertised,
+                chaff: sample_chaff(config, universe, rng),
+                target: campaign.trickle_mix.sample(campaign.harvest_mask, rng),
+                delivery: campaign.delivery,
+            });
+        }
+        for _ in 0..blast_copies {
+            let advertised = advertised_domain(config, plan, rng);
+            out.push(SpamEvent {
+                time: uniform_in(plan.blast(), rng),
+                campaign: campaign.id,
+                advertised,
+                chaff: sample_chaff(config, universe, rng),
+                target: campaign.mix.sample(campaign.harvest_mask, rng),
+                delivery: campaign.delivery,
+            });
+        }
+    }
+}
+
+/// Generates the Rustock-style poisoning stream: `poison.volume`
+/// copies, each advertising a randomly-generated domain that is fresh
+/// with probability `1 / copies_per_domain` (so the mean copies per
+/// unique domain matches the config), targeted mostly at brute-force
+/// lists plus real users.
+pub fn generate_poison_events<R: Rng>(
+    poison: &PoisonConfig,
+    campaign_id: CampaignId,
+    delivery: DeliveryVector,
+    universe: &mut DomainUniverse,
+    rng: &mut R,
+    out: &mut Vec<SpamEvent>,
+) {
+    let window = TimeWindow::new(
+        SimTime::from_days(poison.start_day),
+        SimTime::from_days(poison.start_day + poison.days),
+    );
+    let fresh_prob = (1.0 / poison.copies_per_domain).clamp(0.0, 1.0);
+    let mut current: Option<DomainId> = None;
+    for _ in 0..poison.volume {
+        if current.is_none() || rng.random_bool(fresh_prob) {
+            current = Some(universe.register_poison(poison.registered_prob, rng));
+        }
+        let advertised = current.expect("just set");
+        let u: f64 = rng.random();
+        let target = if u < 0.75 {
+            TargetClass::BruteForce
+        } else if u < 0.90 {
+            TargetClass::Purchased
+        } else {
+            TargetClass::Social
+        };
+        out.push(SpamEvent {
+            time: uniform_in(window, rng),
+            campaign: campaign_id,
+            advertised,
+            chaff: None,
+            target,
+            delivery,
+        });
+    }
+}
+
+fn advertised_domain<R: Rng>(
+    config: &EcosystemConfig,
+    plan: &crate::campaign::DomainPlan,
+    rng: &mut R,
+) -> DomainId {
+    match plan.landing {
+        Some(landing) if rng.random_bool(config.advertise_landing_prob) => landing,
+        _ => plan.storefront,
+    }
+}
+
+fn sample_chaff<R: Rng>(
+    config: &EcosystemConfig,
+    universe: &DomainUniverse,
+    rng: &mut R,
+) -> Option<DomainId> {
+    rng.random_bool(config.chaff_prob)
+        .then(|| universe.sample_chaff(rng))
+}
+
+fn uniform_in<R: Rng>(window: TimeWindow, rng: &mut R) -> SimTime {
+    let len = window.len_secs().max(1);
+    window.start.plus(rng.random_range(0..len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::botnet::generate_botnets;
+    use crate::campaign::plan_campaigns;
+    use crate::program::ProgramRoster;
+    use taster_sim::RngStream;
+
+    fn small_events() -> (EcosystemConfig, DomainUniverse, Vec<Campaign>, Vec<SpamEvent>) {
+        let cfg = EcosystemConfig::default().with_scale(0.02);
+        let mut rng = RngStream::new(21, "event-test");
+        let roster = ProgramRoster::generate(&cfg, &mut rng);
+        let botnets = generate_botnets(&cfg, &roster, &mut rng);
+        let mut universe = DomainUniverse::new(&cfg, &mut rng);
+        let campaigns = plan_campaigns(&cfg, &roster, &botnets, &mut universe, &mut rng);
+        let mut out = Vec::new();
+        for c in &campaigns {
+            generate_campaign_events(&cfg, c, &universe, &mut rng, &mut out);
+        }
+        (cfg, universe, campaigns, out)
+    }
+
+    #[test]
+    fn events_stay_inside_campaign_windows() {
+        let (_, _, campaigns, events) = small_events();
+        assert!(!events.is_empty());
+        for e in &events {
+            let c = &campaigns[e.campaign.index()];
+            assert!(
+                c.window().contains(e.time) || e.time == c.window().start,
+                "event at {} outside {:?}",
+                e.time,
+                c.window()
+            );
+        }
+    }
+
+    #[test]
+    fn event_volume_tracks_campaign_volume() {
+        let (cfg, _, campaigns, events) = small_events();
+        let planned: u64 = campaigns.iter().map(|c| c.volume).sum();
+        let got = events.len() as u64;
+        let ratio = got as f64 / planned as f64;
+        assert!(
+            (ratio - 1.0).abs() < 0.1 + cfg.trickle_volume_fraction,
+            "events {got} vs planned {planned}"
+        );
+    }
+
+    #[test]
+    fn advertised_domains_belong_to_campaign_plan() {
+        let (_, _, campaigns, events) = small_events();
+        for e in events.iter().take(5000) {
+            let c = &campaigns[e.campaign.index()];
+            assert!(c
+                .domains
+                .iter()
+                .any(|p| p.storefront == e.advertised || p.landing == Some(e.advertised)));
+        }
+    }
+
+    #[test]
+    fn chaff_rate_matches_config() {
+        let (cfg, _, _, events) = small_events();
+        let with_chaff = events.iter().filter(|e| e.chaff.is_some()).count();
+        let frac = with_chaff as f64 / events.len() as f64;
+        assert!((frac - cfg.chaff_prob).abs() < 0.05, "chaff frac {frac}");
+    }
+
+    #[test]
+    fn poison_generates_mostly_unique_domains() {
+        let cfg = EcosystemConfig::default().with_scale(0.02);
+        let poison = PoisonConfig {
+            start_day: 10,
+            days: 5,
+            volume: 5000,
+            copies_per_domain: 2.2,
+            registered_prob: 0.004,
+        };
+        let mut rng = RngStream::new(4, "poison-test");
+        let mut universe = DomainUniverse::new(&cfg, &mut rng);
+        let before = universe.len();
+        let mut out = Vec::new();
+        generate_poison_events(
+            &poison,
+            CampaignId(0),
+            DeliveryVector::Botnet(crate::ids::BotnetId(0)),
+            &mut universe,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out.len(), poison.volume as usize);
+        let unique = universe.len() - before;
+        let copies_per = poison.volume as f64 / unique as f64;
+        assert!(
+            (copies_per / poison.copies_per_domain - 1.0).abs() < 0.25,
+            "copies per domain {copies_per}"
+        );
+        let window = TimeWindow::new(SimTime::from_days(10), SimTime::from_days(15));
+        assert!(out.iter().all(|e| window.contains(e.time)));
+    }
+}

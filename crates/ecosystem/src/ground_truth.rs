@@ -1,0 +1,305 @@
+//! Assembly of the complete ground truth.
+//!
+//! [`GroundTruth::generate`] is the single entry point: a pure function
+//! of `(EcosystemConfig, seed)` producing the program roster, botnets,
+//! campaigns, domain registry and the time-sorted event stream. Each
+//! generation stage draws from its own named RNG stream, so the ground
+//! truth is bit-stable regardless of what the observation layers do.
+
+use crate::botnet::{generate_botnets, Botnet};
+use crate::campaign::{
+    plan_campaigns, Campaign, CampaignStyle, DeliveryVector, TargetingMix,
+};
+use crate::config::{EcosystemConfig, TargetMixConfig};
+use crate::domains::{DomainKind, DomainUniverse};
+use crate::event::{generate_campaign_events, generate_poison_events, SpamEvent};
+use crate::ids::{CampaignId, ProgramId};
+use crate::program::ProgramRoster;
+use taster_domain::DomainId;
+use taster_sim::{RngStream, SimTime, TimeWindow};
+
+/// The fully-generated spam ecosystem.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// The configuration that produced this world.
+    pub config: EcosystemConfig,
+    /// The master seed.
+    pub seed: u64,
+    /// Domain registry (interner, records, redirects).
+    pub universe: DomainUniverse,
+    /// Programs and affiliates.
+    pub roster: ProgramRoster,
+    /// Botnets.
+    pub botnets: Vec<Botnet>,
+    /// All campaigns (the poisoning pseudo-campaign, when enabled, is
+    /// the last entry and has `poison == true` and an empty plan).
+    pub campaigns: Vec<Campaign>,
+    /// All delivered copies, sorted by time (ties in generation order).
+    pub events: Vec<SpamEvent>,
+    /// Web-spam (non-e-mail) domain sightings: `(first seen, domain)`,
+    /// time-sorted. Consumed only by the hybrid feed's non-mail source.
+    pub webspam: Vec<(SimTime, DomainId)>,
+}
+
+impl GroundTruth {
+    /// Generates the world. Deterministic in `(config, seed)`.
+    pub fn generate(config: &EcosystemConfig, seed: u64) -> Result<GroundTruth, String> {
+        config.validate()?;
+        let mut roster_rng = RngStream::new(seed, "ecosystem/roster");
+        let roster = ProgramRoster::generate(config, &mut roster_rng);
+
+        let mut botnet_rng = RngStream::new(seed, "ecosystem/botnets");
+        let botnets = generate_botnets(config, &roster, &mut botnet_rng);
+
+        let mut universe_rng = RngStream::new(seed, "ecosystem/universe");
+        let mut universe = DomainUniverse::new(config, &mut universe_rng);
+
+        let mut campaign_rng = RngStream::new(seed, "ecosystem/campaigns");
+        let mut campaigns =
+            plan_campaigns(config, &roster, &botnets, &mut universe, &mut campaign_rng);
+
+        let mut event_rng = RngStream::new(seed, "ecosystem/events");
+        let mut events = Vec::new();
+        for c in &campaigns {
+            generate_campaign_events(config, c, &universe, &mut event_rng, &mut events);
+        }
+
+        // The poisoning pseudo-campaign.
+        if let Some(poison) = &config.poison {
+            if let Some(rustock) = botnets.iter().find(|b| b.poisons) {
+                let id = CampaignId(campaigns.len() as u32);
+                let affiliate = rustock
+                    .operator_affiliates
+                    .first()
+                    .copied()
+                    .unwrap_or(crate::ids::AffiliateId(0));
+                let program = roster.affiliate(affiliate).program;
+                let window = TimeWindow::new(
+                    SimTime::from_days(poison.start_day),
+                    SimTime::from_days(poison.start_day + poison.days),
+                );
+                let mix = TargetingMix::from_config(&TargetMixConfig {
+                    brute: 0.75,
+                    harvested: 0.0,
+                    purchased: 0.15,
+                    social: 0.10,
+                });
+                let delivery = DeliveryVector::Botnet(rustock.id);
+                campaigns.push(Campaign {
+                    id,
+                    affiliate,
+                    program,
+                    style: CampaignStyle::Loud,
+                    delivery,
+                    mix,
+                    trickle_mix: mix,
+                    // Rustock's list covered the mx2-style abandoned
+                    // space only — the reason only Bot and mx2 show the
+                    // registration collapse in Table 2.
+                    brute_mask: 0b010,
+                    harvest_mask: 0b1,
+                    trickle: TimeWindow::new(window.start, window.start),
+                    blast: window,
+                    volume: poison.volume,
+                    domains: Vec::new(),
+                    poison: true,
+                });
+                let mut poison_rng = RngStream::new(seed, "ecosystem/poison");
+                generate_poison_events(
+                    poison,
+                    id,
+                    delivery,
+                    &mut universe,
+                    &mut poison_rng,
+                    &mut events,
+                );
+            }
+        }
+
+        // Time-sort; stable sort keeps generation order on ties.
+        events.sort_by_key(|e| e.time);
+
+        // The web-spam corpus: live storefronts advertised outside
+        // e-mail (forum spam, search-redirection). Mostly untagged
+        // verticals; a slice fronts tagged programs.
+        let mut web_rng = RngStream::new(seed, "ecosystem/webspam");
+        let n_webspam =
+            ((config.webspam_domains as f64) * config.campaign_scale).round() as usize;
+        let mut webspam = Vec::with_capacity(n_webspam);
+        let tagged_programs: Vec<ProgramId> = roster.tagged_programs().collect();
+        let untagged_programs: Vec<ProgramId> = roster
+            .programs
+            .iter()
+            .filter(|p| !p.tagged)
+            .map(|p| p.id)
+            .collect();
+        use rand::RngExt;
+        for _ in 0..n_webspam {
+            let program = if web_rng.random_bool(config.webspam_tagged_fraction)
+                || untagged_programs.is_empty()
+            {
+                tagged_programs[web_rng.random_range(0..tagged_programs.len())]
+            } else {
+                untagged_programs[web_rng.random_range(0..untagged_programs.len())]
+            };
+            let affs = roster.affiliates_of(program);
+            let affiliate = affs[web_rng.random_range(0..affs.len())];
+            let registered = web_rng.random_bool(config.webspam_registered_prob);
+            let live = web_rng.random_bool(config.storefront_live_prob);
+            let d = universe.register_storefront_with(
+                program,
+                affiliate,
+                registered,
+                live,
+                &mut web_rng,
+            );
+            let t = SimTime(web_rng.random_range(0..config.days * taster_sim::DAY));
+            webspam.push((t, d));
+        }
+        webspam.sort_by_key(|&(t, _)| t);
+
+        Ok(GroundTruth {
+            config: config.clone(),
+            seed,
+            universe,
+            roster,
+            botnets,
+            campaigns,
+            events,
+            webspam,
+        })
+    }
+
+    /// Campaign lookup.
+    pub fn campaign(&self, id: CampaignId) -> &Campaign {
+        &self.campaigns[id.index()]
+    }
+
+    /// The whole measurement window.
+    pub fn window(&self) -> TimeWindow {
+        TimeWindow::first_days(self.config.days)
+    }
+
+    /// Total delivered copies.
+    pub fn total_volume(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// The program whose storefront ultimately sits behind `domain`
+    /// (following redirects), if any.
+    pub fn storefront_program(&self, domain: DomainId) -> Option<ProgramId> {
+        let terminus = self.universe.resolve_final(domain);
+        match self.universe.record(terminus).kind {
+            DomainKind::Storefront { program, .. } => Some(program),
+            _ => None,
+        }
+    }
+
+    /// True when `domain` (after redirects) fronts a *tagged* program.
+    pub fn is_tagged_domain(&self, domain: DomainId) -> bool {
+        self.storefront_program(domain)
+            .map(|p| self.roster.program(p).tagged)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::TargetClass;
+
+    fn world(scale: f64, seed: u64) -> GroundTruth {
+        GroundTruth::generate(&EcosystemConfig::default().with_scale(scale), seed).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = world(0.02, 7);
+        let b = world(0.02, 7);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.universe.len(), b.universe.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = world(0.02, 7);
+        let b = world(0.02, 8);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let g = world(0.02, 1);
+        assert!(g.events.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn poison_campaign_is_last_and_marked() {
+        let g = world(0.02, 1);
+        let poison: Vec<_> = g.campaigns.iter().filter(|c| c.poison).collect();
+        assert_eq!(poison.len(), 1);
+        assert!(g.campaigns.last().unwrap().poison);
+        // Poison events exist and advertise Poison-kind domains.
+        let pid = poison[0].id;
+        let mut n = 0;
+        for e in g.events.iter().filter(|e| e.campaign == pid) {
+            assert_eq!(g.universe.record(e.advertised).kind, DomainKind::Poison);
+            n += 1;
+        }
+        assert!(n > 100, "poison events: {n}");
+    }
+
+    #[test]
+    fn tagged_domains_resolve_through_landings() {
+        let g = world(0.05, 3);
+        let mut tagged_landings = 0;
+        for c in g.campaigns.iter().filter(|c| !c.poison) {
+            let tagged = g.roster.program(c.program).tagged;
+            for p in &c.domains {
+                assert_eq!(
+                    g.storefront_program(p.storefront),
+                    Some(c.program),
+                    "storefront resolves to its own program"
+                );
+                if let Some(l) = p.landing {
+                    if g.is_tagged_domain(l) {
+                        tagged_landings += 1;
+                    }
+                    // Fresh landing domains are exclusive to their
+                    // campaign; compromised benign redirectors are
+                    // shared (a later campaign may re-point a popular
+                    // shortener), so we only check those resolve to
+                    // *some* storefront.
+                    match g.universe.record(l).kind {
+                        DomainKind::Landing => {
+                            assert_eq!(g.storefront_program(l), Some(c.program))
+                        }
+                        _ => assert!(g.storefront_program(l).is_some()),
+                    }
+                }
+                assert_eq!(g.is_tagged_domain(p.storefront), tagged);
+            }
+        }
+        assert!(tagged_landings > 0, "some landing domains front tagged programs");
+    }
+
+    #[test]
+    fn brute_force_volume_is_substantial() {
+        let g = world(0.02, 2);
+        let brute = g
+            .events
+            .iter()
+            .filter(|e| e.target == TargetClass::BruteForce)
+            .count();
+        let frac = brute as f64 / g.events.len() as f64;
+        assert!(frac > 0.2 && frac < 0.8, "brute fraction {frac}");
+    }
+
+    #[test]
+    fn events_fit_in_window_with_slack() {
+        let g = world(0.02, 2);
+        let limit = g.window().end.plus(15 * taster_sim::DAY);
+        assert!(g.events.iter().all(|e| e.time < limit));
+    }
+}

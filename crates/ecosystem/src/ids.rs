@@ -1,0 +1,109 @@
+//! Identifier newtypes and the vertical taxonomy.
+
+/// Identifies an affiliate program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId(pub u16);
+
+/// Identifies an affiliate within the whole roster (not per-program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AffiliateId(pub u32);
+
+/// Identifies a spam campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CampaignId(pub u32);
+
+/// Identifies a botnet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BotnetId(pub u8);
+
+impl ProgramId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl AffiliateId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl CampaignId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl BotnetId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Goods verticals advertised via spam.
+///
+/// The first three are the *tagged* categories of the Click
+/// Trajectories classification used by the paper ("pharmaceuticals,
+/// replica goods, software — among the most popular classes of goods
+/// advertised via spam", §3.4). The remainder are real spam verticals
+/// that the classification did **not** tag; they exist here so that the
+/// live-domain universe vastly exceeds the tagged universe, as in the
+/// paper (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vertical {
+    /// Online pharmacies selling generic medications.
+    Pharma,
+    /// Replica luxury goods stores.
+    Replica,
+    /// "OEM" software stores selling unlicensed software.
+    Software,
+    /// Online casino/gambling offers (untagged).
+    Casino,
+    /// Dating sites (untagged).
+    Dating,
+    /// E-book / get-rich-quick offers (untagged).
+    Ebook,
+}
+
+impl Vertical {
+    /// Whether the Click Trajectories signatures cover this vertical.
+    pub fn is_tagged(self) -> bool {
+        matches!(self, Vertical::Pharma | Vertical::Replica | Vertical::Software)
+    }
+
+    /// Short lowercase label used in generated program names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Vertical::Pharma => "pharma",
+            Vertical::Replica => "replica",
+            Vertical::Software => "software",
+            Vertical::Casino => "casino",
+            Vertical::Dating => "dating",
+            Vertical::Ebook => "ebook",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_verticals_match_paper() {
+        assert!(Vertical::Pharma.is_tagged());
+        assert!(Vertical::Replica.is_tagged());
+        assert!(Vertical::Software.is_tagged());
+        assert!(!Vertical::Casino.is_tagged());
+        assert!(!Vertical::Dating.is_tagged());
+        assert!(!Vertical::Ebook.is_tagged());
+    }
+
+    #[test]
+    fn id_indexing() {
+        assert_eq!(ProgramId(3).index(), 3);
+        assert_eq!(AffiliateId(9).index(), 9);
+        assert_eq!(CampaignId(1).index(), 1);
+        assert_eq!(BotnetId(2).index(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Human-identified collector (`Hu`).
+//!
+//! The provider hands over the messages its users flagged. The feed is
+//! raw (one record per report, all URLs included) but its *volume* is
+//! not a delivery volume — it is a report volume, distorted by
+//! human-time delays and by the provider's own filtering feedback —
+//! so the paper excludes it from proportionality analysis, and so do
+//! we (`reports_volume == false`).
+
+use crate::feed::Feed;
+use crate::id::FeedId;
+use taster_mailsim::MailWorld;
+
+/// Collects the `Hu` feed from the provider's report stream.
+pub fn collect_hu(world: &MailWorld) -> Feed {
+    let mut feed = Feed::new(FeedId::Hu, false);
+    feed.samples = Some(0);
+    for report in &world.provider.reports {
+        feed.count_sample();
+        for &d in &report.domains {
+            feed.record(d, report.time);
+        }
+    }
+    feed
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collectors::collect_hu;
+    use taster_ecosystem::{EcosystemConfig, GroundTruth};
+    use taster_mailsim::{MailConfig, MailWorld};
+
+    fn world() -> MailWorld {
+        let truth =
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 53).unwrap();
+        MailWorld::build(truth, MailConfig::default().with_scale(0.03))
+    }
+
+    #[test]
+    fn hu_matches_report_stream() {
+        let w = world();
+        let feed = collect_hu(&w);
+        assert_eq!(feed.samples, Some(w.provider.reports.len() as u64));
+        assert!(!feed.reports_volume);
+        assert!(feed.unique_domains() > 0);
+    }
+
+    #[test]
+    fn report_times_not_delivery_times() {
+        let w = world();
+        let feed = collect_hu(&w);
+        // Every recorded first_seen equals some report time, which
+        // trails delivery by the human delay.
+        let report_times: std::collections::HashSet<_> =
+            w.provider.reports.iter().map(|r| r.time).collect();
+        let mut checked = 0;
+        for (_, s) in feed.iter().take(200) {
+            assert!(report_times.contains(&s.first_seen));
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+}

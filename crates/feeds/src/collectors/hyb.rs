@@ -1,0 +1,132 @@
+//! Hybrid collector (`Hyb`).
+//!
+//! "We do not know the exact collection methodology it uses, but we
+//! believe it is a hybrid of multiple methods" (§3.4). We compose it
+//! from four sources: a small MX-like trap, narrow honey accounts, a
+//! partner's sample of user reports, and — crucially — a *non-e-mail*
+//! web-spam corpus, which supplies the feed's striking number of
+//! exclusive live domains while contributing almost nothing to mail
+//! volume (the paper's hypothesis in §4.2.2: "one possibility is that
+//! this feed contains spam domains not derived from e-mail spam").
+
+use crate::config::HybConfig;
+use crate::feed::Feed;
+use crate::id::FeedId;
+use crate::parse::DomainExtractor;
+use rand::RngExt;
+use taster_ecosystem::campaign::TargetClass;
+use taster_mailsim::render::render_spam;
+use taster_mailsim::MailWorld;
+use taster_sim::RngStream;
+
+/// Collects the `Hyb` feed.
+pub fn collect_hyb(world: &MailWorld, config: &HybConfig) -> Feed {
+    let mut feed = Feed::new(FeedId::Hyb, false);
+    feed.samples = Some(0);
+    let mut rng = RngStream::new(world.truth.seed, "feeds/hyb");
+    let extractor = DomainExtractor::new();
+
+    for event in &world.truth.events {
+        let capture = match event.target {
+            // The Hyb trap's addresses only ever leaked into the older
+            // direct-spammer lists, so it misses the botnet blasts —
+            // part of why Hyb's mail-volume coverage is so poor
+            // despite its domain breadth (§4.2.2).
+            TargetClass::BruteForce
+                if matches!(
+                    event.delivery,
+                    taster_ecosystem::campaign::DeliveryVector::Direct
+                ) =>
+            {
+                rng.random_bool(config.trap_prob)
+            }
+            TargetClass::Harvested(v) if v == config.harvest_vector => {
+                rng.random_bool(config.harvest_prob)
+            }
+            _ => false,
+        };
+        if !capture {
+            continue;
+        }
+        let msg = render_spam(&world.truth, event.advertised, event.chaff, event.time, &mut rng);
+        feed.count_sample();
+        for (d, host) in
+            extractor.registered_domains_with_hosts(&msg.text, &world.truth.universe.table)
+        {
+            feed.record(d, event.time);
+            feed.note_fqdn(host);
+        }
+    }
+
+    // Partner sample of user reports.
+    for report in &world.provider.reports {
+        if rng.random_bool(config.report_sample_prob) {
+            feed.count_sample();
+            for &d in &report.domains {
+                feed.record(d, report.time);
+            }
+        }
+    }
+
+    // The non-e-mail web-spam corpus.
+    for &(time, domain) in &world.truth.webspam {
+        if rng.random_bool(config.webspam_prob) {
+            feed.count_sample();
+            feed.record(domain, time);
+        }
+    }
+
+    feed
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collectors::collect_hyb;
+    use crate::config::FeedsConfig;
+    use taster_ecosystem::{EcosystemConfig, GroundTruth};
+    use taster_mailsim::{MailConfig, MailWorld};
+
+    fn world() -> MailWorld {
+        let truth =
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 59).unwrap();
+        MailWorld::build(truth, MailConfig::default().with_scale(0.03))
+    }
+
+    #[test]
+    fn webspam_domains_enter_the_feed() {
+        let w = world();
+        let feed = collect_hyb(&w, &FeedsConfig::default().hyb);
+        let mut covered = 0usize;
+        for &(_, d) in &w.truth.webspam {
+            if feed.contains(d) {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered as f64 > w.truth.webspam.len() as f64 * 0.9,
+            "webspam coverage {covered}/{}",
+            w.truth.webspam.len()
+        );
+    }
+
+    #[test]
+    fn webspam_is_a_large_share_of_uniques() {
+        let w = world();
+        let feed = collect_hyb(&w, &FeedsConfig::default().hyb);
+        let web: std::collections::HashSet<_> =
+            w.truth.webspam.iter().map(|&(_, d)| d).collect();
+        let web_in_feed = feed.domain_ids().filter(|d| web.contains(d)).count();
+        let frac = web_in_feed as f64 / feed.unique_domains() as f64;
+        assert!(frac > 0.3, "webspam unique share {frac:.2}");
+    }
+
+    #[test]
+    fn without_webspam_feed_shrinks() {
+        let w = world();
+        let mut cfg = FeedsConfig::default().hyb;
+        let with = collect_hyb(&w, &cfg);
+        cfg.webspam_prob = 0.0;
+        let without = collect_hyb(&w, &cfg);
+        assert!(with.unique_domains() > without.unique_domains());
+    }
+}

@@ -1,0 +1,27 @@
+//! The ten collectors.
+//!
+//! Each collector is a pure function of the [`MailWorld`] plus its own
+//! named RNG stream, producing one [`Feed`]. Collectors never touch
+//! ground-truth labels they could not observe in reality: full-content
+//! collectors parse rendered message text; blacklists observe domain
+//! *advertisement activity* (their upstream trap networks) but apply
+//! their own curation.
+
+pub mod ac;
+pub mod blacklist;
+pub mod bot;
+pub mod hu;
+pub mod hyb;
+pub mod mx;
+
+pub use ac::collect_ac;
+pub use blacklist::collect_blacklist;
+pub use bot::collect_bot;
+pub use hu::collect_hu;
+pub use hyb::collect_hyb;
+pub use mx::collect_mx;
+
+#[allow(unused_imports)]
+use crate::feed::Feed;
+#[allow(unused_imports)]
+use taster_mailsim::MailWorld;

@@ -1,0 +1,234 @@
+//! Feed data model.
+//!
+//! The paper's feeds differ in reporting granularity (§2): raw
+//! per-message records, de-duplicated domain records, or binary
+//! blacklist listings, with or without volume. [`Feed`] captures the
+//! common denominator the analyses need: per registered domain, the
+//! first and last time the feed carried it and (when the feed reports
+//! it) the observation volume; plus the raw sample count for Table 1.
+
+use crate::id::FeedId;
+use std::collections::HashMap;
+use taster_domain::DomainId;
+use taster_sim::SimTime;
+use taster_stats::EmpiricalDist;
+
+/// Per-domain state within a feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainStats {
+    /// First time the feed carried this domain.
+    pub first_seen: SimTime,
+    /// Last time the feed carried this domain.
+    pub last_seen: SimTime,
+    /// Observations of this domain in the feed.
+    pub volume: u64,
+}
+
+/// One collected feed.
+#[derive(Debug, Clone)]
+pub struct Feed {
+    /// Which feed this is.
+    pub id: FeedId,
+    /// Raw records received over the window (`None` for blacklists,
+    /// which deliver listings rather than samples — the paper's
+    /// Table 1 shows "n/a").
+    pub samples: Option<u64>,
+    /// Whether the feed's records carry usable volume information
+    /// (§4.3 restricts proportionality analysis to these feeds).
+    pub reports_volume: bool,
+    domains: HashMap<DomainId, DomainStats>,
+    /// Distinct fully-qualified hostnames observed (hashes), for feeds
+    /// that report URL granularity; `None` for domain-only feeds
+    /// (blacklists and scrubbed feeds — §2).
+    fqdns: Option<std::collections::HashSet<u64>>,
+}
+
+impl Feed {
+    /// An empty feed.
+    pub fn new(id: FeedId, reports_volume: bool) -> Feed {
+        Feed {
+            id,
+            samples: None,
+            reports_volume,
+            domains: HashMap::new(),
+            fqdns: None,
+        }
+    }
+
+    /// Notes one observed fully-qualified hostname (by stable hash).
+    /// The first call switches the feed to URL granularity.
+    pub fn note_fqdn(&mut self, host_hash: u64) {
+        self.fqdns
+            .get_or_insert_with(std::collections::HashSet::new)
+            .insert(host_hash);
+    }
+
+    /// Distinct FQDNs observed, when the feed reports URL granularity.
+    pub fn unique_fqdns(&self) -> Option<usize> {
+        self.fqdns.as_ref().map(|s| s.len())
+    }
+
+    /// Records one observation of `domain` at `time`.
+    pub fn record(&mut self, domain: DomainId, time: SimTime) {
+        match self.domains.entry(domain) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let s = e.get_mut();
+                s.first_seen = s.first_seen.min(time);
+                s.last_seen = s.last_seen.max(time);
+                s.volume += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(DomainStats {
+                    first_seen: time,
+                    last_seen: time,
+                    volume: 1,
+                });
+            }
+        }
+    }
+
+    /// Counts one raw sample (a received record/message).
+    pub fn count_sample(&mut self) {
+        *self.samples.get_or_insert(0) += 1;
+    }
+
+    /// Number of unique registered domains.
+    pub fn unique_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Stats for one domain.
+    pub fn stats(&self, domain: DomainId) -> Option<&DomainStats> {
+        self.domains.get(&domain)
+    }
+
+    /// Whether the feed carries `domain`.
+    pub fn contains(&self, domain: DomainId) -> bool {
+        self.domains.contains_key(&domain)
+    }
+
+    /// Iterates `(domain, stats)`.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &DomainStats)> {
+        self.domains.iter().map(|(&d, s)| (d, s))
+    }
+
+    /// All domain ids, unordered.
+    pub fn domain_ids(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.domains.keys().copied()
+    }
+
+    /// The feed's empirical volume distribution over domains.
+    /// Meaningful only when [`Feed::reports_volume`] is true.
+    pub fn volume_distribution(&self) -> EmpiricalDist {
+        EmpiricalDist::from_counts(self.iter().map(|(d, s)| (d.0, s.volume)))
+    }
+}
+
+/// The full set of collected feeds, indexed by [`FeedId`].
+#[derive(Debug, Clone)]
+pub struct FeedSet {
+    feeds: Vec<Feed>,
+}
+
+impl FeedSet {
+    /// Assembles a set; `feeds` must contain each feed exactly once.
+    pub fn new(mut feeds: Vec<Feed>) -> FeedSet {
+        feeds.sort_by_key(|f| f.id.index());
+        assert_eq!(feeds.len(), FeedId::ALL.len(), "need all ten feeds");
+        for (i, f) in feeds.iter().enumerate() {
+            assert_eq!(f.id.index(), i, "duplicate or missing feed");
+        }
+        FeedSet { feeds }
+    }
+
+    /// Access one feed.
+    pub fn get(&self, id: FeedId) -> &Feed {
+        &self.feeds[id.index()]
+    }
+
+    /// Iterate all feeds in table order.
+    pub fn iter(&self) -> impl Iterator<Item = &Feed> {
+        self.feeds.iter()
+    }
+
+    /// Union of unique domains across `feeds`.
+    pub fn union_domains(&self, feeds: &[FeedId]) -> std::collections::HashSet<DomainId> {
+        let mut set = std::collections::HashSet::new();
+        for &f in feeds {
+            set.extend(self.get(f).domain_ids());
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_first_last_volume() {
+        let mut f = Feed::new(FeedId::Mx1, true);
+        let d = DomainId(3);
+        f.record(d, SimTime(50));
+        f.record(d, SimTime(10));
+        f.record(d, SimTime(90));
+        let s = f.stats(d).unwrap();
+        assert_eq!(s.first_seen, SimTime(10));
+        assert_eq!(s.last_seen, SimTime(90));
+        assert_eq!(s.volume, 3);
+        assert_eq!(f.unique_domains(), 1);
+        assert!(f.contains(d));
+        assert!(!f.contains(DomainId(4)));
+    }
+
+    #[test]
+    fn samples_default_to_none() {
+        let mut f = Feed::new(FeedId::Dbl, false);
+        assert_eq!(f.samples, None);
+        f.count_sample();
+        f.count_sample();
+        assert_eq!(f.samples, Some(2));
+    }
+
+    #[test]
+    fn volume_distribution_reflects_counts() {
+        let mut f = Feed::new(FeedId::Bot, true);
+        f.record(DomainId(1), SimTime(1));
+        f.record(DomainId(1), SimTime(2));
+        f.record(DomainId(2), SimTime(3));
+        let dist = f.volume_distribution();
+        assert_eq!(dist.total(), 3);
+        assert_eq!(dist.count(1), 2);
+    }
+
+    fn dummy_set() -> FeedSet {
+        FeedSet::new(
+            FeedId::ALL
+                .iter()
+                .map(|&id| Feed::new(id, false))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn feed_set_indexing_and_union() {
+        let mut feeds: Vec<Feed> = FeedId::ALL
+            .iter()
+            .map(|&id| Feed::new(id, false))
+            .collect();
+        feeds[FeedId::Mx1.index()].record(DomainId(7), SimTime(1));
+        feeds[FeedId::Bot.index()].record(DomainId(8), SimTime(1));
+        feeds.reverse(); // constructor must restore order
+        let set = FeedSet::new(feeds);
+        assert_eq!(set.get(FeedId::Mx1).id, FeedId::Mx1);
+        let union = set.union_domains(&[FeedId::Mx1, FeedId::Bot]);
+        assert_eq!(union.len(), 2);
+        let _ = dummy_set();
+    }
+
+    #[test]
+    #[should_panic(expected = "need all ten feeds")]
+    fn feed_set_rejects_missing() {
+        FeedSet::new(vec![Feed::new(FeedId::Hu, false)]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Feed identities.
+
+/// The ten feeds, named as in the paper (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FeedId {
+    /// Human-identified spam from a very large Web-mail provider.
+    Hu,
+    /// A commercial domain blacklist (broad, curated).
+    Dbl,
+    /// A commercial URI blacklist (trap-driven, curated).
+    Uribl,
+    /// MX honeypot 1 (moderate abandoned-domain portfolio).
+    Mx1,
+    /// MX honeypot 2 (very large abandoned portfolio — the biggest
+    /// feed by raw volume, and the poisoned one).
+    Mx2,
+    /// MX honeypot 3 (small, newly-registered domains).
+    Mx3,
+    /// Seeded honey accounts, well-seeded across harvest vectors.
+    Ac1,
+    /// Seeded honey accounts, narrowly seeded.
+    Ac2,
+    /// Botnet monitor (captive bot instances).
+    Bot,
+    /// Hybrid feed (multiple collection methods, incl. non-e-mail).
+    Hyb,
+}
+
+/// Collection methodology categories (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeedKind {
+    /// Humans press "this is spam".
+    HumanIdentified,
+    /// Operational domain blacklist.
+    Blacklist,
+    /// MX record pointed at an accept-everything SMTP sink.
+    MxHoneypot,
+    /// Seeded honey accounts at many providers.
+    HoneyAccounts,
+    /// Captive botnet instances in a contained environment.
+    Botnet,
+    /// A mixture of methods.
+    Hybrid,
+}
+
+impl FeedId {
+    /// All ten feeds in the paper's table order.
+    pub const ALL: [FeedId; 10] = [
+        FeedId::Hu,
+        FeedId::Dbl,
+        FeedId::Uribl,
+        FeedId::Mx1,
+        FeedId::Mx2,
+        FeedId::Mx3,
+        FeedId::Ac1,
+        FeedId::Ac2,
+        FeedId::Bot,
+        FeedId::Hyb,
+    ];
+
+    /// The eight non-blacklist ("base") feeds.
+    pub const BASE: [FeedId; 8] = [
+        FeedId::Hu,
+        FeedId::Mx1,
+        FeedId::Mx2,
+        FeedId::Mx3,
+        FeedId::Ac1,
+        FeedId::Ac2,
+        FeedId::Bot,
+        FeedId::Hyb,
+    ];
+
+    /// Feeds that report per-domain volume (§4.3 uses only these).
+    pub const WITH_VOLUME: [FeedId; 6] = [
+        FeedId::Mx1,
+        FeedId::Mx2,
+        FeedId::Mx3,
+        FeedId::Ac1,
+        FeedId::Ac2,
+        FeedId::Bot,
+    ];
+
+    /// The paper's mnemonic.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeedId::Hu => "Hu",
+            FeedId::Dbl => "dbl",
+            FeedId::Uribl => "uribl",
+            FeedId::Mx1 => "mx1",
+            FeedId::Mx2 => "mx2",
+            FeedId::Mx3 => "mx3",
+            FeedId::Ac1 => "Ac1",
+            FeedId::Ac2 => "Ac2",
+            FeedId::Bot => "Bot",
+            FeedId::Hyb => "Hyb",
+        }
+    }
+
+    /// Collection methodology.
+    pub fn kind(self) -> FeedKind {
+        match self {
+            FeedId::Hu => FeedKind::HumanIdentified,
+            FeedId::Dbl | FeedId::Uribl => FeedKind::Blacklist,
+            FeedId::Mx1 | FeedId::Mx2 | FeedId::Mx3 => FeedKind::MxHoneypot,
+            FeedId::Ac1 | FeedId::Ac2 => FeedKind::HoneyAccounts,
+            FeedId::Bot => FeedKind::Botnet,
+            FeedId::Hyb => FeedKind::Hybrid,
+        }
+    }
+
+    /// Dense index into `FeedId::ALL`.
+    pub fn index(self) -> usize {
+        FeedId::ALL.iter().position(|&f| f == self).expect("in ALL")
+    }
+}
+
+impl std::fmt::Display for FeedId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper_table() {
+        assert_eq!(FeedId::ALL[0], FeedId::Hu);
+        assert_eq!(FeedId::ALL.len(), 10);
+        assert_eq!(FeedId::BASE.len(), 8);
+        assert!(FeedId::BASE.iter().all(|f| f.kind() != FeedKind::Blacklist));
+    }
+
+    #[test]
+    fn with_volume_excludes_blacklists_hu_hyb() {
+        for f in FeedId::WITH_VOLUME {
+            assert!(!matches!(
+                f,
+                FeedId::Hu | FeedId::Dbl | FeedId::Uribl | FeedId::Hyb
+            ));
+        }
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, f) in FeedId::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_and_kinds() {
+        assert_eq!(FeedId::Dbl.label(), "dbl");
+        assert_eq!(FeedId::Dbl.kind(), FeedKind::Blacklist);
+        assert_eq!(FeedId::Bot.kind(), FeedKind::Botnet);
+        assert_eq!(format!("{}", FeedId::Mx2), "mx2");
+    }
+}

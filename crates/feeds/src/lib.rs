@@ -1,0 +1,42 @@
+//! # taster-feeds
+//!
+//! The ten spam-domain feeds of the paper (Table 1), re-created by
+//! *collection mechanism* over the simulated ecosystem:
+//!
+//! | Feed   | Type                  | Collector                        |
+//! |--------|-----------------------|----------------------------------|
+//! | `Hu`   | Human identified      | [`collectors::hu`]               |
+//! | `dbl`  | Domain blacklist      | [`collectors::blacklist`]        |
+//! | `uribl`| Domain blacklist      | [`collectors::blacklist`]        |
+//! | `mx1-3`| MX honeypots          | [`collectors::mx`]               |
+//! | `Ac1-2`| Seeded honey accounts | [`collectors::ac`]               |
+//! | `Bot`  | Botnet monitor        | [`collectors::bot`]              |
+//! | `Hyb`  | Hybrid                | [`collectors::hyb`]              |
+//!
+//! Full-content collectors (honeypots, the botnet monitor) receive
+//! *rendered message text* and recover registered domains through the
+//! URL scanner and public-suffix engine — the same lowest-common-
+//! denominator reduction the paper performs (§3). Blacklists are
+//! meta-feeds with binary listing semantics and no volume information.
+//!
+//! The output of [`pipeline::collect_all`] is a [`feed::FeedSet`]: ten
+//! [`feed::Feed`]s, each a map from registered domain to
+//! first-seen/last-seen/volume, plus raw sample counts — everything the
+//! analyses in `taster-analysis` consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectors;
+pub mod config;
+pub mod feed;
+pub mod id;
+pub mod parse;
+pub mod pipeline;
+pub mod reporting;
+
+pub use config::FeedsConfig;
+pub use feed::{DomainStats, Feed, FeedSet};
+pub use id::{FeedId, FeedKind};
+pub use pipeline::collect_all;
+pub use reporting::ReportingPolicy;

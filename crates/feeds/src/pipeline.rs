@@ -1,0 +1,62 @@
+//! Runs all ten collectors.
+
+use crate::collectors::{
+    collect_ac, collect_blacklist, collect_bot, collect_hu, collect_hyb, collect_mx,
+};
+use crate::config::FeedsConfig;
+use crate::feed::FeedSet;
+use crate::id::FeedId;
+use taster_mailsim::MailWorld;
+
+/// Collects all ten feeds over the world.
+///
+/// Each collector draws from its own RNG stream, so the set is
+/// reproducible and collectors are independent: removing one cannot
+/// change another's contents.
+pub fn collect_all(world: &MailWorld, config: &FeedsConfig) -> FeedSet {
+    config.validate().expect("valid feeds config");
+    let feeds = vec![
+        collect_hu(world),
+        collect_blacklist(world, &config.dbl, FeedId::Dbl),
+        collect_blacklist(world, &config.uribl, FeedId::Uribl),
+        collect_mx(world, &config.mx[0], 0),
+        collect_mx(world, &config.mx[1], 1),
+        collect_mx(world, &config.mx[2], 2),
+        collect_ac(world, &config.ac[0], 0),
+        collect_ac(world, &config.ac[1], 1),
+        collect_bot(world, &config.bot),
+        collect_hyb(world, &config.hyb),
+    ];
+    FeedSet::new(feeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_ecosystem::{EcosystemConfig, GroundTruth};
+    use taster_mailsim::MailConfig;
+
+    #[test]
+    fn all_ten_feeds_collect() {
+        let truth =
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 67).unwrap();
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let set = collect_all(&world, &FeedsConfig::default());
+        for id in FeedId::ALL {
+            let feed = set.get(id);
+            assert_eq!(feed.id, id);
+            assert!(feed.unique_domains() > 0, "{id} is empty");
+        }
+        // Blacklists are listing feeds: no raw sample counts.
+        assert_eq!(set.get(FeedId::Dbl).samples, None);
+        assert_eq!(set.get(FeedId::Uribl).samples, None);
+        // Volume-bearing feeds are exactly the paper's six.
+        for id in FeedId::ALL {
+            assert_eq!(
+                set.get(id).reports_volume,
+                FeedId::WITH_VOLUME.contains(&id),
+                "{id}"
+            );
+        }
+    }
+}

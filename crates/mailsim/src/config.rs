@@ -1,0 +1,173 @@
+//! Mail-layer knobs.
+
+/// Probability that one delivered copy of each address-list class is
+/// addressed to a user of the big Web-mail provider.
+#[derive(Debug, Clone, Copy)]
+pub struct ProviderReach {
+    /// Brute-force lists (the provider's namespace is heavily guessed).
+    pub brute: f64,
+    /// Harvested lists.
+    pub harvested: f64,
+    /// Purchased lists (skew to large providers).
+    pub purchased: f64,
+    /// Social lists.
+    pub social: f64,
+}
+
+/// All mail-layer parameters.
+#[derive(Debug, Clone)]
+pub struct MailConfig {
+    /// Per-class reach into the provider's user base.
+    pub reach: ProviderReach,
+    /// Probability a *loud*-campaign copy reaching the provider makes
+    /// it past baseline filtering into an inbox (loud spam is easy to
+    /// filter — §3.2).
+    pub loud_inbox_prob: f64,
+    /// Same for quiet campaigns (deliverability-optimised).
+    pub quiet_inbox_prob: f64,
+    /// Probability an inboxed spam copy is reported by its recipient.
+    pub report_prob: f64,
+    /// Log-normal report delay: median seconds.
+    pub report_delay_median_secs: f64,
+    /// Log-normal report delay: sigma.
+    pub report_delay_sigma: f64,
+    /// Until this many copies of a domain have crossed the provider's
+    /// servers, its messages inbox at `quiet_inbox_prob` regardless of
+    /// campaign style: content-based filters have not learned it yet.
+    /// This is what deliverability testing (the warm-up phase)
+    /// exploits, and why `Hu` sees fresh domains almost immediately.
+    pub filter_volume_threshold: u64,
+    /// Until this many copies of a *campaign* have crossed the
+    /// provider's servers, the campaign's content is unknown to the
+    /// filters. Past it, the style-based inbox rate applies even for
+    /// fresh domains — this is what kept the Rustock poisoning (one
+    /// gigantic campaign of throwaway domains) out of `Hu`.
+    pub campaign_filter_volume_threshold: u64,
+    /// Once a domain has been reported this many times, the provider
+    /// filters subsequent messages containing it.
+    pub filter_threshold: u32,
+
+    /// Post-filter leak probability into inboxes.
+    pub filter_leak: f64,
+
+    // ---------------------------------------------- benign pollution
+    /// Legitimate (typo / sign-up) messages per day into each MX
+    /// honeypot, scaled by the honeypot's address-space size factor.
+    pub mx_benign_per_day: f64,
+    /// Legitimate messages per day into each honey-account feed.
+    pub account_benign_per_day: f64,
+    /// Legitimate-newsletter reports per day at the provider (users
+    /// flagging mail that is merely unwanted — the `Hu` purity gap).
+    pub hu_benign_reports_per_day: f64,
+    /// Probability a benign message cites a *previously unseen* small
+    /// legitimate domain rather than a popular one.
+    pub benign_fresh_domain_prob: f64,
+
+    // ---------------------------------------------- oracle
+    /// Day the 5-day incoming-mail measurement starts (§4.2.2).
+    pub oracle_start_day: u64,
+    /// Oracle window length in days.
+    pub oracle_days: u64,
+    /// Background legitimate messages per day crossing the provider's
+    /// incoming servers that cite benign popular domains (newsletters,
+    /// notifications) — what makes Alexa/ODP domains dominate live
+    /// volume in Fig 3.
+    pub oracle_legit_per_day: f64,
+}
+
+impl Default for MailConfig {
+    fn default() -> Self {
+        MailConfig {
+            reach: ProviderReach {
+                brute: 0.30,
+                harvested: 0.30,
+                purchased: 0.45,
+                social: 0.45,
+            },
+            loud_inbox_prob: 0.10,
+            quiet_inbox_prob: 0.80,
+            report_prob: 0.50,
+            report_delay_median_secs: 6.0 * 3600.0,
+            report_delay_sigma: 1.4,
+            filter_volume_threshold: 25,
+            campaign_filter_volume_threshold: 300,
+            filter_threshold: 3,
+            filter_leak: 0.02,
+
+            mx_benign_per_day: 8.0,
+            account_benign_per_day: 3.0,
+            hu_benign_reports_per_day: 6.0,
+            benign_fresh_domain_prob: 0.35,
+
+            oracle_start_day: 45,
+            oracle_days: 5,
+            oracle_legit_per_day: 40_000.0,
+        }
+    }
+}
+
+impl MailConfig {
+    /// Scales the pollution/oracle volumes alongside an ecosystem
+    /// scale factor.
+    pub fn with_scale(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        let f = factor.sqrt();
+        self.mx_benign_per_day *= f;
+        self.account_benign_per_day *= f;
+        self.hu_benign_reports_per_day *= f;
+        self.oracle_legit_per_day *= f;
+        self
+    }
+
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            self.reach.brute,
+            self.reach.harvested,
+            self.reach.purchased,
+            self.reach.social,
+            self.loud_inbox_prob,
+            self.quiet_inbox_prob,
+            self.report_prob,
+            self.filter_leak,
+            self.benign_fresh_domain_prob,
+        ];
+        if probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err("probability out of [0,1]".into());
+        }
+        if self.oracle_days == 0 {
+            return Err("oracle window must be non-empty".into());
+        }
+        if self.report_delay_median_secs <= 0.0 || self.report_delay_sigma < 0.0 {
+            return Err("invalid report delay law".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        MailConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn scale_shrinks_pollution() {
+        let c = MailConfig::default().with_scale(0.25);
+        assert!((c.mx_benign_per_day - 4.0).abs() < 1e-9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_probs() {
+        let mut c = MailConfig::default();
+        c.report_prob = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = MailConfig::default();
+        c.oracle_days = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Message rendering.
+//!
+//! Collectors that model *full-content* feeds receive message text and
+//! must extract advertised domains the way real pipelines do: scan the
+//! body for URLs, parse them, reduce hosts to registered domains. This
+//! module produces that text. Hostnames get random subdomain prefixes
+//! and paths so the extraction layer is genuinely exercised (a feed
+//! that naively recorded hostnames instead of registered domains would
+//! measurably diverge).
+
+use rand::{Rng, RngExt};
+use taster_domain::DomainId;
+use taster_ecosystem::GroundTruth;
+use taster_sim::SimTime;
+
+const SUBJECTS_PHARMA: &[&str] = &[
+    "Your prescription is ready",
+    "80% off brand medications",
+    "Refill reminder - act now",
+    "Canadian pharmacy sale",
+];
+const SUBJECTS_GOODS: &[&str] = &[
+    "Luxury watches at replica prices",
+    "Designer bags - wholesale",
+    "Genuine OEM software downloads",
+    "Your exclusive member discount",
+];
+const SUBJECTS_OTHER: &[&str] = &[
+    "You won! claim inside",
+    "Meet singles in your area",
+    "The ebook they don't want you to read",
+    "Final notice regarding your account",
+];
+const SUBDOMAINS: &[&str] = &["", "www.", "shop.", "secure.", "m.", "go."];
+const PATHS: &[&str] = &["/", "/index.html", "/buy", "/sale?id=", "/r/", "/track?c="];
+
+/// A rendered message.
+#[derive(Debug, Clone)]
+pub struct RenderedMessage {
+    /// `From` header value.
+    pub from: String,
+    /// `Subject` header value.
+    pub subject: String,
+    /// Full message text (headers + body).
+    pub text: String,
+}
+
+/// Renders one spam copy: advertised URL plus optional chaff URL
+/// embedded in a plausible plain-text body.
+pub fn render_spam<R: Rng>(
+    truth: &GroundTruth,
+    advertised: DomainId,
+    chaff: Option<DomainId>,
+    time: SimTime,
+    rng: &mut R,
+) -> RenderedMessage {
+    let adv_url = random_url(truth, advertised, rng);
+    let subject_pool = match rng.random_range(0..3u8) {
+        0 => SUBJECTS_PHARMA,
+        1 => SUBJECTS_GOODS,
+        _ => SUBJECTS_OTHER,
+    };
+    let subject = subject_pool[rng.random_range(0..subject_pool.len())].to_string();
+    let from = format!(
+        "{}@{}",
+        sender_localpart(rng),
+        truth.universe.table.text(truth.universe.sample_chaff(rng))
+    );
+    let mut body = String::with_capacity(420);
+    body.push_str("Dear customer,\n\n");
+    body.push_str("We have a special offer selected for you today.\n");
+    body.push_str(&format!("Order here: {adv_url}\n"));
+    if let Some(c) = chaff {
+        // Chaff placement mimics real messages: formatting/support
+        // references to legitimate sites (§3.3).
+        let curl = random_url(truth, c, rng);
+        body.push_str(&format!("\nAs reviewed on {curl} and trusted sites.\n"));
+    }
+    body.push_str("\nBest regards,\nCustomer care\n");
+    let text = format!(
+        "From: {from}\nTo: undisclosed-recipients:;\nSubject: {subject}\nDate: {time}\nMIME-Version: 1.0\n\n{body}"
+    );
+    RenderedMessage {
+        from,
+        subject,
+        text,
+    }
+}
+
+/// Renders a legitimate message citing `domains`.
+pub fn render_benign<R: Rng>(
+    truth: &GroundTruth,
+    domains: &[DomainId],
+    time: SimTime,
+    rng: &mut R,
+) -> RenderedMessage {
+    let from_dom = domains
+        .first()
+        .map(|&d| truth.universe.table.text(d).to_string())
+        .unwrap_or_else(|| "example.org".to_string());
+    let from = format!("{}@{}", sender_localpart(rng), from_dom);
+    let subject = "Re: your inquiry".to_string();
+    let mut body = String::from("Hi,\n\nFollowing up on our conversation:\n");
+    for &d in domains {
+        body.push_str(&format!("  see {}\n", random_url(truth, d, rng)));
+    }
+    body.push_str("\nThanks!\n");
+    let text =
+        format!("From: {from}\nTo: someone\nSubject: {subject}\nDate: {time}\n\n{body}");
+    RenderedMessage {
+        from,
+        subject,
+        text,
+    }
+}
+
+/// Builds a URL string on `domain` with a random subdomain and path.
+pub fn random_url<R: Rng>(truth: &GroundTruth, domain: DomainId, rng: &mut R) -> String {
+    let host = truth.universe.table.text(domain);
+    let sub = SUBDOMAINS[rng.random_range(0..SUBDOMAINS.len())];
+    let path = PATHS[rng.random_range(0..PATHS.len())];
+    let tail: String = if path.ends_with('=') || path.ends_with('/') && path.len() > 1 {
+        format!("{:x}", rng.random_range(0..0xffffffu32))
+    } else {
+        String::new()
+    };
+    format!("http://{sub}{host}{path}{tail}")
+}
+
+fn sender_localpart<R: Rng>(rng: &mut R) -> String {
+    const NAMES: &[&str] = &["info", "sales", "noreply", "news", "offers", "support"];
+    format!(
+        "{}{}",
+        NAMES[rng.random_range(0..NAMES.len())],
+        rng.random_range(0..100u8)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taster_domain::psl::SuffixList;
+    use taster_domain::url::extract_urls;
+    use taster_ecosystem::EcosystemConfig;
+    use taster_sim::RngStream;
+
+    fn world() -> GroundTruth {
+        GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 13).unwrap()
+    }
+
+    #[test]
+    fn rendered_spam_round_trips_through_extraction() {
+        let truth = world();
+        let psl = SuffixList::builtin();
+        let mut rng = RngStream::new(1, "render-test");
+        let mut checked = 0;
+        for e in truth.events.iter().take(300) {
+            let msg = render_spam(&truth, e.advertised, e.chaff, e.time, &mut rng);
+            let urls = extract_urls(&msg.text);
+            assert!(!urls.is_empty(), "no URLs extracted from:\n{}", msg.text);
+            let mut regs: Vec<String> = urls
+                .iter()
+                .filter_map(|u| psl.registered_domain(&u.host).map(|r| r.as_str().to_string()))
+                .collect();
+            regs.sort();
+            let adv = truth.universe.table.text(e.advertised).to_string();
+            assert!(regs.contains(&adv), "advertised {adv} not in {regs:?}");
+            if let Some(c) = e.chaff {
+                let chaff = truth.universe.table.text(c).to_string();
+                assert!(regs.contains(&chaff), "chaff {chaff} not in {regs:?}");
+            }
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn benign_rendering_cites_all_domains() {
+        let truth = world();
+        let mut rng = RngStream::new(2, "render-benign");
+        let d1 = truth.universe.sample_chaff(&mut rng);
+        let d2 = truth.universe.sample_chaff(&mut rng);
+        let msg = render_benign(&truth, &[d1, d2], SimTime::from_days(3), &mut rng);
+        let text1 = truth.universe.table.text(d1);
+        let text2 = truth.universe.table.text(d2);
+        assert!(msg.text.contains(text1));
+        assert!(msg.text.contains(text2));
+        assert!(msg.from.contains('@'));
+    }
+
+    #[test]
+    fn urls_are_parseable() {
+        let truth = world();
+        let mut rng = RngStream::new(3, "render-url");
+        for _ in 0..200 {
+            let d = truth.universe.sample_chaff(&mut rng);
+            let url = random_url(&truth, d, &mut rng);
+            taster_domain::Url::parse(&url).unwrap_or_else(|e| panic!("{url}: {e}"));
+        }
+    }
+}

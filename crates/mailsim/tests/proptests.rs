@@ -1,0 +1,79 @@
+//! Property tests for the mail layer's corpus format.
+
+use proptest::prelude::*;
+use taster_mailsim::mbox::{parse_mbox, write_mbox, MboxMessage};
+use taster_sim::SimTime;
+
+/// Message text without trailing newlines (the format's normal form);
+/// lines are printable ASCII, possibly starting with `From `.
+fn message_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            "[ -~]{0,50}",
+            Just("From the director".to_string()),
+            Just(">From already quoted".to_string()),
+            Just(">>From double".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|lines| lines.join("\n"))
+    .prop_map(|s| s.trim_end_matches('\n').to_string())
+    // Wholly-empty trailing lines are not representable (the format
+    // is line-oriented); normalise them away.
+    .prop_map(|s| {
+        let mut t = s;
+        while t.ends_with('\n') {
+            t.pop();
+        }
+        t
+    })
+}
+
+fn sender() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        "[a-z]{1,8}@[a-z]{1,8}\\.(com|org|net)",
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mbox_round_trips(
+        msgs in proptest::collection::vec(
+            (sender(), 0u64..10_000_000, message_text()),
+            0..8
+        )
+    ) {
+        let messages: Vec<MboxMessage> = msgs
+            .into_iter()
+            .map(|(envelope_sender, secs, text)| MboxMessage {
+                envelope_sender,
+                time: SimTime(secs),
+                text,
+            })
+            .collect();
+        let corpus = write_mbox(&messages);
+        let parsed = parse_mbox(&corpus).unwrap();
+        prop_assert_eq!(parsed.len(), messages.len());
+        for (got, want) in parsed.iter().zip(&messages) {
+            prop_assert_eq!(&got.envelope_sender, &want.envelope_sender);
+            prop_assert_eq!(got.time, want.time);
+            // Line-level equality (trailing empty lines are not
+            // representable in a line-oriented format).
+            let g: Vec<&str> = got.text.lines().collect();
+            let w: Vec<&str> = want.text.lines().collect();
+            fn trim<'a>(mut v: Vec<&'a str>) -> Vec<&'a str> {
+                while v.last().is_some_and(|l| l.is_empty()) {
+                    v.pop();
+                }
+                v
+            }
+            prop_assert_eq!(trim(g), trim(w));
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,400}") {
+        let _ = parse_mbox(&text);
+    }
+}

@@ -1,0 +1,31 @@
+//! # taster-sim
+//!
+//! The deterministic discrete-event kernel under the *Taster's Choice*
+//! spam-ecosystem simulator.
+//!
+//! Reproducibility is a core requirement of a measurement-replication
+//! toolkit: every experiment must be a pure function of its scenario
+//! and seed. This crate supplies the three primitives that make that
+//! possible:
+//!
+//! * [`time`] — [`time::SimTime`] (seconds since scenario epoch) and
+//!   [`time::TimeWindow`], with day/hour arithmetic used throughout the
+//!   timing analyses.
+//! * [`rng`] — named, independent random streams derived from a single
+//!   master seed ([`rng::RngStream`]). Streams are keyed by string so
+//!   adding a collector or analysis never perturbs the draws consumed
+//!   by ground-truth generation.
+//! * [`queue`] — a stable event queue ([`queue::EventQueue`]) ordering
+//!   events by `(time, insertion sequence)` so simultaneous events pop
+//!   in a deterministic order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::RngStream;
+pub use time::{SimTime, TimeWindow, DAY, HOUR, MINUTE};

@@ -1,0 +1,123 @@
+//! The sending side: drives a honeypot session to deliver one message.
+//!
+//! Spam cannons speak minimal, sloppy SMTP; the client reproduces that
+//! (HELO rather than EHLO most of the time, one transaction per
+//! connection unless pipelining several copies). Delivery performs
+//! dot-stuffing on the outgoing body.
+
+use crate::reply::Reply;
+use crate::server::{HoneypotServer, StoredMessage};
+
+/// Error delivering through the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryError {
+    /// The command that was refused.
+    pub at: String,
+    /// The server's reply.
+    pub reply: Reply,
+}
+
+impl std::fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server refused {:?}: {}", self.at, self.reply)
+    }
+}
+
+impl std::error::Error for DeliveryError {}
+
+/// Delivers one message into `server`, returning the stored copy.
+///
+/// `recipients` must be non-empty. The returned reference points into
+/// the server's store.
+pub fn deliver<'s>(
+    server: &'s mut HoneypotServer,
+    helo: &str,
+    mail_from: &str,
+    recipients: &[String],
+    body: &str,
+) -> Result<&'s StoredMessage, DeliveryError> {
+    assert!(!recipients.is_empty(), "SMTP needs at least one recipient");
+    let mut send = |line: String| -> Result<(), DeliveryError> {
+        match server.handle_line(&line) {
+            Some(reply) if reply.is_positive() => Ok(()),
+            Some(reply) => Err(DeliveryError { at: line, reply }),
+            None => Ok(()), // data content line
+        }
+    };
+
+    send(format!("HELO {helo}"))?;
+    let from = if mail_from.is_empty() {
+        "<>".to_string()
+    } else {
+        format!("<{mail_from}>")
+    };
+    send(format!("MAIL FROM:{from}"))?;
+    for r in recipients {
+        send(format!("RCPT TO:<{r}>"))?;
+    }
+    send("DATA".to_string())?;
+    for line in body.lines() {
+        // Dot-stuff outgoing content (RFC 5321 §4.5.2).
+        if let Some(rest) = line.strip_prefix('.') {
+            send(format!("..{rest}"))?;
+        } else {
+            send(line.to_string())?;
+        }
+    }
+    send(".".to_string())?;
+    Ok(server.stored().last().expect("message just stored"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_round_trips_the_body() {
+        let (mut server, _) = HoneypotServer::connect("mx.trap.example");
+        let body = "Subject: offer\n\nvisit http://pills.example/\n.hidden dot line\n";
+        let stored = deliver(
+            &mut server,
+            "cannon.example",
+            "blast@sender.example",
+            &["victim@trap.example".to_string()],
+            body,
+        )
+        .unwrap();
+        assert_eq!(stored.data, body.trim_end_matches('\n'));
+        assert_eq!(stored.mail_from, "blast@sender.example");
+        assert_eq!(stored.helo, "cannon.example");
+    }
+
+    #[test]
+    fn null_sender_and_many_recipients() {
+        let (mut server, _) = HoneypotServer::connect("mx.trap.example");
+        let rcpts: Vec<String> = (0..5).map(|i| format!("u{i}@trap.example")).collect();
+        let stored = deliver(&mut server, "h", "", &rcpts, "hi").unwrap();
+        assert_eq!(stored.mail_from, "");
+        assert_eq!(stored.rcpt_to.len(), 5);
+    }
+
+    #[test]
+    fn several_deliveries_share_a_session() {
+        let (mut server, _) = HoneypotServer::connect("mx.trap.example");
+        for i in 0..4 {
+            deliver(
+                &mut server,
+                "h",
+                "a@b.com",
+                &[format!("v{i}@trap.example")],
+                &format!("copy {i}"),
+            )
+            .unwrap();
+        }
+        assert_eq!(server.stored().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one recipient")]
+    fn zero_recipients_is_a_bug() {
+        let (mut server, _) = HoneypotServer::connect("mx");
+        let _ = deliver(&mut server, "h", "a@b.com", &[], "x");
+    }
+}

@@ -1,0 +1,171 @@
+//! SMTP command parsing (client → server lines).
+
+/// A parsed SMTP command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `HELO <domain>`
+    Helo(String),
+    /// `EHLO <domain>`
+    Ehlo(String),
+    /// `MAIL FROM:<reverse-path>`
+    MailFrom(String),
+    /// `RCPT TO:<forward-path>`
+    RcptTo(String),
+    /// `DATA`
+    Data,
+    /// `RSET`
+    Rset,
+    /// `NOOP`
+    Noop,
+    /// `QUIT`
+    Quit,
+}
+
+/// Why a command line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Empty line.
+    Empty,
+    /// Verb not recognised (maps to reply 500).
+    UnknownVerb(String),
+    /// Verb recognised but arguments malformed (maps to reply 501).
+    BadArguments(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty command line"),
+            ParseError::UnknownVerb(v) => write!(f, "unknown command {v:?}"),
+            ParseError::BadArguments(what) => write!(f, "malformed arguments: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Command {
+    /// Parses one command line (without the trailing CRLF). Verbs are
+    /// case-insensitive, as required by RFC 5321 §2.4.
+    pub fn parse(line: &str) -> Result<Command, ParseError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.trim().is_empty() {
+            return Err(ParseError::Empty);
+        }
+        let (verb, rest) = match line.find(' ') {
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "HELO" => {
+                if rest.is_empty() {
+                    Err(ParseError::BadArguments("HELO requires a domain"))
+                } else {
+                    Ok(Command::Helo(rest.to_string()))
+                }
+            }
+            "EHLO" => {
+                if rest.is_empty() {
+                    Err(ParseError::BadArguments("EHLO requires a domain"))
+                } else {
+                    Ok(Command::Ehlo(rest.to_string()))
+                }
+            }
+            "MAIL" => parse_path(rest, "FROM:").map(Command::MailFrom),
+            "RCPT" => parse_path(rest, "TO:").map(Command::RcptTo),
+            "DATA" => no_args(rest, Command::Data),
+            "RSET" => no_args(rest, Command::Rset),
+            "NOOP" => Ok(Command::Noop), // NOOP may carry ignored args
+            "QUIT" => no_args(rest, Command::Quit),
+            other => Err(ParseError::UnknownVerb(other.to_string())),
+        }
+    }
+}
+
+fn no_args(rest: &str, cmd: Command) -> Result<Command, ParseError> {
+    if rest.is_empty() {
+        Ok(cmd)
+    } else {
+        Err(ParseError::BadArguments("unexpected arguments"))
+    }
+}
+
+/// Parses `FROM:<addr>` / `TO:<addr>` with the angle-bracket path
+/// syntax. The null reverse-path `<>` is accepted for `MAIL`.
+fn parse_path(rest: &str, keyword: &str) -> Result<String, ParseError> {
+    let upper = rest.to_ascii_uppercase();
+    if !upper.starts_with(keyword) {
+        return Err(ParseError::BadArguments("missing FROM:/TO: keyword"));
+    }
+    let path = rest[keyword.len()..].trim();
+    let inner = path
+        .strip_prefix('<')
+        .and_then(|p| p.strip_suffix('>'))
+        .ok_or(ParseError::BadArguments("path must be <angle-bracketed>"))?;
+    if inner.is_empty() {
+        // Null reverse path (bounces); spam cannons use it too.
+        return Ok(String::new());
+    }
+    if !inner.contains('@') || inner.contains(' ') {
+        return Err(ParseError::BadArguments("path must be a mailbox"));
+    }
+    Ok(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_core_verbs() {
+        assert_eq!(Command::parse("HELO spam.example"), Ok(Command::Helo("spam.example".into())));
+        assert_eq!(Command::parse("ehlo relay.example"), Ok(Command::Ehlo("relay.example".into())));
+        assert_eq!(
+            Command::parse("MAIL FROM:<a@b.com>"),
+            Ok(Command::MailFrom("a@b.com".into()))
+        );
+        assert_eq!(
+            Command::parse("rcpt to:<x@y.org>"),
+            Ok(Command::RcptTo("x@y.org".into()))
+        );
+        assert_eq!(Command::parse("DATA"), Ok(Command::Data));
+        assert_eq!(Command::parse("RSET"), Ok(Command::Rset));
+        assert_eq!(Command::parse("QUIT\r\n"), Ok(Command::Quit));
+        assert_eq!(Command::parse("NOOP ignored"), Ok(Command::Noop));
+    }
+
+    #[test]
+    fn null_reverse_path() {
+        assert_eq!(Command::parse("MAIL FROM:<>"), Ok(Command::MailFrom(String::new())));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(Command::parse(""), Err(ParseError::Empty)));
+        assert!(matches!(Command::parse("HELO"), Err(ParseError::BadArguments(_))));
+        assert!(matches!(
+            Command::parse("MAIL FROM:a@b.com"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            Command::parse("RCPT TO:<no-at-sign>"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            Command::parse("VRFY user"),
+            Err(ParseError::UnknownVerb(_))
+        ));
+        assert!(matches!(
+            Command::parse("DATA now"),
+            Err(ParseError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn verbs_are_case_insensitive_paths_are_not() {
+        assert_eq!(
+            Command::parse("mail from:<MiXeD@Case.Com>"),
+            Ok(Command::MailFrom("MiXeD@Case.Com".into()))
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # taster-smtp
+//!
+//! A minimal SMTP substrate (RFC 5321 subset) for the honeypot
+//! collectors.
+//!
+//! The paper's MX honeypots are "an SMTP server that accepts all
+//! inbound messages" (§3.2). To keep the collection pipeline honest,
+//! this crate implements that server: a command parser, a server-side
+//! session state machine with an accept-everything policy, and a
+//! client that speaks the protocol to deliver a message. The MX
+//! collectors in `taster-feeds` drive a real dialogue per captured
+//! copy and take the message out of the server's store — a parsing or
+//! state-machine bug would corrupt the feeds, not be silently papered
+//! over.
+//!
+//! Scope: the commands a 2010 spam cannon actually used — `HELO`/
+//! `EHLO`, `MAIL FROM`, `RCPT TO`, `DATA`, `RSET`, `NOOP`, `QUIT` —
+//! with dot-stuffing, multi-recipient envelopes, and standard reply
+//! codes. Deliberately omitted: extensions (`STARTTLS`, `AUTH`,
+//! `SIZE` negotiation), since a quiescent-domain honeypot advertises
+//! none of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod command;
+pub mod reply;
+pub mod server;
+
+pub use client::deliver;
+pub use command::Command;
+pub use reply::Reply;
+pub use server::{HoneypotServer, SessionState, StoredMessage};

@@ -1,0 +1,122 @@
+//! SMTP replies (server → client lines).
+
+/// A server reply: three-digit code plus text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Reply code (RFC 5321 §4.2).
+    pub code: u16,
+    /// Human-readable text.
+    pub text: String,
+}
+
+impl Reply {
+    /// Builds a reply.
+    pub fn new(code: u16, text: impl Into<String>) -> Reply {
+        Reply {
+            code,
+            text: text.into(),
+        }
+    }
+
+    /// `220` service ready.
+    pub fn service_ready(host: &str) -> Reply {
+        Reply::new(220, format!("{host} ESMTP service ready"))
+    }
+
+    /// `250` OK.
+    pub fn ok() -> Reply {
+        Reply::new(250, "OK")
+    }
+
+    /// `354` start mail input.
+    pub fn start_mail_input() -> Reply {
+        Reply::new(354, "Start mail input; end with <CRLF>.<CRLF>")
+    }
+
+    /// `221` closing channel.
+    pub fn closing() -> Reply {
+        Reply::new(221, "Service closing transmission channel")
+    }
+
+    /// `500` unknown command.
+    pub fn unknown_command() -> Reply {
+        Reply::new(500, "Syntax error, command unrecognized")
+    }
+
+    /// `501` bad arguments.
+    pub fn bad_arguments() -> Reply {
+        Reply::new(501, "Syntax error in parameters or arguments")
+    }
+
+    /// `503` bad sequence.
+    pub fn bad_sequence() -> Reply {
+        Reply::new(503, "Bad sequence of commands")
+    }
+
+    /// Whether the reply is a 2xx/3xx success/intermediate.
+    pub fn is_positive(&self) -> bool {
+        (200..400).contains(&self.code)
+    }
+
+    /// Renders the wire form (single-line replies only).
+    pub fn to_wire(&self) -> String {
+        format!("{} {}\r\n", self.code, self.text)
+    }
+
+    /// Parses a single-line wire reply.
+    pub fn parse(line: &str) -> Option<Reply> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.len() < 3 {
+            return None;
+        }
+        let code: u16 = line[..3].parse().ok()?;
+        if !(200..600).contains(&code) {
+            return None;
+        }
+        let text = line[3..].trim_start_matches([' ', '-']).to_string();
+        Some(Reply { code, text })
+    }
+}
+
+impl std::fmt::Display for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code, self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for r in [
+            Reply::service_ready("mx.example"),
+            Reply::ok(),
+            Reply::start_mail_input(),
+            Reply::closing(),
+            Reply::unknown_command(),
+            Reply::bad_arguments(),
+            Reply::bad_sequence(),
+        ] {
+            let parsed = Reply::parse(&r.to_wire()).unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(Reply::ok().is_positive());
+        assert!(Reply::start_mail_input().is_positive());
+        assert!(!Reply::unknown_command().is_positive());
+        assert!(!Reply::bad_sequence().is_positive());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Reply::parse(""), None);
+        assert_eq!(Reply::parse("99"), None);
+        assert_eq!(Reply::parse("abc hello"), None);
+        assert_eq!(Reply::parse("999 too big"), None);
+    }
+}

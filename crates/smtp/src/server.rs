@@ -1,0 +1,295 @@
+//! The accept-everything honeypot server.
+//!
+//! A session is a state machine over parsed [`Command`]s plus raw DATA
+//! lines. The policy is the paper's: accept every `RCPT TO` for any
+//! domain in the honeypot's portfolio (a quiescent domain's MX accepts
+//! everything), store every message. Dot-stuffing is undone on
+//! receipt (RFC 5321 §4.5.2).
+
+use crate::command::{Command, ParseError};
+use crate::reply::Reply;
+
+/// Session protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Connected; greeting sent, no HELO yet.
+    Connected,
+    /// HELO/EHLO done.
+    Greeted,
+    /// MAIL FROM accepted.
+    MailGiven,
+    /// At least one RCPT accepted.
+    RcptGiven,
+    /// Inside DATA; consuming message lines.
+    ReceivingData,
+    /// QUIT processed; no further commands accepted.
+    Closed,
+}
+
+/// A message accepted by the honeypot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredMessage {
+    /// HELO/EHLO argument the peer presented.
+    pub helo: String,
+    /// Envelope sender (may be empty: null reverse-path).
+    pub mail_from: String,
+    /// Envelope recipients.
+    pub rcpt_to: Vec<String>,
+    /// Message content (headers + body), dot-unstuffed, `\n` line
+    /// endings.
+    pub data: String,
+}
+
+/// One honeypot SMTP session.
+#[derive(Debug)]
+pub struct HoneypotServer {
+    hostname: String,
+    state: SessionState,
+    helo: String,
+    mail_from: Option<String>,
+    rcpt_to: Vec<String>,
+    data_lines: Vec<String>,
+    stored: Vec<StoredMessage>,
+}
+
+impl HoneypotServer {
+    /// Opens a session; returns the server and its 220 greeting.
+    pub fn connect(hostname: impl Into<String>) -> (HoneypotServer, Reply) {
+        let hostname = hostname.into();
+        let greeting = Reply::service_ready(&hostname);
+        (
+            HoneypotServer {
+                hostname,
+                state: SessionState::Connected,
+                helo: String::new(),
+                mail_from: None,
+                rcpt_to: Vec::new(),
+                data_lines: Vec::new(),
+                stored: Vec::new(),
+            },
+            greeting,
+        )
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Messages accepted so far.
+    pub fn stored(&self) -> &[StoredMessage] {
+        &self.stored
+    }
+
+    /// Consumes the session, returning accepted messages.
+    pub fn into_stored(self) -> Vec<StoredMessage> {
+        self.stored
+    }
+
+    /// Drains accepted messages, leaving the session open — long-lived
+    /// collectors call this after each transaction to keep memory
+    /// flat.
+    pub fn drain_stored(&mut self) -> Vec<StoredMessage> {
+        std::mem::take(&mut self.stored)
+    }
+
+    /// Feeds one client line (command or DATA content) to the server
+    /// and returns its reply, or `None` for DATA content lines (the
+    /// server stays silent until the terminating dot).
+    pub fn handle_line(&mut self, line: &str) -> Option<Reply> {
+        if self.state == SessionState::ReceivingData {
+            return self.handle_data_line(line);
+        }
+        let command = match Command::parse(line) {
+            Ok(c) => c,
+            Err(ParseError::UnknownVerb(_)) => return Some(Reply::unknown_command()),
+            Err(_) => return Some(Reply::bad_arguments()),
+        };
+        Some(self.handle_command(command))
+    }
+
+    fn handle_command(&mut self, command: Command) -> Reply {
+        use SessionState::*;
+        if self.state == Closed {
+            return Reply::bad_sequence();
+        }
+        match command {
+            Command::Helo(d) | Command::Ehlo(d) => {
+                self.helo = d;
+                self.reset_envelope();
+                self.state = Greeted;
+                Reply::new(250, format!("{} greets you", self.hostname))
+            }
+            Command::MailFrom(path) => match self.state {
+                Greeted | MailGiven | RcptGiven => {
+                    self.reset_envelope();
+                    self.mail_from = Some(path);
+                    self.state = MailGiven;
+                    Reply::ok()
+                }
+                _ => Reply::bad_sequence(),
+            },
+            Command::RcptTo(path) => match self.state {
+                MailGiven | RcptGiven => {
+                    // Accept-everything policy: a quiescent domain's MX
+                    // rejects no recipient.
+                    self.rcpt_to.push(path);
+                    self.state = RcptGiven;
+                    Reply::ok()
+                }
+                _ => Reply::bad_sequence(),
+            },
+            Command::Data => match self.state {
+                RcptGiven => {
+                    self.state = ReceivingData;
+                    self.data_lines.clear();
+                    Reply::start_mail_input()
+                }
+                _ => Reply::bad_sequence(),
+            },
+            Command::Rset => {
+                self.reset_envelope();
+                if self.state != Connected {
+                    self.state = Greeted;
+                }
+                Reply::ok()
+            }
+            Command::Noop => Reply::ok(),
+            Command::Quit => {
+                self.state = Closed;
+                Reply::closing()
+            }
+        }
+    }
+
+    fn handle_data_line(&mut self, line: &str) -> Option<Reply> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line == "." {
+            let message = StoredMessage {
+                helo: self.helo.clone(),
+                mail_from: self.mail_from.clone().unwrap_or_default(),
+                rcpt_to: std::mem::take(&mut self.rcpt_to),
+                data: self.data_lines.join("\n"),
+            };
+            self.stored.push(message);
+            self.data_lines.clear();
+            self.mail_from = None;
+            self.state = SessionState::Greeted;
+            return Some(Reply::ok());
+        }
+        // Undo dot-stuffing (RFC 5321 §4.5.2).
+        let content = line.strip_prefix('.').filter(|_| line.starts_with("..")).map_or_else(
+            || {
+                if let Some(stripped) = line.strip_prefix('.') {
+                    stripped.to_string()
+                } else {
+                    line.to_string()
+                }
+            },
+            |s| format!(".{}", &s[1..]),
+        );
+        self.data_lines.push(content);
+        None
+    }
+
+    fn reset_envelope(&mut self) {
+        self.mail_from = None;
+        self.rcpt_to.clear();
+        self.data_lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(server: &mut HoneypotServer, line: &str) -> Reply {
+        server.handle_line(line).expect("command line yields reply")
+    }
+
+    #[test]
+    fn full_transaction_stores_message() {
+        let (mut s, greeting) = HoneypotServer::connect("mx.quiet-domain.com");
+        assert_eq!(greeting.code, 220);
+        assert!(drive(&mut s, "HELO cannon.example").is_positive());
+        assert!(drive(&mut s, "MAIL FROM:<sales9@offer.example>").is_positive());
+        assert!(drive(&mut s, "RCPT TO:<bob@quiet-domain.com>").is_positive());
+        assert!(drive(&mut s, "RCPT TO:<alice@quiet-domain.com>").is_positive());
+        assert_eq!(drive(&mut s, "DATA").code, 354);
+        assert_eq!(s.handle_line("Subject: hi"), None);
+        assert_eq!(s.handle_line(""), None);
+        assert_eq!(s.handle_line("buy http://pills.example.com/"), None);
+        assert_eq!(drive(&mut s, ".").code, 250);
+        assert_eq!(drive(&mut s, "QUIT").code, 221);
+
+        let stored = s.into_stored();
+        assert_eq!(stored.len(), 1);
+        assert_eq!(stored[0].rcpt_to.len(), 2);
+        assert_eq!(stored[0].mail_from, "sales9@offer.example");
+        assert!(stored[0].data.contains("pills.example.com"));
+    }
+
+    #[test]
+    fn multiple_messages_per_session() {
+        let (mut s, _) = HoneypotServer::connect("mx.example");
+        drive(&mut s, "EHLO relay");
+        for i in 0..3 {
+            drive(&mut s, &format!("MAIL FROM:<a{i}@b.com>"));
+            drive(&mut s, "RCPT TO:<x@mx.example>");
+            drive(&mut s, "DATA");
+            s.handle_line(&format!("message {i}"));
+            drive(&mut s, ".");
+        }
+        assert_eq!(s.stored().len(), 3);
+        assert_eq!(s.stored()[2].data, "message 2");
+    }
+
+    #[test]
+    fn sequence_errors() {
+        let (mut s, _) = HoneypotServer::connect("mx.example");
+        // RCPT before MAIL.
+        assert_eq!(drive(&mut s, "HELO x").code, 250);
+        assert_eq!(drive(&mut s, "RCPT TO:<a@b.com>").code, 503);
+        // DATA before RCPT.
+        assert_eq!(drive(&mut s, "MAIL FROM:<a@b.com>").code, 250);
+        assert_eq!(drive(&mut s, "DATA").code, 503);
+        // MAIL before HELO.
+        let (mut fresh, _) = HoneypotServer::connect("mx.example");
+        assert_eq!(drive(&mut fresh, "MAIL FROM:<a@b.com>").code, 503);
+        // After QUIT.
+        drive(&mut s, "QUIT");
+        assert_eq!(drive(&mut s, "NOOP").code, 503);
+    }
+
+    #[test]
+    fn rset_clears_envelope() {
+        let (mut s, _) = HoneypotServer::connect("mx.example");
+        drive(&mut s, "HELO x");
+        drive(&mut s, "MAIL FROM:<a@b.com>");
+        drive(&mut s, "RCPT TO:<c@d.com>");
+        assert_eq!(drive(&mut s, "RSET").code, 250);
+        assert_eq!(drive(&mut s, "DATA").code, 503, "envelope gone after RSET");
+        assert_eq!(s.state(), SessionState::Greeted);
+    }
+
+    #[test]
+    fn dot_stuffing_is_undone() {
+        let (mut s, _) = HoneypotServer::connect("mx.example");
+        drive(&mut s, "HELO x");
+        drive(&mut s, "MAIL FROM:<a@b.com>");
+        drive(&mut s, "RCPT TO:<c@mx.example>");
+        drive(&mut s, "DATA");
+        s.handle_line("..leading dot line");
+        s.handle_line("normal");
+        drive(&mut s, ".");
+        assert_eq!(s.stored()[0].data, ".leading dot line\nnormal");
+    }
+
+    #[test]
+    fn unknown_and_malformed_commands() {
+        let (mut s, _) = HoneypotServer::connect("mx.example");
+        assert_eq!(drive(&mut s, "VRFY whoever").code, 500);
+        assert_eq!(drive(&mut s, "HELO").code, 501);
+        assert_eq!(s.state(), SessionState::Connected, "errors do not advance state");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: the honeypot state machine must be total — any
+//! line sequence yields valid replies and never panics — and delivery
+//! must round-trip arbitrary bodies.
+
+use proptest::prelude::*;
+use taster_smtp::{deliver, Command, HoneypotServer, SessionState};
+
+/// Arbitrary client lines: a mix of valid commands, garbage, and data.
+fn client_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("HELO sender.example".to_string()),
+        Just("EHLO sender.example".to_string()),
+        Just("MAIL FROM:<a@b.com>".to_string()),
+        Just("MAIL FROM:<>".to_string()),
+        Just("RCPT TO:<x@y.org>".to_string()),
+        Just("DATA".to_string()),
+        Just("RSET".to_string()),
+        Just("NOOP".to_string()),
+        Just("QUIT".to_string()),
+        Just(".".to_string()),
+        "[ -~]{0,40}".prop_map(|s| s),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn state_machine_is_total(lines in proptest::collection::vec(client_line(), 0..60)) {
+        let (mut server, greeting) = HoneypotServer::connect("mx.example");
+        prop_assert_eq!(greeting.code, 220);
+        let mut closed = false;
+        for line in &lines {
+            let receiving = server.state() == SessionState::ReceivingData;
+            match server.handle_line(line) {
+                Some(reply) => {
+                    prop_assert!((200..600).contains(&reply.code), "{reply:?}");
+                    // After QUIT everything is an error (503 for
+                    // well-formed commands, 5xx syntax errors for
+                    // garbage — parsing precedes the state check).
+                    if closed {
+                        prop_assert!(reply.code >= 500, "{reply:?} after QUIT");
+                    }
+                    if reply.code == 221 {
+                        closed = true;
+                    }
+                    // Wire form parses back.
+                    let parsed = taster_smtp::Reply::parse(&reply.to_wire()).unwrap();
+                    prop_assert_eq!(parsed.code, reply.code);
+                }
+                None => prop_assert!(receiving, "silence only during DATA"),
+            }
+        }
+        // Every stored message has an intact envelope.
+        for m in server.stored() {
+            prop_assert!(!m.rcpt_to.is_empty());
+        }
+    }
+
+    #[test]
+    fn delivery_round_trips_any_printable_body(
+        body_lines in proptest::collection::vec("[ -~]{0,60}", 0..20)
+    ) {
+        let body = body_lines.join("\n");
+        let (mut server, _) = HoneypotServer::connect("mx.example");
+        let stored = deliver(
+            &mut server,
+            "client.example",
+            "s@e.com",
+            &["r@mx.example".to_string()],
+            &body,
+        )
+        .unwrap()
+        .clone();
+        // lines() normalisation: trailing empty lines collapse.
+        let expected: Vec<&str> = body.lines().collect();
+        let got: Vec<&str> = stored.data.lines().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn command_parser_never_panics(line in "\\PC{0,80}") {
+        let _ = Command::parse(&line);
+    }
+}

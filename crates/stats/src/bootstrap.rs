@@ -1,0 +1,151 @@
+//! Seeded bootstrap confidence intervals.
+//!
+//! The paper reports point quartiles; a replication toolkit should
+//! also say how stable they are. [`bootstrap_ci`] resamples a sample
+//! with replacement and returns a percentile confidence interval for
+//! any statistic — deterministic given the RNG, like everything else
+//! here.
+
+use rand::{Rng, RngExt};
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub low: f64,
+    /// Upper bound.
+    pub high: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+
+    /// Whether the interval contains `v`.
+    pub fn contains(&self, v: f64) -> bool {
+        (self.low..=self.high).contains(&v)
+    }
+}
+
+/// Bootstrap percentile CI for `statistic` over `values`.
+///
+/// Returns `None` on an empty sample or when the statistic is
+/// undefined on a resample. `resamples` ≥ 100 recommended; `level`
+/// in (0, 1).
+pub fn bootstrap_ci<R: Rng>(
+    values: &[f64],
+    statistic: impl Fn(&[f64]) -> Option<f64>,
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Option<ConfidenceInterval> {
+    assert!(resamples > 0, "need at least one resample");
+    assert!((0.0..1.0).contains(&(1.0 - level)) && level > 0.0, "level in (0,1)");
+    if values.is_empty() {
+        return None;
+    }
+    let estimate = statistic(values)?;
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0f64; values.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = values[rng.random_range(0..values.len())];
+        }
+        stats.push(statistic(&buf)?);
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let low = crate::quantile::quantile_sorted(&stats, alpha);
+    let high = crate::quantile::quantile_sorted(&stats, 1.0 - alpha);
+    Some(ConfidenceInterval {
+        estimate,
+        low,
+        high,
+        level,
+    })
+}
+
+/// Convenience: bootstrap CI of the median.
+pub fn median_ci<R: Rng>(
+    values: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        values,
+        |v| crate::quantile::quantile(v, 0.5),
+        resamples,
+        level,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn median_ci_brackets_the_truth() {
+        // Sample from a known symmetric distribution around 50.
+        let mut r = rng();
+        let values: Vec<f64> = (0..500)
+            .map(|_| 50.0 + 20.0 * (r.random::<f64>() - 0.5))
+            .collect();
+        let ci = median_ci(&values, 300, 0.95, &mut r).unwrap();
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.contains(50.0), "{ci:?}");
+        assert!(ci.width() < 5.0, "tight for n=500: {ci:?}");
+        assert!(ci.low <= ci.high);
+    }
+
+    #[test]
+    fn wider_for_smaller_samples() {
+        let mut r = rng();
+        let big: Vec<f64> = (0..400).map(|i| (i % 100) as f64).collect();
+        let small: Vec<f64> = big.iter().copied().take(20).collect();
+        let ci_big = median_ci(&big, 200, 0.95, &mut r).unwrap();
+        let ci_small = median_ci(&small, 200, 0.95, &mut r).unwrap();
+        assert!(ci_small.width() >= ci_big.width());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = median_ci(&values, 100, 0.9, &mut SmallRng::seed_from_u64(1)).unwrap();
+        let b = median_ci(&values, 100, 0.9, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert_eq!(median_ci(&[], 100, 0.95, &mut rng()), None);
+    }
+
+    #[test]
+    fn arbitrary_statistic() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let ci = bootstrap_ci(
+            &values,
+            |v| Some(v.iter().sum::<f64>() / v.len() as f64),
+            200,
+            0.9,
+            &mut rng(),
+        )
+        .unwrap();
+        assert!((ci.estimate - 2.5).abs() < 1e-12);
+        assert!(ci.low >= 1.0 && ci.high <= 4.0);
+    }
+}

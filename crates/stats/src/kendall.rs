@@ -1,0 +1,270 @@
+//! Kendall rank correlation coefficient (tau-b).
+//!
+//! The paper (§4.3) compares the *relative ranks* of domain volumes
+//! between feeds with Kendall's tau, adjusting the denominator for
+//! ties (tau-b):
+//!
+//! ```text
+//! τ_b = (C − D) / √((n₀ − n₁)(n₀ − n₂))
+//! n₀ = n(n−1)/2
+//! n₁ = Σ tᵢ(tᵢ−1)/2   over groups of tied x values
+//! n₂ = Σ uⱼ(uⱼ−1)/2   over groups of tied y values
+//! ```
+//!
+//! [`kendall_tau_b`] runs in O(n log n) using Knight's algorithm
+//! (sort by x, then count discordances as merge-sort inversions of y);
+//! [`kendall_tau_b_reference`] is the O(n²) definition used by the
+//! property tests to validate it.
+
+/// Tie-adjusted Kendall correlation between paired observations.
+///
+/// Returns `None` when fewer than two pairs are given or when either
+/// variable is constant (the denominator vanishes and τ_b is
+/// undefined).
+pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "paired observations required");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    // Sort indices by (x, y).
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .total_cmp(&xs[b])
+            .then_with(|| ys[a].total_cmp(&ys[b]))
+    });
+
+    let n0 = pairs(n as u64);
+
+    // Ties in x, and joint ties in (x, y), from the sorted order.
+    let mut n1 = 0u64; // x ties
+    let mut n3 = 0u64; // joint ties
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && xs[idx[j]] == xs[idx[i]] {
+                j += 1;
+            }
+            n1 += pairs((j - i) as u64);
+            // Joint ties within this x-group.
+            let mut k = i;
+            while k < j {
+                let mut l = k + 1;
+                while l < j && ys[idx[l]] == ys[idx[k]] {
+                    l += 1;
+                }
+                n3 += pairs((l - k) as u64);
+                k = l;
+            }
+            i = j;
+        }
+    }
+
+    // Ties in y, from a y-sorted copy.
+    let mut ysorted: Vec<f64> = ys.to_vec();
+    ysorted.sort_by(f64::total_cmp);
+    let mut n2 = 0u64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && ysorted[j] == ysorted[i] {
+                j += 1;
+            }
+            n2 += pairs((j - i) as u64);
+            i = j;
+        }
+    }
+
+    // Discordant pairs = inversions of y in x-order (x-ties excluded by
+    // the secondary sort on y: tied-x pairs are already y-sorted, so
+    // they contribute no inversions).
+    let mut yseq: Vec<f64> = idx.iter().map(|&i| ys[i]).collect();
+    let swaps = count_inversions(&mut yseq);
+
+    let denom_x = n0 - n1;
+    let denom_y = n0 - n2;
+    if denom_x == 0 || denom_y == 0 {
+        return None;
+    }
+    // C − D = n0 − n1 − n2 + n3 − 2·swaps
+    let numerator = n0 as i128 - n1 as i128 - n2 as i128 + n3 as i128 - 2 * swaps as i128;
+    let denom = (denom_x as f64).sqrt() * (denom_y as f64).sqrt();
+    Some((numerator as f64 / denom).clamp(-1.0, 1.0))
+}
+
+/// Convenience wrapper for integer counts (e.g. domain volumes).
+pub fn kendall_tau_b_counts(xs: &[u64], ys: &[u64]) -> Option<f64> {
+    let xf: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+    let yf: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+    kendall_tau_b(&xf, &yf)
+}
+
+/// O(n²) reference implementation straight from the definition.
+/// Exposed so property tests (and sceptical users) can cross-check the
+/// fast path.
+pub fn kendall_tau_b_reference(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut tx, mut ty) = (0u64, 0u64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i].total_cmp(&xs[j]);
+            let dy = ys[i].total_cmp(&ys[j]);
+            use std::cmp::Ordering::*;
+            match (dx, dy) {
+                (Equal, Equal) => {
+                    tx += 1;
+                    ty += 1;
+                }
+                (Equal, _) => tx += 1,
+                (_, Equal) => ty += 1,
+                (a, b) if a == b => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let n0 = pairs(n as u64);
+    let denom_x = n0 - tx;
+    let denom_y = n0 - ty;
+    if denom_x == 0 || denom_y == 0 {
+        return None;
+    }
+    let denom = (denom_x as f64).sqrt() * (denom_y as f64).sqrt();
+    Some(((concordant - discordant) as f64 / denom).clamp(-1.0, 1.0))
+}
+
+fn pairs(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Counts inversions while merge-sorting `v` in place.
+fn count_inversions(v: &mut [f64]) -> u64 {
+    let n = v.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut buf = vec![0.0f64; n];
+    merge_count(v, &mut buf)
+}
+
+fn merge_count(v: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = v.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = v.split_at_mut(mid);
+    let mut inv = merge_count(left, &mut buf[..mid]) + merge_count(right, &mut buf[mid..]);
+    // Merge, counting right-before-left placements.
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buf[k] = left[i];
+            i += 1;
+        } else {
+            buf[k] = right[j];
+            j += 1;
+            inv += (left.len() - i) as u64;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buf[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buf[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    v.copy_from_slice(&buf[..n]);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(kendall_tau_b(&x, &y), Some(1.0));
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau_b(&x, &y), Some(-1.0));
+    }
+
+    #[test]
+    fn no_correlation_small() {
+        // A classic 4-point configuration with C == D.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 1.0, 4.0, 3.0];
+        let tau = kendall_tau_b(&x, &y).unwrap();
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12); // C=4, D=2 → 2/6
+    }
+
+    #[test]
+    fn known_tied_value() {
+        // x = [1,2,2,3], y = [1,2,3,4]: C = 5, D = 0, one x-tie pair
+        // → τ_b = 5 / √((6−1)(6−0)) = 5/√30.
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau_b(&x, &y).unwrap();
+        assert!((tau - 5.0 / 30f64.sqrt()).abs() < 1e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(kendall_tau_b(&[], &[]), None);
+        assert_eq!(kendall_tau_b(&[1.0], &[1.0]), None);
+        // Constant x → denominator zero.
+        assert_eq!(kendall_tau_b(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn matches_reference_on_fixed_cases() {
+        let cases: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![1., 2., 3., 4., 5.], vec![3., 1., 4., 1., 5.]),
+            (vec![1., 1., 2., 2., 3.], vec![5., 5., 4., 4., 3.]),
+            (vec![0., 0., 0., 1.], vec![1., 0., 0., 0.]),
+            (vec![7., 3., 9., 9., 2., 2.], vec![1., 1., 2., 0., 5., 5.]),
+        ];
+        for (x, y) in cases {
+            let fast = kendall_tau_b(&x, &y);
+            let slow = kendall_tau_b_reference(&x, &y);
+            match (fast, slow) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-12, "{a} vs {b}"),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn counts_wrapper() {
+        assert_eq!(kendall_tau_b_counts(&[1, 2, 3], &[10, 20, 30]), Some(1.0));
+    }
+
+    #[test]
+    fn inversion_counter() {
+        let mut v = [3.0, 1.0, 2.0];
+        assert_eq!(count_inversions(&mut v), 2);
+        assert_eq!(v, [1.0, 2.0, 3.0]);
+        let mut sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(count_inversions(&mut sorted), 0);
+        let mut rev = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(count_inversions(&mut rev), 6);
+    }
+}

@@ -1,0 +1,109 @@
+//! Scalar summaries: mean, variance, fractions.
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); `None` for n < 2.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// `numerator / denominator` as a fraction in `[0, 1]`, or 0 when the
+/// denominator is 0 — the convention used throughout the report tables
+/// (an empty feed covers 0 % of anything).
+pub fn fraction(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+/// Formats a fraction the way the paper's tables do: `<1%` for small
+/// non-zero values, integer percent otherwise.
+pub fn percent_label(fraction: f64) -> String {
+    let pct = fraction * 100.0;
+    if pct > 0.0 && pct < 1.0 {
+        "<1%".to_string()
+    } else {
+        format!("{:.0}%", pct)
+    }
+}
+
+/// Formats a count with the paper's `K`-style abbreviation: counts
+/// ≥ 1000 are shown as `K` with no decimals, smaller counts verbatim.
+pub fn count_label(count: usize) -> String {
+    if count >= 1000 {
+        format!("{}K", (count as f64 / 1000.0).round() as u64)
+    } else {
+        count.to_string()
+    }
+}
+
+/// Formats a count with thousands separators (`1,051,211`).
+pub fn grouped(count: u64) -> String {
+    let s = count.to_string();
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, &b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(b as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0]), None);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.138).abs() < 0.001);
+    }
+
+    #[test]
+    fn fraction_handles_zero_denominator() {
+        assert_eq!(fraction(3, 0), 0.0);
+        assert_eq!(fraction(1, 4), 0.25);
+    }
+
+    #[test]
+    fn percent_labels() {
+        assert_eq!(percent_label(0.0), "0%");
+        assert_eq!(percent_label(0.004), "<1%");
+        assert_eq!(percent_label(0.55), "55%");
+        assert_eq!(percent_label(1.0), "100%");
+    }
+
+    #[test]
+    fn count_labels() {
+        assert_eq!(count_label(17), "17");
+        assert_eq!(count_label(1000), "1K");
+        assert_eq!(count_label(47_400), "47K");
+    }
+
+    #[test]
+    fn grouped_counts() {
+        assert_eq!(grouped(0), "0");
+        assert_eq!(grouped(999), "999");
+        assert_eq!(grouped(1000), "1,000");
+        assert_eq!(grouped(1_051_211), "1,051,211");
+    }
+}

@@ -1,0 +1,82 @@
+//! Total variation distance between empirical distributions.
+//!
+//! δ(P, Q) = ½ Σᵢ |pᵢ − qᵢ|, over the union of supports; a domain
+//! absent from a feed has empirical probability 0 (paper §4.3).
+//! δ ∈ [0, 1]; 0 iff P = Q, 1 iff the supports are disjoint.
+
+use crate::empirical::EmpiricalDist;
+
+/// Computes the total variation distance between two distributions.
+///
+/// Both inputs may be empty: δ(∅, ∅) = 0 by convention, and δ(P, ∅) = 1
+/// for non-empty P (every unit of mass differs).
+pub fn variation_distance(p: &EmpiricalDist, q: &EmpiricalDist) -> f64 {
+    if p.is_empty() && q.is_empty() {
+        return 0.0;
+    }
+    if p.is_empty() || q.is_empty() {
+        // An empty feed shares no mass with a non-empty one; treat it
+        // like a disjoint support rather than the literal ½·Σ|pᵢ| = ½.
+        return 1.0;
+    }
+    let mut acc = 0.0f64;
+    for k in p.union_keys(q) {
+        acc += (p.probability(k) - q.probability(k)).abs();
+    }
+    // Clamp against floating-point drift so callers can rely on [0, 1].
+    (acc / 2.0).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[(u32, u64)]) -> EmpiricalDist {
+        EmpiricalDist::from_counts(pairs.iter().copied())
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let p = dist(&[(1, 3), (2, 7)]);
+        assert_eq!(variation_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn disjoint_supports_are_one() {
+        let p = dist(&[(1, 5)]);
+        let q = dist(&[(2, 5)]);
+        assert_eq!(variation_distance(&p, &q), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let p = dist(&[(1, 1), (2, 3)]);
+        let q = dist(&[(2, 1), (3, 3)]);
+        assert_eq!(variation_distance(&p, &q), variation_distance(&q, &p));
+    }
+
+    #[test]
+    fn known_value() {
+        // P = {a: 1/2, b: 1/2}, Q = {a: 1/4, b: 3/4}
+        let p = dist(&[(1, 2), (2, 2)]);
+        let q = dist(&[(1, 1), (2, 3)]);
+        assert!((variation_distance(&p, &q) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let p = dist(&[(1, 1), (2, 3)]);
+        let p_scaled = dist(&[(1, 100), (2, 300)]);
+        let q = dist(&[(1, 2), (2, 2)]);
+        assert!((variation_distance(&p, &q) - variation_distance(&p_scaled, &q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let p = dist(&[(1, 1)]);
+        let e = EmpiricalDist::new();
+        assert_eq!(variation_distance(&e, &e), 0.0);
+        assert_eq!(variation_distance(&p, &e), 1.0);
+        assert_eq!(variation_distance(&e, &p), 1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the statistics layer.
+
+use proptest::prelude::*;
+use taster_stats::kendall::{kendall_tau_b, kendall_tau_b_reference};
+use taster_stats::quantile::{quantile, Boxplot};
+use taster_stats::{variation_distance, EmpiricalDist};
+
+fn dist_pairs() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    proptest::collection::vec((0u32..40, 1u64..1000), 1..30)
+}
+
+proptest! {
+    // ---------------------------------------------- variation distance
+
+    #[test]
+    fn variation_distance_is_a_metric_on_support(p in dist_pairs(), q in dist_pairs(), r in dist_pairs()) {
+        let dp = EmpiricalDist::from_counts(p);
+        let dq = EmpiricalDist::from_counts(q);
+        let dr = EmpiricalDist::from_counts(r);
+        let pq = variation_distance(&dp, &dq);
+        let qp = variation_distance(&dq, &dp);
+        // Bounds, identity, symmetry, triangle inequality.
+        prop_assert!((0.0..=1.0).contains(&pq));
+        prop_assert!((pq - qp).abs() < 1e-12);
+        prop_assert!(variation_distance(&dp, &dp) < 1e-12);
+        let pr = variation_distance(&dp, &dr);
+        let rq = variation_distance(&dr, &dq);
+        prop_assert!(pq <= pr + rq + 1e-9, "triangle: {pq} > {pr} + {rq}");
+    }
+
+    #[test]
+    fn variation_distance_is_scale_invariant(p in dist_pairs(), q in dist_pairs(), k in 2u64..20) {
+        let dp = EmpiricalDist::from_counts(p.iter().copied());
+        let dq = EmpiricalDist::from_counts(q.iter().copied());
+        let dp_scaled = EmpiricalDist::from_counts(p.iter().map(|&(d, c)| (d, c * k)));
+        let a = variation_distance(&dp, &dq);
+        let b = variation_distance(&dp_scaled, &dq);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    // ---------------------------------------------- Kendall tau-b
+
+    #[test]
+    fn kendall_fast_matches_reference(
+        pairs in proptest::collection::vec((0u8..12, 0u8..12), 2..60)
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|&(x, _)| x as f64).collect();
+        let ys: Vec<f64> = pairs.iter().map(|&(_, y)| y as f64).collect();
+        match (kendall_tau_b(&xs, &ys), kendall_tau_b_reference(&xs, &ys)) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+            (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+        }
+    }
+
+    #[test]
+    fn kendall_bounds_and_antisymmetry(
+        pairs in proptest::collection::vec((0u8..30, 0u8..30), 2..40)
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|&(x, _)| x as f64).collect();
+        let ys: Vec<f64> = pairs.iter().map(|&(_, y)| y as f64).collect();
+        if let Some(tau) = kendall_tau_b(&xs, &ys) {
+            prop_assert!((-1.0..=1.0).contains(&tau));
+            // Negating one variable negates tau.
+            let neg: Vec<f64> = ys.iter().map(|v| -v).collect();
+            let tau_neg = kendall_tau_b(&xs, &neg).unwrap();
+            prop_assert!((tau + tau_neg).abs() < 1e-9);
+            // Self-correlation is 1 whenever defined.
+            if let Some(self_tau) = kendall_tau_b(&xs, &xs) {
+                prop_assert!((self_tau - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    // ---------------------------------------------- quantiles
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 1..80),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let qlo = quantile(&values, lo).unwrap();
+        let qhi = quantile(&values, hi).unwrap();
+        prop_assert!(qlo <= qhi + 1e-9);
+        values.sort_by(f64::total_cmp);
+        prop_assert!(qlo >= values[0] - 1e-9);
+        prop_assert!(qhi <= values[values.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn boxplot_is_ordered(values in proptest::collection::vec(-1e5f64..1e5, 1..100)) {
+        let b = Boxplot::from_values(&values).unwrap();
+        prop_assert!(b.min <= b.p5 + 1e-9);
+        prop_assert!(b.p5 <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.q3 <= b.p95 + 1e-9);
+        prop_assert!(b.p95 <= b.max + 1e-9);
+        prop_assert_eq!(b.n, values.len());
+    }
+
+    // ---------------------------------------------- empirical dists
+
+    #[test]
+    fn probabilities_sum_to_one(pairs in dist_pairs()) {
+        let d = EmpiricalDist::from_counts(pairs);
+        let total: f64 = d.iter().map(|(k, _)| d.probability(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restriction_never_grows(pairs in dist_pairs(), keep in proptest::collection::hash_set(0u32..40, 0..20)) {
+        let d = EmpiricalDist::from_counts(pairs);
+        let r = d.restricted_to(&keep);
+        prop_assert!(r.total() <= d.total());
+        prop_assert!(r.support_size() <= keep.len().min(d.support_size()));
+        for (k, c) in r.iter() {
+            prop_assert!(keep.contains(&k));
+            prop_assert_eq!(c, d.count(k));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! `taster` — command-line front end for the spam-feed analysis
+//! toolkit.
+//!
+//! ```text
+//! taster report  [--scale S] [--seed N] [--section NAME]   regenerate tables/figures
+//! taster ablate  [--scale S] [--seed N]                    run the four ablation studies
+//! taster sweep   <seeding|mx-size> [--scale S] [--seed N]  parameter sweeps
+//! taster summary [--scale S] [--seed N]                    world statistics only
+//! ```
+//!
+//! Sections for `report`: `table1 table2 table3 fig1 … fig12 selection all`
+//! (default `all`).
+
+use taster::analysis::classify::Category;
+use taster::core::{ablation, sweep, Experiment, Scenario};
+
+struct Args {
+    command: String,
+    positional: Vec<String>,
+    scale: f64,
+    seed: u64,
+    section: String,
+    format: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut out = Args {
+        command,
+        positional: Vec::new(),
+        scale: 1.0,
+        seed: 20_100_801,
+        section: "all".to_string(),
+        format: "text".to_string(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                out.scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--section" => {
+                out.section = args.next().ok_or("--section needs a value")?;
+            }
+            "--format" => {
+                out.format = args.next().ok_or("--format needs a value")?;
+            }
+            other if !other.starts_with('-') => out.positional.push(other.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn usage() -> String {
+    "usage: taster <report|ablate|sweep|summary> [--scale S] [--seed N] [--section NAME]"
+        .to_string()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let scenario = Scenario::default_paper()
+        .with_scale(args.scale)
+        .with_seed(args.seed);
+
+    match args.command.as_str() {
+        "report" => report(&scenario, &args.section, &args.format),
+        "ablate" => ablate(&scenario),
+        "sweep" => do_sweep(&scenario, args.positional.first().map(|s| s.as_str())),
+        "summary" => summary(&scenario),
+        other => {
+            eprintln!("unknown command {other}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn report(scenario: &Scenario, section: &str, format: &str) {
+    eprintln!("running {}", scenario.name);
+    let e = Experiment::run(scenario);
+    if format == "csv" {
+        match taster::core::export::CsvExport::new(&e).section(section) {
+            Some(csv) => {
+                print!("{csv}");
+                return;
+            }
+            None => {
+                eprintln!("section {section} has no CSV form (try table1..3, fig2..5, fig7..12)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let r = e.report();
+    let text = match section {
+        "all" => r.full_report(),
+        "table1" => r.table1_feed_summary(),
+        "table2" => r.table2_purity(),
+        "table3" => r.table3_coverage(),
+        "fig1" => r.fig1_exclusive_scatter(),
+        "fig2" => format!(
+            "{}\n{}",
+            r.fig2_pairwise(Category::Live),
+            r.fig2_pairwise(Category::Tagged)
+        ),
+        "fig3" => r.fig3_volume(),
+        "fig4" => r.fig4_programs(),
+        "fig5" => r.fig5_affiliates(),
+        "fig6" => r.fig6_revenue(),
+        "fig7" => r.fig7_variation(),
+        "fig8" => r.fig8_kendall(),
+        "fig9" => r.fig9_first_appearance(),
+        "fig10" => r.fig10_first_appearance_honeypots(),
+        "fig11" => r.fig11_last_appearance(),
+        "fig12" => r.fig12_duration(),
+        "blocking" => r.blocking_study(),
+        "campaigns" => r.campaign_study(),
+        "granularity" => r.granularity_study(),
+        "concentration" => r.concentration_study(),
+        "selection" => format!(
+            "{}\n{}",
+            r.selection_study(Category::Live),
+            r.selection_study(Category::Tagged)
+        ),
+        other => {
+            eprintln!("unknown section {other}");
+            std::process::exit(2);
+        }
+    };
+    println!("{text}");
+}
+
+fn ablate(scenario: &Scenario) {
+    eprintln!("running four ablations over {}", scenario.name);
+    let p = ablation::poisoning(scenario);
+    println!("== poisoning");
+    println!(
+        "  Bot DNS purity: {:.1}% with, {:.1}% without",
+        p.bot_dns_with * 100.0,
+        p.bot_dns_without * 100.0
+    );
+    println!(
+        "  mx2 DNS purity: {:.1}% with, {:.1}% without",
+        p.mx2_dns_with * 100.0,
+        p.mx2_dns_without * 100.0
+    );
+
+    let r = ablation::blacklist_restriction(scenario);
+    println!("== blacklist crawl-subset restriction");
+    println!(
+        "  dbl:   {} of {} entries survive ({:.1}% dropped)",
+        r.dbl.0,
+        r.dbl.1,
+        r.dbl_dropped_fraction() * 100.0
+    );
+    println!(
+        "  uribl: {} of {} entries survive ({:.1}% dropped)",
+        r.uribl.0,
+        r.uribl.1,
+        r.uribl_dropped_fraction() * 100.0
+    );
+
+    let f = ablation::provider_filter(scenario);
+    println!("== provider report-driven filtering");
+    println!(
+        "  Hu samples: {} with filter, {} without ({:.1}x)",
+        f.hu_samples_with,
+        f.hu_samples_without,
+        f.hu_samples_without as f64 / f.hu_samples_with.max(1) as f64
+    );
+    println!(
+        "  Hu tagged coverage: {} with, {} without",
+        f.hu_tagged_with, f.hu_tagged_without
+    );
+
+    let s = ablation::ac2_seeding(scenario);
+    println!("== Ac2 seeding breadth");
+    println!(
+        "  Ac2∩Ac1 / Ac1 (tagged): {:.1}% narrow, {:.1}% broad",
+        s.overlap_narrow * 100.0,
+        s.overlap_broad * 100.0
+    );
+}
+
+fn do_sweep(scenario: &Scenario, which: Option<&str>) {
+    let world = sweep::build_world(scenario);
+    let points = match which {
+        Some("seeding") => sweep::seeding_sweep(scenario, &world),
+        Some("mx-size") => {
+            sweep::mx_size_sweep(scenario, &world, &[0.02, 0.05, 0.1, 0.2, 0.4, 0.8])
+        }
+        _ => {
+            eprintln!("usage: taster sweep <seeding|mx-size> [--scale S]");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{:<44} {:>10} {:>9} {:>8}",
+        "parameter", "samples", "unique", "tagged"
+    );
+    for p in points {
+        println!(
+            "{:<44} {:>10} {:>9} {:>8}",
+            p.label, p.samples, p.unique_domains, p.tagged_domains
+        );
+    }
+}
+
+fn summary(scenario: &Scenario) {
+    let world = sweep::build_world(scenario);
+    let t = &world.truth;
+    println!("scenario ........ {}", scenario.name);
+    println!("seed ............ {}", t.seed);
+    println!("window .......... {} days", t.config.days);
+    println!("campaigns ....... {}", t.campaigns.len());
+    println!("delivered copies  {}", t.total_volume());
+    println!("domains ......... {}", t.universe.len());
+    println!("web-spam corpus . {}", t.webspam.len());
+    println!("botnets ......... {} ({} monitored)", t.botnets.len(),
+        t.botnets.iter().filter(|b| b.monitored).count());
+    println!("programs ........ {} ({} tagged)", t.roster.programs.len(),
+        t.roster.tagged_programs().count());
+    println!("affiliates ...... {}", t.roster.affiliates.len());
+    println!("user reports .... {}", world.provider.reports.len());
+    println!("benign trap mail  {}", world.benign_mail.len());
+    println!("oracle messages . {}", world.provider.oracle.total());
+}
