@@ -93,7 +93,11 @@ pub fn revenue_coverage(classified: &Classified, roster: &ProgramRoster) -> Vec<
                 feed,
                 affiliates: affs.len(),
                 revenue_usd,
-                revenue_share: if total > 0.0 { revenue_usd / total } else { 0.0 },
+                revenue_share: if total > 0.0 {
+                    revenue_usd / total
+                } else {
+                    0.0
+                },
             }
         })
         .collect()

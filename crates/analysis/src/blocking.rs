@@ -78,11 +78,7 @@ pub fn evaluate_feed(world: &MailWorld, feed: &Feed) -> BlockingResult {
     for ev in &world.truth.events {
         spam_total += 1;
         let domains = [Some(ev.advertised), ev.chaff];
-        if domains
-            .iter()
-            .flatten()
-            .any(|&d| blocked_at(d, ev.time))
-        {
+        if domains.iter().flatten().any(|&d| blocked_at(d, ev.time)) {
             spam_blocked += 1;
         }
         if domains.iter().flatten().any(|&d| feed.contains(d)) {
@@ -117,7 +113,11 @@ pub fn evaluate_feed(world: &MailWorld, feed: &Feed) -> BlockingResult {
 }
 
 /// Evaluates every feed.
-pub fn blocking_study(world: &MailWorld, feeds: &FeedSet, _classified: &Classified) -> Vec<BlockingResult> {
+pub fn blocking_study(
+    world: &MailWorld,
+    feeds: &FeedSet,
+    _classified: &Classified,
+) -> Vec<BlockingResult> {
     FeedId::ALL
         .iter()
         .map(|&id| evaluate_feed(world, feeds.get(id)))

@@ -78,10 +78,7 @@ pub fn campaign_coverage(world: &MailWorld, feed: &Feed) -> CampaignCoverage {
         let seen = campaign
             .domains
             .iter()
-            .filter(|p| {
-                feed.contains(p.storefront)
-                    || p.landing.is_some_and(|l| feed.contains(l))
-            })
+            .filter(|p| feed.contains(p.storefront) || p.landing.is_some_and(|l| feed.contains(l)))
             .count();
         if seen > 0 {
             slot.1 += 1;

@@ -15,6 +15,7 @@ use taster_domain::interner::DomainSet;
 use taster_domain::DomainId;
 use taster_ecosystem::GroundTruth;
 use taster_feeds::{FeedId, FeedSet};
+use taster_sim::Parallelism;
 
 /// Classification options.
 #[derive(Debug, Clone, Copy)]
@@ -57,8 +58,23 @@ pub struct Classified {
 }
 
 impl Classified {
-    /// Crawls and classifies all feeds.
+    /// Crawls and classifies all feeds serially. See
+    /// [`Classified::build_with`] for the sharded variant; both
+    /// produce bit-identical classifications.
     pub fn build(truth: &GroundTruth, feeds: &FeedSet, options: ClassifyOptions) -> Classified {
+        Self::build_with(truth, feeds, options, &Parallelism::serial())
+    }
+
+    /// Crawls and classifies all feeds on `par` workers: the crawl
+    /// shards the (sorted) domain union, then each feed's set
+    /// derivation runs as one task. Both steps are pure per domain /
+    /// per feed, so the result matches a serial build exactly.
+    pub fn build_with(
+        truth: &GroundTruth,
+        feeds: &FeedSet,
+        options: ClassifyOptions,
+        par: &Parallelism,
+    ) -> Classified {
         let capacity = truth.universe.len();
         let base_union: HashSet<DomainId> = feeds.union_domains(&FeedId::BASE);
 
@@ -72,17 +88,16 @@ impl Classified {
             }
         }
         let crawler = Crawler::new(truth);
-        let crawl = crawler.crawl(to_crawl.iter().copied());
+        let crawl = crawler.crawl_par(to_crawl.iter().copied(), par);
 
-        let mut per_feed = Vec::with_capacity(FeedId::ALL.len());
-        for id in FeedId::ALL {
+        let per_feed = par.par_map(FeedId::ALL.to_vec(), |id| {
             let feed = feeds.get(id);
             let mut all = DomainSet::with_capacity(capacity);
             let mut live = DomainSet::with_capacity(capacity);
             let mut tagged = DomainSet::with_capacity(capacity);
             let mut benign_listed = DomainSet::with_capacity(capacity);
-            let restrict = options.restrict_blacklists_to_base
-                && matches!(id, FeedId::Dbl | FeedId::Uribl);
+            let restrict =
+                options.restrict_blacklists_to_base && matches!(id, FeedId::Dbl | FeedId::Uribl);
             for d in feed.domain_ids() {
                 if restrict && !base_union.contains(&d) {
                     continue;
@@ -99,13 +114,13 @@ impl Classified {
                     benign_listed.insert(d);
                 }
             }
-            per_feed.push(FeedDomains {
+            FeedDomains {
                 all,
                 live,
                 tagged,
                 benign_listed,
-            });
-        }
+            }
+        });
 
         Classified {
             crawl,
@@ -214,10 +229,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_serial() {
+        let truth =
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 71).unwrap();
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let feeds = collect_all(&world, &FeedsConfig::default());
+        let serial = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
+        for workers in [2, 8] {
+            let parallel = Classified::build_with(
+                &world.truth,
+                &feeds,
+                ClassifyOptions::default(),
+                &Parallelism::fixed(workers),
+            );
+            assert_eq!(parallel.crawl.len(), serial.crawl.len());
+            for (d, r) in serial.crawl.iter() {
+                assert_eq!(parallel.crawl.get(d), Some(r));
+            }
+            for id in FeedId::ALL {
+                for cat in [Category::All, Category::Live, Category::Tagged] {
+                    let (a, b) = (serial.set(id, cat), parallel.set(id, cat));
+                    assert_eq!(a.len(), b.len(), "{id} {}", cat.label());
+                    for d in a.iter() {
+                        assert!(b.contains(d), "{id} {} missing {d:?}", cat.label());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tagged_union_is_nonempty_and_live() {
         let (_, _, c) = classified(true);
         let union = c.union(&FeedId::ALL, Category::Tagged);
-        assert!(union.len() > 0);
+        assert!(!union.is_empty());
         let live_union = c.union(&FeedId::ALL, Category::Live);
         assert!(live_union.len() > union.len());
     }

@@ -10,6 +10,7 @@ use crate::classify::{Category, Classified};
 use crate::matrix::{OverlapCell, PairwiseMatrix};
 use taster_domain::interner::DomainSet;
 use taster_feeds::FeedId;
+use taster_sim::Parallelism;
 
 /// Coverage counts for one feed in one category.
 #[derive(Debug, Clone, Copy)]
@@ -35,24 +36,28 @@ pub struct CoverageRow {
 
 /// Computes Table 3 (equivalently the Fig 1 scatter data).
 pub fn coverage_table(classified: &Classified) -> Vec<CoverageRow> {
+    coverage_table_par(classified, &Parallelism::serial())
+}
+
+/// [`coverage_table`] on `par` workers: each (feed, category) cell is
+/// a pure set computation, so the 30 tasks fan out freely and the
+/// table is bit-identical to a serial pass at any worker count.
+pub fn coverage_table_par(classified: &Classified, par: &Parallelism) -> Vec<CoverageRow> {
     let count = |cat: Category| -> Vec<CoverageCounts> {
-        FeedId::ALL
-            .iter()
-            .map(|&id| {
-                let own = classified.set(id, cat);
-                // Union of every *other* feed.
-                let mut others = DomainSet::with_capacity(0);
-                for &o in FeedId::ALL.iter().filter(|&&o| o != id) {
-                    others.union_with(classified.set(o, cat));
-                }
-                let mut exclusive = own.clone();
-                exclusive.subtract(&others);
-                CoverageCounts {
-                    total: own.len(),
-                    exclusive: exclusive.len(),
-                }
-            })
-            .collect()
+        par.par_map(FeedId::ALL.to_vec(), |id| {
+            let own = classified.set(id, cat);
+            // Union of every *other* feed.
+            let mut others = DomainSet::with_capacity(0);
+            for &o in FeedId::ALL.iter().filter(|&&o| o != id) {
+                others.union_with(classified.set(o, cat));
+            }
+            let mut exclusive = own.clone();
+            exclusive.subtract(&others);
+            CoverageCounts {
+                total: own.len(),
+                exclusive: exclusive.len(),
+            }
+        })
     };
     let all = count(Category::All);
     let live = count(Category::Live);
@@ -72,11 +77,16 @@ pub fn coverage_table(classified: &Classified) -> Vec<CoverageRow> {
 /// Fraction of the whole category union that is exclusive to a single
 /// feed (the paper: 60 % of live, 19 % of tagged).
 pub fn exclusive_share(classified: &Classified, category: Category) -> f64 {
+    exclusive_share_par(classified, category, &Parallelism::serial())
+}
+
+/// [`exclusive_share`] with the coverage table built on `par` workers.
+pub fn exclusive_share_par(classified: &Classified, category: Category, par: &Parallelism) -> f64 {
     let union = classified.union(&FeedId::ALL, category);
     if union.is_empty() {
         return 0.0;
     }
-    let rows = coverage_table(classified);
+    let rows = coverage_table_par(classified, par);
     let exclusive: usize = rows
         .iter()
         .map(|r| match category {
@@ -94,8 +104,18 @@ pub fn pairwise_overlap(
     classified: &Classified,
     category: Category,
 ) -> PairwiseMatrix<OverlapCell> {
+    pairwise_overlap_par(classified, category, &Parallelism::serial())
+}
+
+/// [`pairwise_overlap`] with rows fanned out across `par` workers;
+/// bit-identical to the serial matrix.
+pub fn pairwise_overlap_par(
+    classified: &Classified,
+    category: Category,
+    par: &Parallelism,
+) -> PairwiseMatrix<OverlapCell> {
     let union = classified.union(&FeedId::ALL, category);
-    PairwiseMatrix::build(
+    PairwiseMatrix::build_par(
         &FeedId::ALL,
         Some("All"),
         |row, col| {
@@ -104,7 +124,7 @@ pub fn pairwise_overlap(
             let count = a.intersection_len(b);
             OverlapCell {
                 count,
-                fraction: if b.len() == 0 {
+                fraction: if b.is_empty() {
                     0.0
                 } else {
                     count as f64 / b.len() as f64
@@ -123,6 +143,7 @@ pub fn pairwise_overlap(
                 },
             }
         },
+        par,
     )
 }
 
@@ -181,6 +202,37 @@ mod tests {
         for a in FeedId::ALL {
             for b in FeedId::ALL {
                 assert_eq!(m.get(a, b).count, m.get(b, a).count);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_coverage_matches_serial() {
+        let c = classified();
+        let serial_rows = coverage_table(&c);
+        let serial_m = pairwise_overlap(&c, Category::Live);
+        for workers in [2, 8] {
+            let par = Parallelism::fixed(workers);
+            let rows = coverage_table_par(&c, &par);
+            for (a, b) in serial_rows.iter().zip(&rows) {
+                assert_eq!(a.feed, b.feed);
+                assert_eq!(a.all.total, b.all.total);
+                assert_eq!(a.all.exclusive, b.all.exclusive);
+                assert_eq!(a.live.total, b.live.total);
+                assert_eq!(a.tagged.exclusive, b.tagged.exclusive);
+            }
+            let m = pairwise_overlap_par(&c, Category::Live, &par);
+            for x in FeedId::ALL {
+                assert_eq!(m.get_extra(x), serial_m.get_extra(x));
+                for y in FeedId::ALL {
+                    assert_eq!(m.get(x, y), serial_m.get(x, y));
+                }
+            }
+            for cat in [Category::All, Category::Live, Category::Tagged] {
+                assert_eq!(
+                    exclusive_share_par(&c, cat, &par).to_bits(),
+                    exclusive_share(&c, cat).to_bits()
+                );
             }
         }
     }

@@ -68,7 +68,13 @@ mod tests {
     fn url_feeds_report_fqdns_domain_feeds_do_not() {
         let rows = rows();
         let get = |id: FeedId| rows.iter().find(|r| r.feed == id).copied().unwrap();
-        for id in [FeedId::Mx1, FeedId::Mx2, FeedId::Ac1, FeedId::Bot, FeedId::Hyb] {
+        for id in [
+            FeedId::Mx1,
+            FeedId::Mx2,
+            FeedId::Ac1,
+            FeedId::Bot,
+            FeedId::Hyb,
+        ] {
             assert!(get(id).fqdns.is_some(), "{id} reports URL granularity");
         }
         for id in [FeedId::Dbl, FeedId::Uribl] {
@@ -79,7 +85,11 @@ mod tests {
     #[test]
     fn wildcarding_inflates_fqdn_counts() {
         let rows = rows();
-        let mx2 = rows.iter().find(|r| r.feed == FeedId::Mx2).copied().unwrap();
+        let mx2 = rows
+            .iter()
+            .find(|r| r.feed == FeedId::Mx2)
+            .copied()
+            .unwrap();
         let factor = mx2.wildcard_factor().unwrap();
         assert!(
             factor > 1.2,

@@ -10,6 +10,7 @@ use crate::classify::{Category, Classified};
 use crate::matrix::PairwiseMatrix;
 use std::collections::HashSet;
 use taster_feeds::{FeedId, FeedSet};
+use taster_sim::Parallelism;
 use taster_stats::{kendall, variation_distance, EmpiricalDist};
 
 /// The tagged-domain volume distribution of one feed, restricted to
@@ -47,10 +48,22 @@ pub fn variation_matrix(
     classified: &Classified,
     oracle: &EmpiricalDist,
 ) -> PairwiseMatrix<f64> {
-    let dists: Vec<EmpiricalDist> = FeedId::WITH_VOLUME
-        .iter()
-        .map(|&f| tagged_distribution(feeds, classified, f))
-        .collect();
+    variation_matrix_par(feeds, classified, oracle, &Parallelism::serial())
+}
+
+/// [`variation_matrix`] on `par` workers: the per-feed tagged
+/// distributions are built concurrently, then the matrix rows fan
+/// out. Variation distance is a pure function of the two
+/// distributions, so the matrix is bit-identical to a serial build.
+pub fn variation_matrix_par(
+    feeds: &FeedSet,
+    classified: &Classified,
+    oracle: &EmpiricalDist,
+    par: &Parallelism,
+) -> PairwiseMatrix<f64> {
+    let dists = par.par_map(FeedId::WITH_VOLUME.to_vec(), |f| {
+        tagged_distribution(feeds, classified, f)
+    });
     let mail = mail_distribution(classified, oracle);
     let pos = |id: FeedId| {
         FeedId::WITH_VOLUME
@@ -58,11 +71,12 @@ pub fn variation_matrix(
             .position(|&f| f == id)
             .expect("volume feed")
     };
-    PairwiseMatrix::build(
+    PairwiseMatrix::build_par(
         &FeedId::WITH_VOLUME,
         Some("Mail"),
         |a, b| variation_distance(&dists[pos(a)], &dists[pos(b)]),
         |a| variation_distance(&dists[pos(a)], &mail),
+        par,
     )
 }
 
@@ -74,10 +88,21 @@ pub fn kendall_matrix(
     classified: &Classified,
     oracle: &EmpiricalDist,
 ) -> PairwiseMatrix<f64> {
-    let dists: Vec<EmpiricalDist> = FeedId::WITH_VOLUME
-        .iter()
-        .map(|&f| tagged_distribution(feeds, classified, f))
-        .collect();
+    kendall_matrix_par(feeds, classified, oracle, &Parallelism::serial())
+}
+
+/// [`kendall_matrix`] on `par` workers; bit-identical to a serial
+/// build for the same reason as
+/// [`variation_matrix_par`].
+pub fn kendall_matrix_par(
+    feeds: &FeedSet,
+    classified: &Classified,
+    oracle: &EmpiricalDist,
+    par: &Parallelism,
+) -> PairwiseMatrix<f64> {
+    let dists = par.par_map(FeedId::WITH_VOLUME.to_vec(), |f| {
+        tagged_distribution(feeds, classified, f)
+    });
     let mail = mail_distribution(classified, oracle);
     let pos = |id: FeedId| {
         FeedId::WITH_VOLUME
@@ -92,11 +117,12 @@ pub fn kendall_matrix(
         let ys: Vec<u64> = keys.iter().map(|&k| q.count(k)).collect();
         kendall::kendall_tau_b_counts(&xs, &ys).unwrap_or(0.0)
     };
-    PairwiseMatrix::build(
+    PairwiseMatrix::build_par(
         &FeedId::WITH_VOLUME,
         Some("Mail"),
         |a, b| tau(&dists[pos(a)], &dists[pos(b)]),
         |a| tau(&dists[pos(a)], &mail),
+        par,
     )
 }
 
@@ -141,6 +167,27 @@ mod tests {
             assert!(self_tau > 0.99 || self_tau == 0.0, "self tau {self_tau}");
             for b in FeedId::WITH_VOLUME {
                 assert!((-1.0..=1.0).contains(&m.get(a, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matrices_match_serial() {
+        let (world, feeds, c) = setup();
+        let oracle = &world.provider.oracle;
+        let vd = variation_matrix(&feeds, &c, oracle);
+        let tau = kendall_matrix(&feeds, &c, oracle);
+        for workers in [2, 8] {
+            let par = Parallelism::fixed(workers);
+            let vd_p = variation_matrix_par(&feeds, &c, oracle, &par);
+            let tau_p = kendall_matrix_par(&feeds, &c, oracle, &par);
+            for a in FeedId::WITH_VOLUME {
+                assert_eq!(vd_p.get_extra(a).to_bits(), vd.get_extra(a).to_bits());
+                assert_eq!(tau_p.get_extra(a).to_bits(), tau.get_extra(a).to_bits());
+                for b in FeedId::WITH_VOLUME {
+                    assert_eq!(vd_p.get(a, b).to_bits(), vd.get(a, b).to_bits());
+                    assert_eq!(tau_p.get(a, b).to_bits(), tau.get(a, b).to_bits());
+                }
             }
         }
     }

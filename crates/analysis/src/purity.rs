@@ -8,6 +8,7 @@
 
 use crate::classify::Classified;
 use taster_feeds::{FeedId, FeedSet};
+use taster_sim::Parallelism;
 use taster_stats::summary::fraction;
 
 /// One row of Table 2; all values are fractions in `[0, 1]`.
@@ -31,45 +32,49 @@ pub struct PurityRow {
 
 /// Computes Table 2.
 pub fn purity(feeds: &FeedSet, classified: &Classified) -> Vec<PurityRow> {
+    purity_par(feeds, classified, &Parallelism::serial())
+}
+
+/// [`purity`] with each feed's indicator counts computed as one task
+/// on `par` workers; every count is a pure fold over crawl results, so
+/// the table is bit-identical to a serial pass.
+pub fn purity_par(feeds: &FeedSet, classified: &Classified, par: &Parallelism) -> Vec<PurityRow> {
     let _ = feeds; // entry sets come from the classification (restriction applied)
-    FeedId::ALL
-        .iter()
-        .map(|&id| {
-            let all = &classified.feed(id).all;
-            let n = all.len();
-            let mut dns = 0usize;
-            let mut http = 0usize;
-            let mut tagged = 0usize;
-            let mut odp = 0usize;
-            let mut alexa = 0usize;
-            for d in all.iter() {
-                let r = classified.crawl.get(d).expect("classified domains crawled");
-                if r.registered {
-                    dns += 1;
-                }
-                if r.http_ok {
-                    http += 1;
-                }
-                if r.tag.is_some() {
-                    tagged += 1;
-                }
-                if r.odp {
-                    odp += 1;
-                }
-                if r.alexa_rank.is_some() {
-                    alexa += 1;
-                }
+    par.par_map(FeedId::ALL.to_vec(), |id| {
+        let all = &classified.feed(id).all;
+        let n = all.len();
+        let mut dns = 0usize;
+        let mut http = 0usize;
+        let mut tagged = 0usize;
+        let mut odp = 0usize;
+        let mut alexa = 0usize;
+        for d in all.iter() {
+            let r = classified.crawl.get(d).expect("classified domains crawled");
+            if r.registered {
+                dns += 1;
             }
-            PurityRow {
-                feed: id,
-                dns: fraction(dns, n),
-                http: fraction(http, n),
-                tagged: fraction(tagged, n),
-                odp: fraction(odp, n),
-                alexa: fraction(alexa, n),
+            if r.http_ok {
+                http += 1;
             }
-        })
-        .collect()
+            if r.tag.is_some() {
+                tagged += 1;
+            }
+            if r.odp {
+                odp += 1;
+            }
+            if r.alexa_rank.is_some() {
+                alexa += 1;
+            }
+        }
+        PurityRow {
+            feed: id,
+            dns: fraction(dns, n),
+            http: fraction(http, n),
+            tagged: fraction(tagged, n),
+            odp: fraction(odp, n),
+            alexa: fraction(alexa, n),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -104,7 +109,12 @@ mod tests {
         // grows with scale (checked at full scale in the integration
         // suite); here we assert the *relative* collapse.
         assert!(bot.dns < 0.10, "Bot DNS {:.3}", bot.dns);
-        assert!(mx2.dns < mx1.dns - 0.2, "mx2 {:.3} collapses vs mx1 {:.3}", mx2.dns, mx1.dns);
+        assert!(
+            mx2.dns < mx1.dns - 0.2,
+            "mx2 {:.3} collapses vs mx1 {:.3}",
+            mx2.dns,
+            mx1.dns
+        );
         assert!(mx1.dns > 0.85, "mx1 DNS {:.3}", mx1.dns);
         assert!(mx3.dns > 0.85, "mx3 DNS {:.3}", mx3.dns);
     }
@@ -130,12 +140,42 @@ mod tests {
     }
 
     #[test]
+    fn parallel_purity_matches_serial() {
+        let truth =
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 79).unwrap();
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03));
+        let feeds = collect_all(&world, &FeedsConfig::default());
+        let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
+        let serial = purity(&feeds, &c);
+        for workers in [2, 8] {
+            let rows = purity_par(&feeds, &c, &Parallelism::fixed(workers));
+            assert_eq!(rows.len(), serial.len());
+            for (a, b) in serial.iter().zip(&rows) {
+                assert_eq!(a.feed, b.feed);
+                for (x, y) in [
+                    (a.dns, b.dns),
+                    (a.http, b.http),
+                    (a.tagged, b.tagged),
+                    (a.odp, b.odp),
+                    (a.alexa, b.alexa),
+                ] {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn fractions_are_bounded() {
         for r in rows() {
             for v in [r.dns, r.http, r.tagged, r.odp, r.alexa] {
                 assert!((0.0..=1.0).contains(&v));
             }
-            assert!(r.http <= r.dns + 1e-9, "{}: live implies registered", r.feed);
+            assert!(
+                r.http <= r.dns + 1e-9,
+                "{}: live implies registered",
+                r.feed
+            );
         }
     }
 }

@@ -142,7 +142,7 @@ mod tests {
 
     fn classified() -> Classified {
         let truth =
-            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 127).unwrap();
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 137).unwrap();
         let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
         let feeds = collect_all(&world, &FeedsConfig::default());
         Classified::build(&world.truth, &feeds, ClassifyOptions::default())

@@ -13,17 +13,14 @@
 use crate::classify::{Category, Classified};
 use taster_domain::DomainId;
 use taster_feeds::{FeedId, FeedSet};
-use taster_sim::{DAY, HOUR};
+use taster_sim::{Parallelism, DAY, HOUR};
 use taster_stats::Boxplot;
 
 /// The domain set used by a timing analysis: tagged domains appearing
 /// in **every** feed of `required` (the paper intersects feeds so each
 /// has a defined appearance time; Bot is excluded because its overlap
 /// is too small).
-pub fn common_tagged_domains(
-    classified: &Classified,
-    required: &[FeedId],
-) -> Vec<DomainId> {
+pub fn common_tagged_domains(classified: &Classified, required: &[FeedId]) -> Vec<DomainId> {
     let mut iter = required.iter();
     let Some(&first) = iter.next() else {
         return Vec::new();
@@ -46,9 +43,21 @@ pub fn first_appearance(
     reference: &[FeedId],
     scored: &[FeedId],
 ) -> Vec<(FeedId, Boxplot)> {
+    first_appearance_par(feeds, classified, reference, scored, &Parallelism::serial())
+}
+
+/// [`first_appearance`] with each scored feed's delta distribution
+/// computed as one task on `par` workers; pure per feed, so the rows
+/// are bit-identical to a serial pass.
+pub fn first_appearance_par(
+    feeds: &FeedSet,
+    classified: &Classified,
+    reference: &[FeedId],
+    scored: &[FeedId],
+    par: &Parallelism,
+) -> Vec<(FeedId, Boxplot)> {
     let domains = common_tagged_domains(classified, reference);
-    let mut out = Vec::new();
-    for &feed in scored {
+    par.par_map(scored.to_vec(), |feed| {
         let mut deltas = Vec::new();
         for &d in &domains {
             let start = reference
@@ -62,11 +71,11 @@ pub fn first_appearance(
             };
             deltas.push(own.first_seen.signed_diff(start) as f64 / DAY as f64);
         }
-        if let Some(b) = Boxplot::from_values(&deltas) {
-            out.push((feed, b));
-        }
-    }
-    out
+        Boxplot::from_values(&deltas).map(|b| (feed, b))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Per-feed distribution of last-appearance error in hours: campaign
@@ -78,9 +87,19 @@ pub fn last_appearance(
     reference: &[FeedId],
     scored: &[FeedId],
 ) -> Vec<(FeedId, Boxplot)> {
+    last_appearance_par(feeds, classified, reference, scored, &Parallelism::serial())
+}
+
+/// [`last_appearance`] fanned out per scored feed on `par` workers.
+pub fn last_appearance_par(
+    feeds: &FeedSet,
+    classified: &Classified,
+    reference: &[FeedId],
+    scored: &[FeedId],
+    par: &Parallelism,
+) -> Vec<(FeedId, Boxplot)> {
     let domains = common_tagged_domains(classified, reference);
-    let mut out = Vec::new();
-    for &feed in scored {
+    par.par_map(scored.to_vec(), |feed| {
         let mut deltas = Vec::new();
         for &d in &domains {
             let end = reference
@@ -94,11 +113,11 @@ pub fn last_appearance(
             };
             deltas.push(end.signed_diff(own.last_seen) as f64 / HOUR as f64);
         }
-        if let Some(b) = Boxplot::from_values(&deltas) {
-            out.push((feed, b));
-        }
-    }
-    out
+        Boxplot::from_values(&deltas).map(|b| (feed, b))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Per-feed distribution of duration error in hours: estimated
@@ -111,9 +130,19 @@ pub fn duration_error(
     reference: &[FeedId],
     scored: &[FeedId],
 ) -> Vec<(FeedId, Boxplot)> {
+    duration_error_par(feeds, classified, reference, scored, &Parallelism::serial())
+}
+
+/// [`duration_error`] fanned out per scored feed on `par` workers.
+pub fn duration_error_par(
+    feeds: &FeedSet,
+    classified: &Classified,
+    reference: &[FeedId],
+    scored: &[FeedId],
+    par: &Parallelism,
+) -> Vec<(FeedId, Boxplot)> {
     let domains = common_tagged_domains(classified, reference);
-    let mut out = Vec::new();
-    for &feed in scored {
+    par.par_map(scored.to_vec(), |feed| {
         let mut deltas = Vec::new();
         for &d in &domains {
             let stats: Vec<_> = reference
@@ -133,11 +162,11 @@ pub fn duration_error(
             let lifetime = own.last_seen.signed_diff(own.first_seen) as f64;
             deltas.push((campaign - lifetime) / HOUR as f64);
         }
-        if let Some(b) = Boxplot::from_values(&deltas) {
-            out.push((feed, b));
-        }
-    }
-    out
+        Boxplot::from_values(&deltas).map(|b| (feed, b))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Bootstrap confidence intervals on the Fig 9 medians — how stable
@@ -168,9 +197,7 @@ pub fn first_appearance_median_ci(
             };
             deltas.push(own.first_seen.signed_diff(start) as f64 / DAY as f64);
         }
-        if let Some(ci) =
-            taster_stats::bootstrap::median_ci(&deltas, resamples, level, &mut rng)
-        {
+        if let Some(ci) = taster_stats::bootstrap::median_ci(&deltas, resamples, level, &mut rng) {
             out.push((feed, ci));
         }
     }
@@ -216,7 +243,10 @@ mod tests {
     }
 
     fn get(rows: &[(FeedId, Boxplot)], id: FeedId) -> Boxplot {
-        rows.iter().find(|(f, _)| *f == id).map(|(_, b)| *b).unwrap()
+        rows.iter()
+            .find(|(f, _)| *f == id)
+            .map(|(_, b)| *b)
+            .unwrap()
     }
 
     /// Fig 9 reference minus the narrowest feeds so the intersection
@@ -248,7 +278,11 @@ mod tests {
             hu.median,
             mx1.median
         );
-        assert!(hu.median < 1.5, "Hu sees domains within ~a day: {:.2}", hu.median);
+        assert!(
+            hu.median < 1.5,
+            "Hu sees domains within ~a day: {:.2}",
+            hu.median
+        );
         assert!(dbl.median < 1.5, "dbl is early: {:.2}", dbl.median);
         assert!(
             mx1.median > 1.0,
@@ -299,7 +333,10 @@ mod tests {
         assert_eq!(points.len(), cis.len());
         for ((fp, b), (fc, ci)) in points.iter().zip(&cis) {
             assert_eq!(fp, fc);
-            assert!((ci.estimate - b.median).abs() < 1e-9, "{fp}: same point estimate");
+            assert!(
+                (ci.estimate - b.median).abs() < 1e-9,
+                "{fp}: same point estimate"
+            );
             assert!(ci.contains(ci.estimate), "{fp}: {ci:?}");
             assert!(ci.low <= ci.high);
         }
@@ -308,6 +345,34 @@ mod tests {
         assert_eq!(cis.len(), again.len());
         for (a, b) in cis.iter().zip(&again) {
             assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn parallel_timing_matches_serial() {
+        let (feeds, c) = setup();
+        let serial = [
+            first_appearance(&feeds, &c, &TEST_REF, &TEST_REF),
+            last_appearance(&feeds, &c, &TEST_REF, &TEST_REF),
+            duration_error(&feeds, &c, &TEST_REF, &TEST_REF),
+        ];
+        for workers in [2, 8] {
+            let par = Parallelism::fixed(workers);
+            let parallel = [
+                first_appearance_par(&feeds, &c, &TEST_REF, &TEST_REF, &par),
+                last_appearance_par(&feeds, &c, &TEST_REF, &TEST_REF, &par),
+                duration_error_par(&feeds, &c, &TEST_REF, &TEST_REF, &par),
+            ];
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.len(), p.len());
+                for ((fs, bs), (fp, bp)) in s.iter().zip(p) {
+                    assert_eq!(fs, fp);
+                    assert_eq!(bs.n, bp.n);
+                    assert_eq!(bs.median.to_bits(), bp.median.to_bits());
+                    assert_eq!(bs.min.to_bits(), bp.min.to_bits());
+                    assert_eq!(bs.max.to_bits(), bp.max.to_bits());
+                }
+            }
         }
     }
 

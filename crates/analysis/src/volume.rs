@@ -39,9 +39,8 @@ pub fn volume_coverage(
     FeedId::ALL
         .iter()
         .map(|&feed| {
-            let volume_of = |set: &DomainSet| -> u64 {
-                set.iter().map(|d| oracle.count(d.0)).sum()
-            };
+            let volume_of =
+                |set: &DomainSet| -> u64 { set.iter().map(|d| oracle.count(d.0)).sum() };
             let covered = volume_of(classified.set(feed, category));
             let overhang = volume_of(&classified.feed(feed).benign_listed);
             VolumeBar {

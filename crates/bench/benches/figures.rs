@@ -48,7 +48,9 @@ fn fig4_program_coverage(c: &mut Criterion) {
 fn fig5_affiliate_coverage(c: &mut Criterion) {
     let e = shared_experiment();
     eprintln!("{}", e.report().fig5_affiliates());
-    c.bench_function("fig5_affiliate_coverage", |b| b.iter(|| black_box(e.fig5())));
+    c.bench_function("fig5_affiliate_coverage", |b| {
+        b.iter(|| black_box(e.fig5()))
+    });
 }
 
 fn fig6_revenue_coverage(c: &mut Criterion) {
@@ -60,7 +62,9 @@ fn fig6_revenue_coverage(c: &mut Criterion) {
 fn fig7_variation_distance(c: &mut Criterion) {
     let e = shared_experiment();
     eprintln!("{}", e.report().fig7_variation());
-    c.bench_function("fig7_variation_distance", |b| b.iter(|| black_box(e.fig7())));
+    c.bench_function("fig7_variation_distance", |b| {
+        b.iter(|| black_box(e.fig7()))
+    });
 }
 
 fn fig8_kendall_tau(c: &mut Criterion) {
@@ -72,7 +76,9 @@ fn fig8_kendall_tau(c: &mut Criterion) {
 fn fig9_first_appearance_all(c: &mut Criterion) {
     let e = shared_experiment();
     eprintln!("{}", e.report().fig9_first_appearance());
-    c.bench_function("fig9_first_appearance_all", |b| b.iter(|| black_box(e.fig9())));
+    c.bench_function("fig9_first_appearance_all", |b| {
+        b.iter(|| black_box(e.fig9()))
+    });
 }
 
 fn fig10_first_appearance_honeypot(c: &mut Criterion) {

@@ -16,17 +16,17 @@ fn stats_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("stats");
     let mut rng = RngStream::new(1, "bench/stats");
     for n in [100usize, 1_000, 10_000] {
-        let xs: Vec<f64> = (0..n).map(|_| rng.random_range(0..1000u32) as f64).collect();
-        let ys: Vec<f64> = (0..n).map(|_| rng.random_range(0..1000u32) as f64).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(0..1000u32) as f64)
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(0..1000u32) as f64)
+            .collect();
         group.bench_with_input(BenchmarkId::new("kendall_tau_b", n), &n, |b, _| {
             b.iter(|| black_box(kendall_tau_b(&xs, &ys)))
         });
-        let p = EmpiricalDist::from_counts(
-            (0..n as u32).map(|k| (k, rng.random_range(1..100u64))),
-        );
-        let q = EmpiricalDist::from_counts(
-            (0..n as u32).map(|k| (k, rng.random_range(1..100u64))),
-        );
+        let p = EmpiricalDist::from_counts((0..n as u32).map(|k| (k, rng.random_range(1..100u64))));
+        let q = EmpiricalDist::from_counts((0..n as u32).map(|k| (k, rng.random_range(1..100u64))));
         group.bench_with_input(BenchmarkId::new("variation_distance", n), &n, |b, _| {
             b.iter(|| black_box(variation_distance(&p, &q)))
         });
@@ -37,7 +37,9 @@ fn stats_kernels(c: &mut Criterion) {
 fn zipf_sampling(c: &mut Criterion) {
     let z = Zipf::new(100_000, 1.05);
     let mut rng = RngStream::new(2, "bench/zipf");
-    c.bench_function("stats/zipf_sample", |b| b.iter(|| black_box(z.sample(&mut rng))));
+    c.bench_function("stats/zipf_sample", |b| {
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
 }
 
 fn domain_layer(c: &mut Criterion) {
@@ -60,7 +62,9 @@ fn domain_layer(c: &mut Criterion) {
     let body = "Dear customer,\n\nOrder here: http://shop.cheap-pills-rx.com/buy?id=44\n\
                 As reviewed on http://www.news-site.org/article and \
                 https://short.ly/r/abc123 today.\nBest regards\n";
-    c.bench_function("domain/extract_urls", |b| b.iter(|| black_box(extract_urls(body))));
+    c.bench_function("domain/extract_urls", |b| {
+        b.iter(|| black_box(extract_urls(body)))
+    });
 
     c.bench_function("domain/intern", |b| {
         b.iter(|| {

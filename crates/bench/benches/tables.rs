@@ -10,9 +10,7 @@ use taster_bench::shared_experiment;
 fn table1_feed_summary(c: &mut Criterion) {
     let e = shared_experiment();
     eprintln!("{}", e.report().table1_feed_summary());
-    c.bench_function("table1_feed_summary", |b| {
-        b.iter(|| black_box(e.table1()))
-    });
+    c.bench_function("table1_feed_summary", |b| b.iter(|| black_box(e.table1())));
 }
 
 fn table2_purity(c: &mut Criterion) {

@@ -84,7 +84,10 @@ pub fn blacklist_restriction(base: &Scenario) -> RestrictionAblation {
     let count = |e: &Experiment, id: FeedId| e.classified.feed(id).all.len();
     RestrictionAblation {
         dbl: (count(&restricted, FeedId::Dbl), count(&full, FeedId::Dbl)),
-        uribl: (count(&restricted, FeedId::Uribl), count(&full, FeedId::Uribl)),
+        uribl: (
+            count(&restricted, FeedId::Uribl),
+            count(&full, FeedId::Uribl),
+        ),
     }
 }
 
@@ -127,7 +130,7 @@ pub fn ac2_seeding(base: &Scenario) -> SeedingAblation {
     let overlap = |e: &Experiment| {
         let ac1 = e.classified.set(FeedId::Ac1, Category::Tagged);
         let ac2 = e.classified.set(FeedId::Ac2, Category::Tagged);
-        if ac1.len() == 0 {
+        if ac1.is_empty() {
             0.0
         } else {
             ac2.intersection_len(ac1) as f64 / ac1.len() as f64

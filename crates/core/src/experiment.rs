@@ -2,25 +2,29 @@
 
 use crate::report::Report;
 use crate::scenario::Scenario;
-use taster_analysis::{Classified, PairwiseMatrix};
-use taster_analysis::classify::Category;
-use taster_analysis::coverage::{coverage_table, exclusive_share, pairwise_overlap, CoverageRow};
-use taster_analysis::matrix::OverlapCell;
 use taster_analysis::affiliates::{affiliate_coverage, revenue_coverage, RevenueBar};
-use taster_analysis::programs::program_coverage;
-use taster_analysis::proportionality::{kendall_matrix, variation_matrix};
-use taster_analysis::purity::{purity, PurityRow};
 use taster_analysis::blocking::{blocking_study, BlockingResult};
 use taster_analysis::campaigns::{campaign_study, CampaignCoverage};
+use taster_analysis::classify::Category;
+use taster_analysis::coverage::{
+    coverage_table_par, exclusive_share_par, pairwise_overlap_par, CoverageRow,
+};
 use taster_analysis::granularity::{granularity_study, GranularityRow};
-use taster_analysis::selection::{greedy_selection, type_redundancy, SelectionStep, TypeRedundancy};
+use taster_analysis::matrix::OverlapCell;
+use taster_analysis::programs::program_coverage;
+use taster_analysis::proportionality::{kendall_matrix_par, variation_matrix_par};
+use taster_analysis::purity::{purity_par, PurityRow};
+use taster_analysis::selection::{
+    greedy_selection, type_redundancy, SelectionStep, TypeRedundancy,
+};
 use taster_analysis::summary::{feed_summary, SummaryRow};
 use taster_analysis::timing::{
-    duration_error, first_appearance, last_appearance, FIG9_FEEDS, HONEYPOT_FEEDS,
+    duration_error_par, first_appearance_par, last_appearance_par, FIG9_FEEDS, HONEYPOT_FEEDS,
 };
 use taster_analysis::volume::{volume_coverage, VolumeBar};
+use taster_analysis::{Classified, PairwiseMatrix};
 use taster_ecosystem::GroundTruth;
-use taster_feeds::{collect_all, FeedId, FeedSet};
+use taster_feeds::{collect_all_with, FeedId, FeedSet};
 use taster_mailsim::MailWorld;
 use taster_stats::Boxplot;
 
@@ -49,10 +53,11 @@ impl Experiment {
     /// Runs the scenario, returning configuration errors.
     pub fn try_run(scenario: &Scenario) -> Result<Experiment, String> {
         scenario.validate()?;
+        let par = scenario.parallelism;
         let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed)?;
         let world = MailWorld::build(truth, scenario.mail.clone());
-        let feeds = collect_all(&world, &scenario.feeds);
-        let classified = Classified::build(&world.truth, &feeds, scenario.classify);
+        let feeds = collect_all_with(&world, &scenario.feeds, &par);
+        let classified = Classified::build_with(&world.truth, &feeds, scenario.classify, &par);
         Ok(Experiment {
             scenario: scenario.clone(),
             world,
@@ -75,22 +80,22 @@ impl Experiment {
 
     /// Table 2 rows.
     pub fn table2(&self) -> Vec<PurityRow> {
-        purity(&self.feeds, &self.classified)
+        purity_par(&self.feeds, &self.classified, &self.scenario.parallelism)
     }
 
     /// Table 3 rows (also the Fig 1 scatter data).
     pub fn table3(&self) -> Vec<CoverageRow> {
-        coverage_table(&self.classified)
+        coverage_table_par(&self.classified, &self.scenario.parallelism)
     }
 
     /// Share of a category's union exclusive to a single feed.
     pub fn exclusive_share(&self, category: Category) -> f64 {
-        exclusive_share(&self.classified, category)
+        exclusive_share_par(&self.classified, category, &self.scenario.parallelism)
     }
 
     /// Fig 2 matrix for a category.
     pub fn fig2(&self, category: Category) -> PairwiseMatrix<OverlapCell> {
-        pairwise_overlap(&self.classified, category)
+        pairwise_overlap_par(&self.classified, category, &self.scenario.parallelism)
     }
 
     /// Fig 3 bars for a category.
@@ -115,12 +120,22 @@ impl Experiment {
 
     /// Fig 7 matrix (variation distance, with Mail column).
     pub fn fig7(&self) -> PairwiseMatrix<f64> {
-        variation_matrix(&self.feeds, &self.classified, &self.world.provider.oracle)
+        variation_matrix_par(
+            &self.feeds,
+            &self.classified,
+            &self.world.provider.oracle,
+            &self.scenario.parallelism,
+        )
     }
 
     /// Fig 8 matrix (Kendall tau-b, with Mail column).
     pub fn fig8(&self) -> PairwiseMatrix<f64> {
-        kendall_matrix(&self.feeds, &self.classified, &self.world.provider.oracle)
+        kendall_matrix_par(
+            &self.feeds,
+            &self.classified,
+            &self.world.provider.oracle,
+            &self.scenario.parallelism,
+        )
     }
 
     /// Campaign-granularity coverage against ground truth (beyond the
@@ -153,36 +168,45 @@ impl Experiment {
     /// Fig 9: relative first appearance, campaign start from all
     /// non-Bot/Hyb feeds, days.
     pub fn fig9(&self) -> Vec<(FeedId, Boxplot)> {
-        first_appearance(&self.feeds, &self.classified, &FIG9_FEEDS, &FIG9_FEEDS)
+        first_appearance_par(
+            &self.feeds,
+            &self.classified,
+            &FIG9_FEEDS,
+            &FIG9_FEEDS,
+            &self.scenario.parallelism,
+        )
     }
 
     /// Fig 10: relative first appearance among honeypot feeds only.
     pub fn fig10(&self) -> Vec<(FeedId, Boxplot)> {
-        first_appearance(
+        first_appearance_par(
             &self.feeds,
             &self.classified,
             &HONEYPOT_FEEDS,
             &HONEYPOT_FEEDS,
+            &self.scenario.parallelism,
         )
     }
 
     /// Fig 11: last-appearance error among honeypot feeds, hours.
     pub fn fig11(&self) -> Vec<(FeedId, Boxplot)> {
-        last_appearance(
+        last_appearance_par(
             &self.feeds,
             &self.classified,
             &HONEYPOT_FEEDS,
             &HONEYPOT_FEEDS,
+            &self.scenario.parallelism,
         )
     }
 
     /// Fig 12: duration error among honeypot feeds, hours.
     pub fn fig12(&self) -> Vec<(FeedId, Boxplot)> {
-        duration_error(
+        duration_error_par(
             &self.feeds,
             &self.classified,
             &HONEYPOT_FEEDS,
             &HONEYPOT_FEEDS,
+            &self.scenario.parallelism,
         )
     }
 }

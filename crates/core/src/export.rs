@@ -45,7 +45,12 @@ impl<'a> CsvExport<'a> {
 
     /// Table 1 as CSV.
     pub fn table1(&self) -> String {
-        let mut out = row(&["feed".into(), "type".into(), "samples".into(), "unique".into()]);
+        let mut out = row(&[
+            "feed".into(),
+            "type".into(),
+            "samples".into(),
+            "unique".into(),
+        ]);
         for r in self.experiment.table1() {
             out += &row(&[
                 r.feed.label().into(),
@@ -107,7 +112,12 @@ impl<'a> CsvExport<'a> {
 
     /// An overlap matrix (Figs 2, 4, 5) as long-form CSV.
     pub fn overlap_matrix(&self, m: &PairwiseMatrix<OverlapCell>) -> String {
-        let mut out = row(&["row".into(), "col".into(), "count".into(), "fraction".into()]);
+        let mut out = row(&[
+            "row".into(),
+            "col".into(),
+            "count".into(),
+            "fraction".into(),
+        ]);
         for &r in &m.feeds {
             for &c in &m.feeds {
                 let cell = m.get(r, c);

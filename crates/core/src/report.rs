@@ -66,7 +66,10 @@ impl<'a> Report<'a> {
 
     /// Table 3: coverage totals and exclusive contributions.
     pub fn table3_coverage(&self) -> String {
-        let mut out = header("Table 3: feed domain coverage", &self.experiment.scenario.name);
+        let mut out = header(
+            "Table 3: feed domain coverage",
+            &self.experiment.scenario.name,
+        );
         out.push_str(&format!(
             "{:<6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
             "Feed", "All", "AllExcl", "Live", "LiveExcl", "Tag", "TagExcl"
@@ -281,10 +284,7 @@ impl<'a> Report<'a> {
             ));
         }
         out.push_str("-- within-type vs across-type similarity (Jaccard) --\n");
-        out.push_str(&format!(
-            "{:<22} {:>8} {:>8}\n",
-            "type", "within", "across"
-        ));
+        out.push_str(&format!("{:<22} {:>8} {:>8}\n", "type", "within", "across"));
         for r in self.experiment.redundancy(category) {
             out.push_str(&format!(
                 "{:<22} {:>8} {:>8.2}\n",
@@ -363,7 +363,10 @@ impl<'a> Report<'a> {
             "Concentration: who dominates the simulated ecosystem",
             &self.experiment.scenario.name,
         );
-        for (label, values) in [("campaign volume", &volumes), ("RX affiliate revenue", &revenues)] {
+        for (label, values) in [
+            ("campaign volume", &volumes),
+            ("RX affiliate revenue", &revenues),
+        ] {
             out.push_str(&format!(
                 "{:<22} gini {:.2}, top 1% holds {:.0}%, top 10% holds {:.0}%\n",
                 label,
@@ -432,11 +435,7 @@ fn header(title: &str, scenario: &str) -> String {
     format!("== {title}\n   scenario: {scenario}\n")
 }
 
-fn render_overlap_matrix(
-    title: &str,
-    scenario: &str,
-    m: &PairwiseMatrix<OverlapCell>,
-) -> String {
+fn render_overlap_matrix(title: &str, scenario: &str, m: &PairwiseMatrix<OverlapCell>) -> String {
     let mut out = header(title, scenario);
     out.push_str("   cell = |row ∩ col| as % of col / count\n");
     out.push_str(&format!("{:<7}", ""));
@@ -453,14 +452,22 @@ fn render_overlap_matrix(
             let cell = m.get(row, col);
             out.push_str(&format!(
                 "{:>10}",
-                format!("{}/{}", percent_label(cell.fraction), count_label(cell.count))
+                format!(
+                    "{}/{}",
+                    percent_label(cell.fraction),
+                    count_label(cell.count)
+                )
             ));
         }
         if m.extra_label.is_some() {
             let cell = m.get_extra(row);
             out.push_str(&format!(
                 "{:>10}",
-                format!("{}/{}", percent_label(cell.fraction), count_label(cell.count))
+                format!(
+                    "{}/{}",
+                    percent_label(cell.fraction),
+                    count_label(cell.count)
+                )
             ));
         }
         out.push('\n');
@@ -491,12 +498,7 @@ fn render_float_matrix(title: &str, scenario: &str, m: &PairwiseMatrix<f64>) -> 
     out
 }
 
-fn render_boxplots(
-    title: &str,
-    scenario: &str,
-    rows: &[(FeedId, Boxplot)],
-    unit: &str,
-) -> String {
+fn render_boxplots(title: &str, scenario: &str, rows: &[(FeedId, Boxplot)], unit: &str) -> String {
     let mut out = header(title, scenario);
     out.push_str(&format!(
         "{:<6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
@@ -528,13 +530,15 @@ mod tests {
         let e = Experiment::run(&Scenario::default_paper().with_scale(0.02).with_seed(21));
         let report = e.report().full_report();
         for needle in [
-            "Table 1", "Table 2", "Table 3", "Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5",
-            "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10", "Fig 11", "Fig 12",
+            "Table 1", "Table 2", "Table 3", "Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6",
+            "Fig 7", "Fig 8", "Fig 9", "Fig 10", "Fig 11", "Fig 12",
         ] {
             assert!(report.contains(needle), "missing section {needle}");
         }
         // Feed labels appear.
-        for label in ["Hu", "dbl", "uribl", "mx1", "mx2", "mx3", "Ac1", "Ac2", "Bot", "Hyb"] {
+        for label in [
+            "Hu", "dbl", "uribl", "mx1", "mx2", "mx3", "Ac1", "Ac2", "Bot", "Hyb",
+        ] {
             assert!(report.contains(label), "missing feed {label}");
         }
     }

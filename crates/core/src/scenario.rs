@@ -4,6 +4,7 @@ use taster_analysis::ClassifyOptions;
 use taster_ecosystem::EcosystemConfig;
 use taster_feeds::FeedsConfig;
 use taster_mailsim::MailConfig;
+use taster_sim::Parallelism;
 
 /// A complete, self-describing experiment configuration. An
 /// [`crate::Experiment`] is a pure function of a `Scenario`.
@@ -21,6 +22,11 @@ pub struct Scenario {
     pub feeds: FeedsConfig,
     /// Classification options.
     pub classify: ClassifyOptions,
+    /// Worker count for the parallel stages (feed collection, crawl,
+    /// pairwise analyses). Changing this never changes results — every
+    /// parallel stage is bit-identical to a serial run — only how fast
+    /// they arrive.
+    pub parallelism: Parallelism,
 }
 
 impl Scenario {
@@ -29,11 +35,12 @@ impl Scenario {
     pub fn default_paper() -> Scenario {
         Scenario {
             name: "paper-default".to_string(),
-            seed: 2010_08_01,
+            seed: 20_100_801, // 2010-08-01, the paper's collection start
             ecosystem: EcosystemConfig::default(),
             mail: MailConfig::default(),
             feeds: FeedsConfig::default(),
             classify: ClassifyOptions::default(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -49,6 +56,13 @@ impl Scenario {
     /// Replaces the master seed.
     pub fn with_seed(mut self, seed: u64) -> Scenario {
         self.seed = seed;
+        self
+    }
+
+    /// Pins the worker count for the parallel stages (the CLI's
+    /// `--threads`). Zero is clamped to one worker.
+    pub fn with_threads(mut self, workers: usize) -> Scenario {
+        self.parallelism = Parallelism::fixed(workers);
         self
     }
 
@@ -169,6 +183,15 @@ mod tests {
         assert_eq!(s.feeds.ac[1].vector_mask, s.feeds.ac[0].vector_mask);
         let s = Scenario::default_paper().with_seed(99);
         assert_eq!(s.seed, 99);
+        let s = Scenario::default_paper().with_threads(4);
+        assert_eq!(s.parallelism.workers(), 4);
+        assert_eq!(
+            Scenario::default_paper()
+                .with_threads(0)
+                .parallelism
+                .workers(),
+            1
+        );
     }
 
     #[test]
@@ -193,8 +216,8 @@ mod tests {
     #[test]
     fn quiet_world_starves_honeypots() {
         use crate::Experiment;
-        use taster_feeds::FeedId;
         use taster_ecosystem::domains::DomainKind;
+        use taster_feeds::FeedId;
         let e = Experiment::run(&Scenario::quiet_world().with_scale(0.03).with_seed(3));
         let spam_count = |id: FeedId| {
             e.feeds
@@ -213,13 +236,18 @@ mod tests {
         // while the real-user feed still sees the quiet campaigns.
         let mx2_spam = spam_count(FeedId::Mx2);
         let hu_spam = spam_count(FeedId::Hu);
-        assert!(mx2_spam * 10 < hu_spam, "mx2 spam {mx2_spam} vs Hu spam {hu_spam}");
+        assert!(
+            mx2_spam * 10 < hu_spam,
+            "mx2 spam {mx2_spam} vs Hu spam {hu_spam}"
+        );
         assert!(hu_spam > 50, "Hu still covers the quiet world: {hu_spam}");
     }
 
     #[test]
     fn names_record_ablations() {
-        let s = Scenario::default_paper().with_scale(0.5).without_poisoning();
+        let s = Scenario::default_paper()
+            .with_scale(0.5)
+            .without_poisoning();
         assert!(s.name.contains("scale 0.5"));
         assert!(s.name.contains("no poisoning"));
     }

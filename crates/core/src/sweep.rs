@@ -46,8 +46,7 @@ fn measure(world: &MailWorld, feed: &Feed, label: String) -> SweepPoint {
 /// Builds the world for a scenario (shared by both sweeps).
 pub fn build_world(scenario: &Scenario) -> MailWorld {
     scenario.validate().expect("valid scenario");
-    let truth =
-        GroundTruth::generate(&scenario.ecosystem, scenario.seed).expect("valid ecosystem");
+    let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed).expect("valid ecosystem");
     MailWorld::build(truth, scenario.mail.clone())
 }
 
@@ -77,11 +76,7 @@ pub fn seeding_sweep(scenario: &Scenario, world: &MailWorld) -> Vec<SweepPoint> 
 
 /// Sweeps MX honeypot size (capture probability): does 8× the trap
 /// space buy 8× the coverage? (It buys ~8× the *samples*.)
-pub fn mx_size_sweep(
-    scenario: &Scenario,
-    world: &MailWorld,
-    probs: &[f64],
-) -> Vec<SweepPoint> {
+pub fn mx_size_sweep(scenario: &Scenario, world: &MailWorld, probs: &[f64]) -> Vec<SweepPoint> {
     let _ = scenario;
     probs
         .iter()
@@ -129,8 +124,7 @@ mod tests {
         assert!(sample_ratio > 8.0, "samples ratio {sample_ratio:.1}");
         // …but unique-domain coverage grows far slower (the paper's
         // "larger feed ≠ proportionally better coverage").
-        let unique_ratio =
-            points[2].unique_domains as f64 / points[0].unique_domains.max(1) as f64;
+        let unique_ratio = points[2].unique_domains as f64 / points[0].unique_domains.max(1) as f64;
         assert!(
             unique_ratio < sample_ratio / 2.0,
             "coverage ratio {unique_ratio:.1} ≪ samples ratio {sample_ratio:.1}"

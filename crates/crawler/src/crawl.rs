@@ -3,10 +3,11 @@
 use crate::oracle::{DnsOracle, FetchOutcome, HttpOracle, ListMembership};
 use crate::page::render_page;
 use crate::tagger::{extract_affiliate_id, SignatureSet};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use taster_domain::DomainId;
 use taster_ecosystem::ids::{AffiliateId, ProgramId};
 use taster_ecosystem::GroundTruth;
+use taster_sim::Parallelism;
 
 /// A storefront classification produced by signature matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +144,34 @@ impl<'a> Crawler<'a> {
         }
         CrawlReport { results }
     }
+
+    /// [`Crawler::crawl`] sharded across `par` workers.
+    ///
+    /// The domain set is deduplicated, sorted, and split into
+    /// contiguous near-equal shards; each worker crawls one shard.
+    /// [`Crawler::crawl_one`] is a pure function of the domain (the
+    /// oracles draw nothing from shared mutable state), so the report
+    /// is bit-identical to a serial crawl at any worker count.
+    pub fn crawl_par<I: IntoIterator<Item = DomainId>>(
+        &self,
+        domains: I,
+        par: &Parallelism,
+    ) -> CrawlReport {
+        let unique: HashSet<DomainId> = domains.into_iter().collect();
+        let mut unique: Vec<DomainId> = unique.into_iter().collect();
+        unique.sort_unstable();
+        let chunk = unique.len().div_ceil(par.workers()).max(1);
+        let shards: Vec<&[DomainId]> = unique.chunks(chunk).collect();
+        let results = par.par_map(shards, |shard| {
+            shard
+                .iter()
+                .map(|&d| (d, self.crawl_one(d)))
+                .collect::<Vec<_>>()
+        });
+        CrawlReport {
+            results: results.into_iter().flatten().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +282,21 @@ mod tests {
         assert!(r.benign_listed());
         assert!(!r.is_live(), "Alexa-listed domain is excluded from live");
         assert!(!r.is_tagged());
+    }
+
+    #[test]
+    fn sharded_crawl_is_bit_identical_to_serial() {
+        let truth = world();
+        let crawler = Crawler::new(&truth);
+        let ids: Vec<DomainId> = truth.universe.iter().map(|(d, _)| d).collect();
+        let serial = crawler.crawl(ids.iter().copied());
+        for workers in [1, 2, 8] {
+            let par = crawler.crawl_par(ids.iter().copied(), &Parallelism::fixed(workers));
+            assert_eq!(par.len(), serial.len());
+            for (d, r) in serial.iter() {
+                assert_eq!(par.get(d), Some(r), "{d:?}");
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl<'a> DnsOracle<'a> {
 
     /// Builds the oracle from generated-and-reparsed zone files — the
     /// full artifact path a real study walks.
-    pub fn from_zone_files(truth: &'a GroundTruth) -> Result<Self, crate::zonefile::ZoneParseError> {
+    pub fn from_zone_files(
+        truth: &'a GroundTruth,
+    ) -> Result<Self, crate::zonefile::ZoneParseError> {
         let registry = crate::zonefile::ZoneFiles::generate(truth).parse_all()?;
         Ok(DnsOracle {
             truth,
@@ -141,10 +143,7 @@ impl<'a> ListMembership<'a> {
     /// (used by tests; the analyses use only list membership, like the
     /// paper).
     pub fn is_benign_population(&self, domain: DomainId) -> bool {
-        matches!(
-            self.truth.universe.record(domain).kind,
-            DomainKind::Benign
-        )
+        matches!(self.truth.universe.record(domain).kind, DomainKind::Benign)
     }
 }
 

@@ -115,6 +115,9 @@ mod tests {
             None
         );
         // Unterminated content attribute.
-        assert_eq!(extract_affiliate_id("<meta name=\"affid\" content=\"12"), None);
+        assert_eq!(
+            extract_affiliate_id("<meta name=\"affid\" content=\"12"),
+            None
+        );
     }
 }

@@ -76,9 +76,9 @@ impl ZoneFiles {
             labels.dedup();
             let mut text = String::with_capacity(labels.len() * 40 + 128);
             text.push_str(&format!("$ORIGIN {tld}.\n$TTL 172800\n"));
-            text.push_str(&format!(
-                "@ IN SOA a.gtld-servers.net. nstld.verisign-grs.com. 2010080100 1800 900 604800 86400\n"
-            ));
+            text.push_str(
+                "@ IN SOA a.gtld-servers.net. nstld.verisign-grs.com. 2010080100 1800 900 604800 86400\n",
+            );
             for label in labels {
                 // Real gTLD zones carry two NS delegations per name.
                 text.push_str(&format!("{label} IN NS ns1.{label}.{tld}.\n"));
@@ -110,10 +110,7 @@ impl ZoneFiles {
 }
 
 /// Parses one master-file text into `registry`.
-pub fn parse_zone_file(
-    text: &str,
-    registry: &mut ZoneRegistry,
-) -> Result<(), ZoneParseError> {
+pub fn parse_zone_file(text: &str, registry: &mut ZoneRegistry) -> Result<(), ZoneParseError> {
     let mut origin: Option<String> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split(';').next().unwrap_or("").trim();
@@ -134,7 +131,14 @@ pub fn parse_zone_file(
         }
         // <owner> [ttl] IN <type> <rdata...> — we accept the simple
         // 4-field layout our generator emits plus optional TTL.
-        let (owner, class_idx) = (fields[0], if fields[1].eq_ignore_ascii_case("IN") { 1 } else { 2 });
+        let (owner, class_idx) = (
+            fields[0],
+            if fields[1].eq_ignore_ascii_case("IN") {
+                1
+            } else {
+                2
+            },
+        );
         if !fields
             .get(class_idx)
             .is_some_and(|c| c.eq_ignore_ascii_case("IN"))
@@ -204,7 +208,10 @@ mod tests {
             }
         }
         assert!(checked_registered > 100);
-        assert!(checked_unregistered > 100, "poison gives unregistered names");
+        assert!(
+            checked_unregistered > 100,
+            "poison gives unregistered names"
+        );
     }
 
     #[test]
@@ -260,6 +267,9 @@ mod tests {
         // The generator writes e.g. a `co.uk` zone when such domains
         // exist in the world.
         let has_multi = zones.tlds().any(|t| t.contains('.'));
-        assert!(has_multi, "expected at least one second-level registry zone");
+        assert!(
+            has_multi,
+            "expected at least one second-level registry zone"
+        );
     }
 }

@@ -97,7 +97,9 @@ const ONSETS: &[&str] = &[
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ea", "oo"];
 const CODAS: &[&str] = &["", "", "", "n", "r", "s", "x", "l", "m"];
 const PREFIXES: &[&str] = &["my", "best", "top", "e", "go", "buy", "the"];
-const SUFFIXES: &[&str] = &["shop", "store", "rx", "meds", "deal", "mart", "online", "direct"];
+const SUFFIXES: &[&str] = &[
+    "shop", "store", "rx", "meds", "deal", "mart", "online", "direct",
+];
 
 const CYRILLIC: &[char] = &[
     'а', 'б', 'в', 'г', 'д', 'е', 'и', 'к', 'л', 'м', 'н', 'о', 'п', 'р', 'с', 'т', 'у',
@@ -113,8 +115,7 @@ impl BrandableGen {
             let unicode: String = (0..len)
                 .map(|_| CYRILLIC[rng.random_range(0..CYRILLIC.len())])
                 .collect();
-            return crate::punycode::to_ascii_label(&unicode)
-                .expect("generated label encodes");
+            return crate::punycode::to_ascii_label(&unicode).expect("generated label encodes");
         }
         let mut s = String::new();
         if rng.random_bool(self.prefix_prob) {

@@ -273,7 +273,10 @@ mod tests {
 
         let mut i = a.clone();
         i.intersect_with(&b);
-        assert_eq!(i.iter().collect::<Vec<_>>(), vec![DomainId(3), DomainId(64)]);
+        assert_eq!(
+            i.iter().collect::<Vec<_>>(),
+            vec![DomainId(3), DomainId(64)]
+        );
 
         let mut d = a.clone();
         d.subtract(&b);

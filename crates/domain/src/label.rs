@@ -71,7 +71,14 @@ mod tests {
 
     #[test]
     fn accepts_plain_labels() {
-        for l in ["a", "example", "xn--bcher-kva", "a1-b2", "0start", "x".repeat(63).as_str()] {
+        for l in [
+            "a",
+            "example",
+            "xn--bcher-kva",
+            "a1-b2",
+            "0start",
+            "x".repeat(63).as_str(),
+        ] {
             assert_eq!(validate_label(l), Ok(()), "label {l:?}");
         }
     }

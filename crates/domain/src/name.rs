@@ -169,7 +169,10 @@ mod tests {
 
     #[test]
     fn rejects_single_label() {
-        assert_eq!(DomainName::parse("localhost"), Err(DomainParseError::SingleLabel));
+        assert_eq!(
+            DomainName::parse("localhost"),
+            Err(DomainParseError::SingleLabel)
+        );
     }
 
     #[test]

@@ -305,7 +305,10 @@ mod tests {
     #[test]
     fn second_level_registry() {
         assert_eq!(reg("example.co.uk").as_deref(), Some("example.co.uk"));
-        assert_eq!(reg("www.shop.example.co.uk").as_deref(), Some("example.co.uk"));
+        assert_eq!(
+            reg("www.shop.example.co.uk").as_deref(),
+            Some("example.co.uk")
+        );
     }
 
     #[test]

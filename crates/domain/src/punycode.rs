@@ -97,11 +97,7 @@ pub fn encode(input: &str) -> Result<String, PunycodeError> {
             .min()
             .expect("h < total implies a remaining code point");
         delta = delta
-            .checked_add(
-                (m - n)
-                    .checked_mul(h + 1)
-                    .ok_or(PunycodeError::Overflow)?,
-            )
+            .checked_add((m - n).checked_mul(h + 1).ok_or(PunycodeError::Overflow)?)
             .ok_or(PunycodeError::Overflow)?;
         n = m;
         for &c in &chars {
@@ -172,9 +168,7 @@ pub fn decode(input: &str) -> Result<String, PunycodeError> {
             if digit < t {
                 break;
             }
-            w = w
-                .checked_mul(BASE - t)
-                .ok_or(PunycodeError::Overflow)?;
+            w = w.checked_mul(BASE - t).ok_or(PunycodeError::Overflow)?;
             k += BASE;
         }
         let len = output.len() as u32 + 1;

@@ -63,9 +63,7 @@ impl Url {
             return Err(UrlParseError::EmptyHost);
         }
         // Split authority from path/query/fragment.
-        let end = rest
-            .find(|c| c == '/' || c == '?' || c == '#')
-            .unwrap_or(rest.len());
+        let end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let (authority, tail) = rest.split_at(end);
         if authority.is_empty() {
             return Err(UrlParseError::EmptyHost);
@@ -190,14 +188,23 @@ mod tests {
 
     #[test]
     fn rejects_bad_scheme_and_host() {
-        assert_eq!(Url::parse("ftp://example.com"), Err(UrlParseError::BadScheme));
-        assert!(matches!(Url::parse("http://bad_host.com"), Err(UrlParseError::BadHost(_))));
+        assert_eq!(
+            Url::parse("ftp://example.com"),
+            Err(UrlParseError::BadScheme)
+        );
+        assert!(matches!(
+            Url::parse("http://bad_host.com"),
+            Err(UrlParseError::BadHost(_))
+        ));
         assert_eq!(Url::parse("http://"), Err(UrlParseError::EmptyHost));
     }
 
     #[test]
     fn rejects_bad_port() {
-        assert_eq!(Url::parse("http://example.com:99999/"), Err(UrlParseError::BadPort));
+        assert_eq!(
+            Url::parse("http://example.com:99999/"),
+            Err(UrlParseError::BadPort)
+        );
     }
 
     #[test]
@@ -223,7 +230,11 @@ mod tests {
         let hosts: Vec<_> = urls.iter().map(|u| u.host.as_str()).collect();
         assert_eq!(
             hosts,
-            vec!["pills.example.com", "replica.example.org", "end.example.net"]
+            vec![
+                "pills.example.com",
+                "replica.example.org",
+                "end.example.net"
+            ]
         );
         assert_eq!(urls[2].path, "/x");
     }

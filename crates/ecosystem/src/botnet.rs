@@ -60,7 +60,13 @@ pub fn generate_botnets<R: Rng>(
     }
 
     let names = [
-        "ruststorm", "cutgrain", "grumble", "maelstrom", "lethic-like", "bagbot", "kelvin",
+        "ruststorm",
+        "cutgrain",
+        "grumble",
+        "maelstrom",
+        "lethic-like",
+        "bagbot",
+        "kelvin",
         "srizzy",
     ];
     let mut botnets = Vec::with_capacity(config.botnets);
@@ -132,7 +138,11 @@ mod tests {
     fn operators_exist() {
         let (_, roster, botnets) = setup();
         for b in &botnets {
-            assert!(!b.operator_affiliates.is_empty(), "{} has operators", b.name);
+            assert!(
+                !b.operator_affiliates.is_empty(),
+                "{} has operators",
+                b.name
+            );
             for &a in &b.operator_affiliates {
                 assert!(a.index() < roster.affiliates.len());
             }
@@ -141,8 +151,10 @@ mod tests {
 
     #[test]
     fn no_poison_config_means_no_poisoner() {
-        let mut cfg = EcosystemConfig::default();
-        cfg.poison = None;
+        let cfg = EcosystemConfig {
+            poison: None,
+            ..Default::default()
+        };
         let mut rng = RngStream::new(3, "botnet-test");
         let roster = ProgramRoster::generate(&cfg, &mut rng);
         let botnets = generate_botnets(&cfg, &roster, &mut rng);

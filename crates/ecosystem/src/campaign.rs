@@ -249,18 +249,28 @@ pub fn plan_campaigns<R: Rng>(
         let mut n = poisson(rng, rate);
         // RX affiliates run at least one campaign at full scale so the
         // 846-identifier universe of Fig 5 is populated.
-        if n == 0
-            && aff.program == crate::program::RX_PROGRAM
-            && config.campaign_scale >= 1.0
-        {
+        if n == 0 && aff.program == crate::program::RX_PROGRAM && config.campaign_scale >= 1.0 {
             n = 1;
         }
         let flagship = flagships.contains(&aff.id);
         for _ in 0..n {
             let id = CampaignId(campaigns.len() as u32);
             campaigns.push(plan_one(
-                id, aff.id, aff.program, operator, revenue_factor, flagship, config, botnets,
-                universe, rng, &loud_law, &quiet_law, &loud_mix, &quiet_mix, &trickle_mix,
+                id,
+                aff.id,
+                aff.program,
+                operator,
+                revenue_factor,
+                flagship,
+                config,
+                botnets,
+                universe,
+                rng,
+                &loud_law,
+                &quiet_law,
+                &loud_mix,
+                &quiet_mix,
+                &trickle_mix,
             ));
         }
     }
@@ -288,8 +298,7 @@ fn plan_one<R: Rng>(
     // Delivery and loudness. Loudness concentrates in high-revenue
     // affiliates: blasting costs money, and blasting is how the big
     // earners got big.
-    let mut loud_prob =
-        (config.loud_fraction * revenue_factor * revenue_factor).clamp(0.0, 0.85);
+    let mut loud_prob = (config.loud_fraction * revenue_factor * revenue_factor).clamp(0.0, 0.85);
     if flagship {
         loud_prob = loud_prob.max(0.5);
     }
@@ -353,8 +362,8 @@ fn plan_one<R: Rng>(
         CampaignStyle::Loud => (config.loud_domains, config.loud_copies_per_domain),
         CampaignStyle::Quiet => (config.quiet_domains, config.quiet_copies_per_domain),
     };
-    let n_domains = ((volume as f64 / per_domain).round() as usize)
-        .clamp(clamp.0.max(1), clamp.1.max(1));
+    let n_domains =
+        ((volume as f64 / per_domain).round() as usize).clamp(clamp.0.max(1), clamp.1.max(1));
 
     // Domain rotation: sequential slots with exponential lifetimes
     // (each including its own warm-up), compressed when the rotation
@@ -375,8 +384,7 @@ fn plan_one<R: Rng>(
     let mut lane_offsets = vec![0.0f64; lanes];
     // Start day leaves room for the longest lane (approximated by the
     // even split plus the longest single slot as slack).
-    let max_lane_len = (total_life / lanes as f64)
-        + lifetimes.iter().cloned().fold(0.0, f64::max);
+    let max_lane_len = (total_life / lanes as f64) + lifetimes.iter().cloned().fold(0.0, f64::max);
     let latest_start = (config.days as f64 - max_lane_len.min(available)).max(0.0);
     let start_day: f64 = rng.random::<f64>() * latest_start;
     let campaign_start = SimTime((start_day * DAY as f64) as u64);
@@ -468,7 +476,11 @@ mod tests {
         assert!(!campaigns.is_empty());
         for c in &campaigns {
             assert_eq!(c.trickle.end, c.blast.start);
-            assert!(c.blast.end.secs() <= (cfg.days + 1) * DAY, "{:?}", c.window());
+            assert!(
+                c.blast.end.secs() <= (cfg.days + 1) * DAY,
+                "{:?}",
+                c.window()
+            );
             assert!(!c.domains.is_empty());
             assert!(c.volume >= 8);
             // Slots live inside the campaign window (possibly in

@@ -369,8 +369,10 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        let mut c = EcosystemConfig::default();
-        c.monitored_botnets = 99;
+        let c = EcosystemConfig {
+            monitored_botnets: 99,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = EcosystemConfig::default();
@@ -381,8 +383,10 @@ mod tests {
         c.loud_volume.max = 1.0;
         assert!(c.validate().is_err());
 
-        let mut c = EcosystemConfig::default();
-        c.harvest_vectors = 0;
+        let c = EcosystemConfig {
+            harvest_vectors: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

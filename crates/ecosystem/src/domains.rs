@@ -331,9 +331,11 @@ mod tests {
     use taster_sim::RngStream;
 
     fn universe() -> (EcosystemConfig, DomainUniverse, RngStream) {
-        let mut cfg = EcosystemConfig::default();
-        cfg.benign_domains = 500;
-        cfg.alexa_list_size = 200;
+        let cfg = EcosystemConfig {
+            benign_domains: 500,
+            alexa_list_size: 200,
+            ..Default::default()
+        };
         let mut rng = RngStream::new(5, "universe-test");
         let u = DomainUniverse::new(&cfg, &mut rng);
         (cfg, u, rng)
@@ -410,7 +412,9 @@ mod tests {
     fn chaff_sampling_prefers_popular() {
         let (_, u, mut rng) = universe();
         let top = u.benign_by_rank[0];
-        let hits = (0..5000).filter(|_| u.sample_chaff(&mut rng) == top).count();
+        let hits = (0..5000)
+            .filter(|_| u.sample_chaff(&mut rng) == top)
+            .count();
         // Zipf(s≈1) over 500 ranks gives rank 1 ≈ 1/H_500 ≈ 15 %.
         assert!(hits > 200, "top-rank hits: {hits}");
     }

@@ -159,7 +159,12 @@ mod tests {
     use crate::program::ProgramRoster;
     use taster_sim::RngStream;
 
-    fn small_events() -> (EcosystemConfig, DomainUniverse, Vec<Campaign>, Vec<SpamEvent>) {
+    fn small_events() -> (
+        EcosystemConfig,
+        DomainUniverse,
+        Vec<Campaign>,
+        Vec<SpamEvent>,
+    ) {
         let cfg = EcosystemConfig::default().with_scale(0.02);
         let mut rng = RngStream::new(21, "event-test");
         let roster = ProgramRoster::generate(&cfg, &mut rng);

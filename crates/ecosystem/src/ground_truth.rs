@@ -7,9 +7,7 @@
 //! truth is bit-stable regardless of what the observation layers do.
 
 use crate::botnet::{generate_botnets, Botnet};
-use crate::campaign::{
-    plan_campaigns, Campaign, CampaignStyle, DeliveryVector, TargetingMix,
-};
+use crate::campaign::{plan_campaigns, Campaign, CampaignStyle, DeliveryVector, TargetingMix};
 use crate::config::{EcosystemConfig, TargetMixConfig};
 use crate::domains::{DomainKind, DomainUniverse};
 use crate::event::{generate_campaign_events, generate_poison_events, SpamEvent};
@@ -123,8 +121,7 @@ impl GroundTruth {
         // e-mail (forum spam, search-redirection). Mostly untagged
         // verticals; a slice fronts tagged programs.
         let mut web_rng = RngStream::new(seed, "ecosystem/webspam");
-        let n_webspam =
-            ((config.webspam_domains as f64) * config.campaign_scale).round() as usize;
+        let n_webspam = ((config.webspam_domains as f64) * config.campaign_scale).round() as usize;
         let mut webspam = Vec::with_capacity(n_webspam);
         let tagged_programs: Vec<ProgramId> = roster.tagged_programs().collect();
         let untagged_programs: Vec<ProgramId> = roster
@@ -281,7 +278,10 @@ mod tests {
                 assert_eq!(g.is_tagged_domain(p.storefront), tagged);
             }
         }
-        assert!(tagged_landings > 0, "some landing domains front tagged programs");
+        assert!(
+            tagged_landings > 0,
+            "some landing domains front tagged programs"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ pub enum Vertical {
 impl Vertical {
     /// Whether the Click Trajectories signatures cover this vertical.
     pub fn is_tagged(self) -> bool {
-        matches!(self, Vertical::Pharma | Vertical::Replica | Vertical::Software)
+        matches!(
+            self,
+            Vertical::Pharma | Vertical::Replica | Vertical::Software
+        )
     }
 
     /// Short lowercase label used in generated program names.

@@ -67,11 +67,11 @@ impl ProgramRoster {
         let revenue = LogNormal::new(config.revenue_mu, config.revenue_sigma);
 
         let add_program = |programs: &mut Vec<AffiliateProgram>,
-                               by_program: &mut Vec<Vec<AffiliateId>>,
-                               name: String,
-                               vertical: Vertical,
-                               tagged: bool,
-                               embeds: bool| {
+                           by_program: &mut Vec<Vec<AffiliateId>>,
+                           name: String,
+                           vertical: Vertical,
+                           tagged: bool,
+                           embeds: bool| {
             let id = ProgramId(programs.len() as u16);
             programs.push(AffiliateProgram {
                 id,

@@ -7,55 +7,25 @@
 //! of the proportionality analysis (Figs 7–8).
 
 use crate::config::AcConfig;
+use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
-use crate::id::FeedId;
-use crate::parse::DomainExtractor;
-use rand::RngExt;
-use taster_ecosystem::campaign::TargetClass;
-use taster_mailsim::benign::BenignDest;
-use taster_mailsim::render::render_spam;
 use taster_mailsim::MailWorld;
-use taster_sim::RngStream;
+use taster_sim::Parallelism;
 
 /// Collects honey-account feed `index` (0 = Ac1, 1 = Ac2).
+///
+/// Thin wrapper over the fused content engine with a single member;
+/// per-event RNG streams make the result bit-identical to this feed's
+/// slot in [`crate::pipeline::collect_all`].
 pub fn collect_ac(world: &MailWorld, config: &AcConfig, index: u8) -> Feed {
     assert!(index < 2);
-    let id = [FeedId::Ac1, FeedId::Ac2][index as usize];
-    let mut feed = Feed::new(id, true);
-    feed.samples = Some(0);
-    let mut rng = RngStream::new(world.truth.seed, &format!("feeds/ac{}", index + 1));
-    let extractor = DomainExtractor::new();
-
-    for event in &world.truth.events {
-        let TargetClass::Harvested(vector) = event.target else {
-            continue;
-        };
-        if config.vector_mask & (1 << vector) == 0 {
-            continue;
-        }
-        if !rng.random_bool(config.capture_prob) {
-            continue;
-        }
-        let msg = render_spam(&world.truth, event.advertised, event.chaff, event.time, &mut rng);
-        feed.count_sample();
-        for (d, host) in
-            extractor.registered_domains_with_hosts(&msg.text, &world.truth.universe.table)
-        {
-            feed.record(d, event.time);
-            feed.note_fqdn(host);
-        }
-    }
-
-    for mail in &world.benign_mail {
-        if mail.dest == BenignDest::HoneyAccounts(index) {
-            feed.count_sample();
-            for &d in &mail.domains {
-                feed.record(d, mail.time);
-            }
-        }
-    }
-
-    feed
+    let member = MemberSpec::Ac {
+        config: *config,
+        index,
+    };
+    collect_content(world, std::slice::from_ref(&member), &Parallelism::serial())
+        .pop()
+        .expect("one member yields one feed")
 }
 
 #[cfg(test)]

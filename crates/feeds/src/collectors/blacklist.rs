@@ -29,10 +29,10 @@ pub fn collect_blacklist(world: &MailWorld, config: &BlacklistConfig, id: FeedId
     let day_secs = taster_sim::DAY as f64;
 
     let consider = |domain: DomainId,
-                        base_prob: f64,
-                        anchor: SimTime,
-                        rng: &mut RngStream,
-                        feed: &mut Feed| {
+                    base_prob: f64,
+                    anchor: SimTime,
+                    rng: &mut RngStream,
+                    feed: &mut Feed| {
         let record = truth.universe.record(domain);
         // Curation: registration validation, benign-list suppression.
         let prob = if !record.registered {
@@ -151,8 +151,7 @@ mod tests {
         let mut n = 0f64;
         for c in w.truth.campaigns.iter().filter(|c| !c.poison) {
             for p in &c.domains {
-                if let (Some(a), Some(b)) = (dbl.stats(p.storefront), uribl.stats(p.storefront))
-                {
+                if let (Some(a), Some(b)) = (dbl.stats(p.storefront), uribl.stats(p.storefront)) {
                     dbl_lag += a.first_seen.signed_diff(p.window.start) as f64;
                     uribl_lag += b.first_seen.signed_diff(p.window.start) as f64;
                     n += 1.0;

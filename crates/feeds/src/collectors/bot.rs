@@ -7,43 +7,21 @@
 //! window the stream is dominated by random non-domains (§4.1.1).
 
 use crate::config::BotConfig;
+use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
-use crate::id::FeedId;
-use crate::parse::DomainExtractor;
-use rand::RngExt;
-use taster_ecosystem::campaign::DeliveryVector;
-use taster_mailsim::render::render_spam;
 use taster_mailsim::MailWorld;
-use taster_sim::RngStream;
+use taster_sim::Parallelism;
 
 /// Collects the `Bot` feed.
+///
+/// Thin wrapper over the fused content engine with a single member;
+/// per-event RNG streams make the result bit-identical to this feed's
+/// slot in [`crate::pipeline::collect_all`].
 pub fn collect_bot(world: &MailWorld, config: &BotConfig) -> Feed {
-    let mut feed = Feed::new(FeedId::Bot, true);
-    feed.samples = Some(0);
-    let mut rng = RngStream::new(world.truth.seed, "feeds/bot");
-    let extractor = DomainExtractor::new();
-    let monitored: Vec<bool> = world.truth.botnets.iter().map(|b| b.monitored).collect();
-
-    for event in &world.truth.events {
-        let DeliveryVector::Botnet(b) = event.delivery else {
-            continue;
-        };
-        if !monitored.get(b.index()).copied().unwrap_or(false) {
-            continue;
-        }
-        if !rng.random_bool(config.capture_prob) {
-            continue;
-        }
-        let msg = render_spam(&world.truth, event.advertised, event.chaff, event.time, &mut rng);
-        feed.count_sample();
-        for (d, host) in
-            extractor.registered_domains_with_hosts(&msg.text, &world.truth.universe.table)
-        {
-            feed.record(d, event.time);
-            feed.note_fqdn(host);
-        }
-    }
-    feed
+    let member = MemberSpec::Bot { config: *config };
+    collect_content(world, std::slice::from_ref(&member), &Parallelism::serial())
+        .pop()
+        .expect("one member yields one feed")
 }
 
 #[cfg(test)]

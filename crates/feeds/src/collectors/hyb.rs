@@ -10,73 +10,22 @@
 //! this feed contains spam domains not derived from e-mail spam").
 
 use crate::config::HybConfig;
+use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
-use crate::id::FeedId;
-use crate::parse::DomainExtractor;
-use rand::RngExt;
-use taster_ecosystem::campaign::TargetClass;
-use taster_mailsim::render::render_spam;
 use taster_mailsim::MailWorld;
-use taster_sim::RngStream;
+use taster_sim::Parallelism;
 
 /// Collects the `Hyb` feed.
+///
+/// Thin wrapper over the fused content engine with a single member
+/// (the engine also applies the report sample and web-spam corpus);
+/// per-event RNG streams make the result bit-identical to this feed's
+/// slot in [`crate::pipeline::collect_all`].
 pub fn collect_hyb(world: &MailWorld, config: &HybConfig) -> Feed {
-    let mut feed = Feed::new(FeedId::Hyb, false);
-    feed.samples = Some(0);
-    let mut rng = RngStream::new(world.truth.seed, "feeds/hyb");
-    let extractor = DomainExtractor::new();
-
-    for event in &world.truth.events {
-        let capture = match event.target {
-            // The Hyb trap's addresses only ever leaked into the older
-            // direct-spammer lists, so it misses the botnet blasts —
-            // part of why Hyb's mail-volume coverage is so poor
-            // despite its domain breadth (§4.2.2).
-            TargetClass::BruteForce
-                if matches!(
-                    event.delivery,
-                    taster_ecosystem::campaign::DeliveryVector::Direct
-                ) =>
-            {
-                rng.random_bool(config.trap_prob)
-            }
-            TargetClass::Harvested(v) if v == config.harvest_vector => {
-                rng.random_bool(config.harvest_prob)
-            }
-            _ => false,
-        };
-        if !capture {
-            continue;
-        }
-        let msg = render_spam(&world.truth, event.advertised, event.chaff, event.time, &mut rng);
-        feed.count_sample();
-        for (d, host) in
-            extractor.registered_domains_with_hosts(&msg.text, &world.truth.universe.table)
-        {
-            feed.record(d, event.time);
-            feed.note_fqdn(host);
-        }
-    }
-
-    // Partner sample of user reports.
-    for report in &world.provider.reports {
-        if rng.random_bool(config.report_sample_prob) {
-            feed.count_sample();
-            for &d in &report.domains {
-                feed.record(d, report.time);
-            }
-        }
-    }
-
-    // The non-e-mail web-spam corpus.
-    for &(time, domain) in &world.truth.webspam {
-        if rng.random_bool(config.webspam_prob) {
-            feed.count_sample();
-            feed.record(domain, time);
-        }
-    }
-
-    feed
+    let member = MemberSpec::Hyb { config: *config };
+    collect_content(world, std::slice::from_ref(&member), &Parallelism::serial())
+        .pop()
+        .expect("one member yields one feed")
 }
 
 #[cfg(test)]
@@ -113,8 +62,7 @@ mod tests {
     fn webspam_is_a_large_share_of_uniques() {
         let w = world();
         let feed = collect_hyb(&w, &FeedsConfig::default().hyb);
-        let web: std::collections::HashSet<_> =
-            w.truth.webspam.iter().map(|&(_, d)| d).collect();
+        let web: std::collections::HashSet<_> = w.truth.webspam.iter().map(|&(_, d)| d).collect();
         let web_in_feed = feed.domain_ids().filter(|d| web.contains(d)).count();
         let frac = web_in_feed as f64 / feed.unique_domains() as f64;
         assert!(frac > 0.3, "webspam unique share {frac:.2}");

@@ -13,85 +13,31 @@
 //! It also receives the doppelganger/sign-up pollution stream.
 
 use crate::config::MxConfig;
+use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
-use crate::id::FeedId;
-use crate::parse::DomainExtractor;
-use rand::RngExt;
-use taster_ecosystem::campaign::TargetClass;
-use taster_mailsim::benign::BenignDest;
-use taster_mailsim::render::render_spam;
 use taster_mailsim::MailWorld;
-use taster_sim::RngStream;
-use taster_smtp::{deliver, HoneypotServer};
-
-const LOCALPARTS: &[&str] = &["info", "admin", "bob", "sales", "john", "mary", "office"];
+use taster_sim::Parallelism;
 
 /// Collects MX honeypot `index` (0 = mx1, 1 = mx2, 2 = mx3).
+///
+/// Thin wrapper over the fused content engine with a single member;
+/// per-event RNG streams make the result bit-identical to this feed's
+/// slot in [`crate::pipeline::collect_all`].
 pub fn collect_mx(world: &MailWorld, config: &MxConfig, index: u8) -> Feed {
     assert!(index < 3);
-    let id = [FeedId::Mx1, FeedId::Mx2, FeedId::Mx3][index as usize];
-    let mut feed = Feed::new(id, true);
-    feed.samples = Some(0);
-    let mut rng = RngStream::new(world.truth.seed, &format!("feeds/mx{}", index + 1));
-    let extractor = DomainExtractor::new();
-    let bit = 1u8 << index;
-
-    // The honeypot's accept-everything SMTP sink. Spam cannons hold
-    // connections open and pipeline transactions, so one long-lived
-    // session suffices.
-    let trap_domain = format!("quiet-portfolio-mx{}.com", index + 1);
-    let (mut server, greeting) = HoneypotServer::connect(format!("mx.{trap_domain}"));
-    debug_assert_eq!(greeting.code, 220);
-
-    for event in &world.truth.events {
-        if event.target != TargetClass::BruteForce {
-            continue;
-        }
-        let campaign = world.truth.campaign(event.campaign);
-        if campaign.brute_mask & bit == 0 {
-            continue;
-        }
-        if !rng.random_bool(config.capture_prob) {
-            continue;
-        }
-        let msg = render_spam(&world.truth, event.advertised, event.chaff, event.time, &mut rng);
-        // Drive the SMTP dialogue: brute-force lists guess popular
-        // localparts at every domain with a valid MX.
-        let rcpt = format!(
-            "{}@{}",
-            LOCALPARTS[rng.random_range(0..LOCALPARTS.len())],
-            trap_domain
-        );
-        let helo = format!("host{}.sender.example", rng.random_range(0..1000u32));
-        deliver(&mut server, &helo, &msg.from, &[rcpt], &msg.text)
-            .expect("honeypot accepts everything");
-        let stored = server.drain_stored().pop().expect("one stored message");
-        feed.count_sample();
-        for (d, host) in
-            extractor.registered_domains_with_hosts(&stored.data, &world.truth.universe.table)
-        {
-            feed.record(d, event.time);
-            feed.note_fqdn(host);
-        }
-    }
-
-    // Legitimate pollution addressed to this honeypot.
-    for mail in &world.benign_mail {
-        if mail.dest == BenignDest::MxHoneypot(index) {
-            feed.count_sample();
-            for &d in &mail.domains {
-                feed.record(d, mail.time);
-            }
-        }
-    }
-
-    feed
+    let member = MemberSpec::Mx {
+        config: *config,
+        index,
+    };
+    collect_content(world, std::slice::from_ref(&member), &Parallelism::serial())
+        .pop()
+        .expect("one member yields one feed")
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::config::FeedsConfig;
     use crate::collectors::collect_mx;
+    use crate::config::FeedsConfig;
     use taster_ecosystem::{EcosystemConfig, GroundTruth};
     use taster_mailsim::{MailConfig, MailWorld};
 
@@ -108,7 +54,12 @@ mod tests {
         let mx1 = collect_mx(&w, &cfg.mx[0], 0);
         let mx2 = collect_mx(&w, &cfg.mx[1], 1);
         let mx3 = collect_mx(&w, &cfg.mx[2], 2);
-        assert!(mx2.samples > mx1.samples, "{:?} > {:?}", mx2.samples, mx1.samples);
+        assert!(
+            mx2.samples > mx1.samples,
+            "{:?} > {:?}",
+            mx2.samples,
+            mx1.samples
+        );
         assert!(mx1.samples > mx3.samples);
         assert!(mx2.unique_domains() > mx3.unique_domains());
     }

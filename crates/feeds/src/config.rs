@@ -104,7 +104,7 @@ impl Default for FeedsConfig {
             ],
             ac: [
                 AcConfig {
-                    vector_mask: 0b0111_1, // vectors 0–3 + 4? bits 0..=3
+                    vector_mask: 0b0_1111, // vectors 0–3 + 4? bits 0..=3
                     capture_prob: 0.18,
                 },
                 AcConfig {

@@ -122,6 +122,40 @@ impl Feed {
     pub fn volume_distribution(&self) -> EmpiricalDist {
         EmpiricalDist::from_counts(self.iter().map(|(d, s)| (d.0, s.volume)))
     }
+
+    /// Folds `other` (a shard of the same feed) into `self`.
+    ///
+    /// The combination is commutative and associative — first seen
+    /// takes the minimum, last seen the maximum, volumes and sample
+    /// counts add, FQDN sets union — so parallel collection can merge
+    /// event-range shards in any grouping and produce the same feed a
+    /// serial pass over all events would.
+    pub fn merge(&mut self, other: Feed) {
+        assert_eq!(self.id, other.id, "merging shards of different feeds");
+        assert_eq!(self.reports_volume, other.reports_volume);
+        self.samples = match (self.samples, other.samples) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
+        for (domain, stats) in other.domains {
+            match self.domains.entry(domain) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let s = e.get_mut();
+                    s.first_seen = s.first_seen.min(stats.first_seen);
+                    s.last_seen = s.last_seen.max(stats.last_seen);
+                    s.volume += stats.volume;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(stats);
+                }
+            }
+        }
+        if let Some(theirs) = other.fqdns {
+            self.fqdns
+                .get_or_insert_with(std::collections::HashSet::new)
+                .extend(theirs);
+        }
+    }
 }
 
 /// The full set of collected feeds, indexed by [`FeedId`].
@@ -201,21 +235,44 @@ mod tests {
         assert_eq!(dist.count(1), 2);
     }
 
+    #[test]
+    fn merge_is_order_independent() {
+        let shard = |times: &[(u32, u64)]| {
+            let mut f = Feed::new(FeedId::Mx1, true);
+            f.samples = Some(0);
+            for &(d, t) in times {
+                f.count_sample();
+                f.record(DomainId(d), SimTime(t));
+                f.note_fqdn(u64::from(d) * 31 + t);
+            }
+            f
+        };
+        let a = shard(&[(1, 10), (2, 50)]);
+        let b = shard(&[(1, 5), (3, 99)]);
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab.samples, Some(4));
+        assert_eq!(ab.samples, ba.samples);
+        assert_eq!(ab.unique_domains(), 3);
+        for d in [1u32, 2, 3] {
+            assert_eq!(ab.stats(DomainId(d)), ba.stats(DomainId(d)));
+        }
+        let s = ab.stats(DomainId(1)).unwrap();
+        assert_eq!(s.first_seen, SimTime(5));
+        assert_eq!(s.last_seen, SimTime(10));
+        assert_eq!(s.volume, 2);
+        assert_eq!(ab.unique_fqdns(), ba.unique_fqdns());
+    }
+
     fn dummy_set() -> FeedSet {
-        FeedSet::new(
-            FeedId::ALL
-                .iter()
-                .map(|&id| Feed::new(id, false))
-                .collect(),
-        )
+        FeedSet::new(FeedId::ALL.iter().map(|&id| Feed::new(id, false)).collect())
     }
 
     #[test]
     fn feed_set_indexing_and_union() {
-        let mut feeds: Vec<Feed> = FeedId::ALL
-            .iter()
-            .map(|&id| Feed::new(id, false))
-            .collect();
+        let mut feeds: Vec<Feed> = FeedId::ALL.iter().map(|&id| Feed::new(id, false)).collect();
         feeds[FeedId::Mx1.index()].record(DomainId(7), SimTime(1));
         feeds[FeedId::Bot.index()].record(DomainId(8), SimTime(1));
         feeds.reverse(); // constructor must restore order

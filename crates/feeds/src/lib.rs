@@ -29,6 +29,7 @@
 
 pub mod collectors;
 pub mod config;
+mod engine;
 pub mod feed;
 pub mod id;
 pub mod parse;
@@ -38,5 +39,5 @@ pub mod reporting;
 pub use config::FeedsConfig;
 pub use feed::{DomainStats, Feed, FeedSet};
 pub use id::{FeedId, FeedKind};
-pub use pipeline::collect_all;
+pub use pipeline::{collect_all, collect_all_with};
 pub use reporting::ReportingPolicy;

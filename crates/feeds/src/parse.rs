@@ -51,7 +51,21 @@ impl DomainExtractor {
         body: &str,
         table: &DomainTable,
     ) -> Vec<(DomainId, u64)> {
-        let mut out: Vec<(DomainId, u64)> = Vec::new();
+        let mut out = Vec::new();
+        self.registered_domains_into(body, table, &mut out);
+        out
+    }
+
+    /// [`Self::registered_domains_with_hosts`] into a caller-owned
+    /// buffer (appended to), for hot loops that reuse one allocation
+    /// across messages.
+    pub fn registered_domains_into(
+        &self,
+        body: &str,
+        table: &DomainTable,
+        out: &mut Vec<(DomainId, u64)>,
+    ) {
+        let start = out.len();
         for url in extract_urls(body) {
             let Some(reg) = self.psl.registered_domain(&url.host) else {
                 continue;
@@ -61,11 +75,10 @@ impl DomainExtractor {
                 continue;
             };
             let hash = fnv64(url.host.as_str().as_bytes());
-            if !out.iter().any(|&(d, _)| d == id) {
+            if !out[start..].iter().any(|&(d, _)| d == id) {
                 out.push((id, hash));
             }
         }
-        out
     }
 }
 

@@ -1,33 +1,64 @@
 //! Runs all ten collectors.
 
-use crate::collectors::{
-    collect_ac, collect_blacklist, collect_bot, collect_hu, collect_hyb, collect_mx,
-};
+use crate::collectors::{collect_blacklist, collect_hu};
 use crate::config::FeedsConfig;
-use crate::feed::FeedSet;
+use crate::engine::{collect_content, MemberSpec};
+use crate::feed::{Feed, FeedSet};
 use crate::id::FeedId;
 use taster_mailsim::MailWorld;
+use taster_sim::Parallelism;
 
-/// Collects all ten feeds over the world.
-///
-/// Each collector draws from its own RNG stream, so the set is
-/// reproducible and collectors are independent: removing one cannot
-/// change another's contents.
+/// Collects all ten feeds over the world with the default
+/// [`Parallelism`] (the `TASTER_THREADS` env override, else all
+/// available cores). See [`collect_all_with`].
 pub fn collect_all(world: &MailWorld, config: &FeedsConfig) -> FeedSet {
+    collect_all_with(world, config, &Parallelism::default())
+}
+
+/// Collects all ten feeds over the world on `par` workers.
+///
+/// Every collector decision draws from an RNG stream derived from
+/// `(seed, feed, event)`, so the set is reproducible, *bit-identical
+/// at any worker count*, and collectors are independent: removing one
+/// cannot change another's contents. The seven content collectors run
+/// fused and sharded over the event log (one render and one URL
+/// extraction per captured delivery, shared across feeds); the three
+/// cheap stream collectors (Hu and the two blacklists) fan out as
+/// whole tasks.
+pub fn collect_all_with(world: &MailWorld, config: &FeedsConfig, par: &Parallelism) -> FeedSet {
     config.validate().expect("valid feeds config");
-    let feeds = vec![
-        collect_hu(world),
-        collect_blacklist(world, &config.dbl, FeedId::Dbl),
-        collect_blacklist(world, &config.uribl, FeedId::Uribl),
-        collect_mx(world, &config.mx[0], 0),
-        collect_mx(world, &config.mx[1], 1),
-        collect_mx(world, &config.mx[2], 2),
-        collect_ac(world, &config.ac[0], 0),
-        collect_ac(world, &config.ac[1], 1),
-        collect_bot(world, &config.bot),
-        collect_hyb(world, &config.hyb),
+    let members = [
+        MemberSpec::Mx {
+            config: config.mx[0],
+            index: 0,
+        },
+        MemberSpec::Mx {
+            config: config.mx[1],
+            index: 1,
+        },
+        MemberSpec::Mx {
+            config: config.mx[2],
+            index: 2,
+        },
+        MemberSpec::Ac {
+            config: config.ac[0],
+            index: 0,
+        },
+        MemberSpec::Ac {
+            config: config.ac[1],
+            index: 1,
+        },
+        MemberSpec::Bot { config: config.bot },
+        MemberSpec::Hyb { config: config.hyb },
     ];
-    FeedSet::new(feeds)
+    let content = collect_content(world, &members, par);
+    type Task<'w> = Box<dyn FnOnce() -> Feed + Send + 'w>;
+    let standalone = par.par_run::<Feed, Task<'_>>(vec![
+        Box::new(|| collect_hu(world)),
+        Box::new(|| collect_blacklist(world, &config.dbl, FeedId::Dbl)),
+        Box::new(|| collect_blacklist(world, &config.uribl, FeedId::Uribl)),
+    ]);
+    FeedSet::new(standalone.into_iter().chain(content).collect())
 }
 
 #[cfg(test)]
@@ -57,6 +88,27 @@ mod tests {
                 FeedId::WITH_VOLUME.contains(&id),
                 "{id}"
             );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_set() {
+        let truth =
+            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 67).unwrap();
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let cfg = FeedsConfig::default();
+        let serial = collect_all_with(&world, &cfg, &taster_sim::Parallelism::serial());
+        for workers in [2, 8] {
+            let parallel = collect_all_with(&world, &cfg, &taster_sim::Parallelism::fixed(workers));
+            for id in FeedId::ALL {
+                let (a, b) = (serial.get(id), parallel.get(id));
+                assert_eq!(a.samples, b.samples, "{id}");
+                assert_eq!(a.unique_domains(), b.unique_domains(), "{id}");
+                assert_eq!(a.unique_fqdns(), b.unique_fqdns(), "{id}");
+                for (d, s) in a.iter() {
+                    assert_eq!(Some(s), b.stats(d), "{id} {d:?}");
+                }
+            }
         }
     }
 }

@@ -150,6 +150,9 @@ mod tests {
         let tau_raw = kendall_tau_b_counts(&truth, &raw).unwrap();
         assert!((tau_raw - 1.0).abs() < 1e-12);
         let tau_dedup = kendall_tau_b_counts(&truth, &deduped).unwrap_or(0.0);
-        assert!(tau_dedup < tau_raw, "dedup weakens rank fidelity: {tau_dedup}");
+        assert!(
+            tau_dedup < tau_raw,
+            "dedup weakens rank fidelity: {tau_dedup}"
+        );
     }
 }

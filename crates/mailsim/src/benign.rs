@@ -52,7 +52,11 @@ pub fn generate_benign_traffic(
     let days = truth.config.days;
     let mut out = Vec::new();
 
-    let emit = |dest: BenignDest, per_day: f64, rng: &mut RngStream, truth: &mut GroundTruth, out: &mut Vec<BenignMailEvent>| {
+    let emit = |dest: BenignDest,
+                per_day: f64,
+                rng: &mut RngStream,
+                truth: &mut GroundTruth,
+                out: &mut Vec<BenignMailEvent>| {
         let total = (per_day * days as f64).round() as u64;
         for _ in 0..total {
             let time = SimTime(rng.random_range(0..days * DAY));
@@ -129,7 +133,10 @@ mod tests {
         let before = truth.universe.len();
         let cfg = MailConfig::default();
         let events = generate_benign_traffic(&mut truth, &cfg, &[1.0, 1.0, 1.0]);
-        assert!(truth.universe.len() > before, "fresh benign domains interned");
+        assert!(
+            truth.universe.len() > before,
+            "fresh benign domains interned"
+        );
         for e in &events {
             assert!(!e.domains.is_empty() && e.domains.len() <= 3);
             for &d in &e.domains {

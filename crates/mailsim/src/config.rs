@@ -163,11 +163,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_probs() {
-        let mut c = MailConfig::default();
-        c.report_prob = 1.5;
+        let c = MailConfig {
+            report_prob: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = MailConfig::default();
-        c.oracle_days = 0;
+        let c = MailConfig {
+            oracle_days: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -171,8 +171,14 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert_eq!(parse_mbox("not an mbox"), Err(MboxError::MissingSeparator));
-        assert_eq!(parse_mbox("From justsender\nbody\n"), Err(MboxError::BadSeparator(1)));
-        assert_eq!(parse_mbox("From a@b.com @notanum\n"), Err(MboxError::BadSeparator(1)));
+        assert_eq!(
+            parse_mbox("From justsender\nbody\n"),
+            Err(MboxError::BadSeparator(1))
+        );
+        assert_eq!(
+            parse_mbox("From a@b.com @notanum\n"),
+            Err(MboxError::BadSeparator(1))
+        );
     }
 
     #[test]

@@ -15,13 +15,13 @@
 
 use crate::config::MailConfig;
 use rand::RngExt;
+use std::collections::HashMap;
 use taster_domain::DomainId;
 use taster_ecosystem::campaign::{CampaignStyle, TargetClass};
 use taster_ecosystem::GroundTruth;
 use taster_sim::{RngStream, SimTime, TimeWindow, DAY};
 use taster_stats::sample::standard_normal;
 use taster_stats::EmpiricalDist;
-use std::collections::HashMap;
 
 /// One "this is spam" user report.
 #[derive(Debug, Clone)]
@@ -135,8 +135,7 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> ProviderOutputs
             continue;
         }
         *report_counts.entry(event.advertised).or_insert(0) += 1;
-        let delay_secs =
-            (ln_median + config.report_delay_sigma * standard_normal(&mut rng)).exp();
+        let delay_secs = (ln_median + config.report_delay_sigma * standard_normal(&mut rng)).exp();
         let mut domains = vec![event.advertised];
         if let Some(c) = event.chaff {
             domains.push(c);
@@ -151,8 +150,7 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> ProviderOutputs
     // ---- users reporting legitimate commercial mail (§3.2: "human
     // identified spam can include legitimate commercial e-mail").
     let mut fp_rng = RngStream::new(truth.seed, "mailsim/provider-fp");
-    let total_fp =
-        (config.hu_benign_reports_per_day * truth.config.days as f64).round() as u64;
+    let total_fp = (config.hu_benign_reports_per_day * truth.config.days as f64).round() as u64;
     for _ in 0..total_fp {
         let t = SimTime(fp_rng.random_range(0..truth.config.days * DAY));
         let d = truth.universe.sample_chaff(&mut fp_rng);
@@ -164,8 +162,7 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> ProviderOutputs
     }
 
     // ---- background legitimate volume at the incoming servers.
-    let legit_msgs =
-        (config.oracle_legit_per_day * config.oracle_days as f64).round() as u64;
+    let legit_msgs = (config.oracle_legit_per_day * config.oracle_days as f64).round() as u64;
     for _ in 0..legit_msgs {
         let d = truth.universe.sample_chaff(&mut fp_rng);
         oracle.add(d.0, 1);
@@ -246,9 +243,11 @@ mod tests {
             .collect();
         let mut quiet_total = 0usize;
         let mut quiet_seen = 0usize;
-        for c in truth.campaigns.iter().filter(|c| {
-            c.style == CampaignStyle::Quiet && !c.poison
-        }) {
+        for c in truth
+            .campaigns
+            .iter()
+            .filter(|c| c.style == CampaignStyle::Quiet && !c.poison)
+        {
             for p in &c.domains {
                 quiet_total += 1;
                 let advertised_ids = [Some(p.storefront), p.landing];
@@ -270,8 +269,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let truth =
-            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 5).unwrap();
+        let truth = GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 5).unwrap();
         let a = run_provider(&truth, &MailConfig::default());
         let b = run_provider(&truth, &MailConfig::default());
         assert_eq!(a.reports.len(), b.reports.len());

@@ -45,8 +45,79 @@ pub struct RenderedMessage {
     pub text: String,
 }
 
-/// Renders one spam copy: advertised URL plus optional chaff URL
-/// embedded in a plausible plain-text body.
+/// Byte locations of the headers inside a buffer filled by
+/// [`render_spam_into`], so collectors can reuse one text buffer per
+/// delivery without allocating header copies.
+#[derive(Debug, Clone)]
+pub struct SpamHeaders {
+    /// Byte range of the `From` address within the rendered text.
+    pub from: std::ops::Range<usize>,
+    /// The chosen subject line.
+    pub subject: &'static str,
+}
+
+impl SpamHeaders {
+    /// The `From` address as a slice of `text`.
+    pub fn from_addr<'t>(&self, text: &'t str) -> &'t str {
+        &text[self.from.clone()]
+    }
+}
+
+/// Renders one spam copy into a reusable buffer (cleared first):
+/// advertised URL plus optional chaff URL embedded in a plausible
+/// plain-text body. This is the collectors' hot path — at full scale
+/// every captured delivery renders a message, so the buffer-reusing
+/// form avoids three string allocations per copy.
+pub fn render_spam_into<R: Rng>(
+    text: &mut String,
+    truth: &GroundTruth,
+    advertised: DomainId,
+    chaff: Option<DomainId>,
+    time: SimTime,
+    rng: &mut R,
+) -> SpamHeaders {
+    use std::fmt::Write;
+    text.clear();
+    let adv_url = UrlParts::draw(rng);
+    let subject_pool = match rng.random_range(0..3u8) {
+        0 => SUBJECTS_PHARMA,
+        1 => SUBJECTS_GOODS,
+        _ => SUBJECTS_OTHER,
+    };
+    let subject = subject_pool[rng.random_range(0..subject_pool.len())];
+    text.push_str("From: ");
+    let from_start = text.len();
+    push_sender_localpart(text, rng);
+    text.push('@');
+    text.push_str(truth.universe.table.text(truth.universe.sample_chaff(rng)));
+    let from_end = text.len();
+    write!(
+        text,
+        "\nTo: undisclosed-recipients:;\nSubject: {subject}\nDate: {time}\nMIME-Version: 1.0\n\n"
+    )
+    .expect("writing to a String cannot fail");
+    text.push_str("Dear customer,\n\n");
+    text.push_str("We have a special offer selected for you today.\n");
+    text.push_str("Order here: ");
+    adv_url.push_onto(text, truth, advertised);
+    text.push('\n');
+    if let Some(c) = chaff {
+        // Chaff placement mimics real messages: formatting/support
+        // references to legitimate sites (§3.3).
+        let curl = UrlParts::draw(rng);
+        text.push_str("\nAs reviewed on ");
+        curl.push_onto(text, truth, c);
+        text.push_str(" and trusted sites.\n");
+    }
+    text.push_str("\nBest regards,\nCustomer care\n");
+    SpamHeaders {
+        from: from_start..from_end,
+        subject,
+    }
+}
+
+/// Renders one spam copy into freshly allocated strings. Prefer
+/// [`render_spam_into`] in loops.
 pub fn render_spam<R: Rng>(
     truth: &GroundTruth,
     advertised: DomainId,
@@ -54,35 +125,11 @@ pub fn render_spam<R: Rng>(
     time: SimTime,
     rng: &mut R,
 ) -> RenderedMessage {
-    let adv_url = random_url(truth, advertised, rng);
-    let subject_pool = match rng.random_range(0..3u8) {
-        0 => SUBJECTS_PHARMA,
-        1 => SUBJECTS_GOODS,
-        _ => SUBJECTS_OTHER,
-    };
-    let subject = subject_pool[rng.random_range(0..subject_pool.len())].to_string();
-    let from = format!(
-        "{}@{}",
-        sender_localpart(rng),
-        truth.universe.table.text(truth.universe.sample_chaff(rng))
-    );
-    let mut body = String::with_capacity(420);
-    body.push_str("Dear customer,\n\n");
-    body.push_str("We have a special offer selected for you today.\n");
-    body.push_str(&format!("Order here: {adv_url}\n"));
-    if let Some(c) = chaff {
-        // Chaff placement mimics real messages: formatting/support
-        // references to legitimate sites (§3.3).
-        let curl = random_url(truth, c, rng);
-        body.push_str(&format!("\nAs reviewed on {curl} and trusted sites.\n"));
-    }
-    body.push_str("\nBest regards,\nCustomer care\n");
-    let text = format!(
-        "From: {from}\nTo: undisclosed-recipients:;\nSubject: {subject}\nDate: {time}\nMIME-Version: 1.0\n\n{body}"
-    );
+    let mut text = String::with_capacity(512);
+    let headers = render_spam_into(&mut text, truth, advertised, chaff, time, rng);
     RenderedMessage {
-        from,
-        subject,
+        from: headers.from_addr(&text).to_string(),
+        subject: headers.subject.to_string(),
         text,
     }
 }
@@ -98,15 +145,19 @@ pub fn render_benign<R: Rng>(
         .first()
         .map(|&d| truth.universe.table.text(d).to_string())
         .unwrap_or_else(|| "example.org".to_string());
-    let from = format!("{}@{}", sender_localpart(rng), from_dom);
+    let mut from = String::with_capacity(24 + from_dom.len());
+    push_sender_localpart(&mut from, rng);
+    from.push('@');
+    from.push_str(&from_dom);
     let subject = "Re: your inquiry".to_string();
     let mut body = String::from("Hi,\n\nFollowing up on our conversation:\n");
     for &d in domains {
-        body.push_str(&format!("  see {}\n", random_url(truth, d, rng)));
+        body.push_str("  see ");
+        push_random_url(&mut body, truth, d, rng);
+        body.push('\n');
     }
     body.push_str("\nThanks!\n");
-    let text =
-        format!("From: {from}\nTo: someone\nSubject: {subject}\nDate: {time}\n\n{body}");
+    let text = format!("From: {from}\nTo: someone\nSubject: {subject}\nDate: {time}\n\n{body}");
     RenderedMessage {
         from,
         subject,
@@ -114,26 +165,62 @@ pub fn render_benign<R: Rng>(
     }
 }
 
-/// Builds a URL string on `domain` with a random subdomain and path.
-pub fn random_url<R: Rng>(truth: &GroundTruth, domain: DomainId, rng: &mut R) -> String {
-    let host = truth.universe.table.text(domain);
-    let sub = SUBDOMAINS[rng.random_range(0..SUBDOMAINS.len())];
-    let path = PATHS[rng.random_range(0..PATHS.len())];
-    let tail: String = if path.ends_with('=') || path.ends_with('/') && path.len() > 1 {
-        format!("{:x}", rng.random_range(0..0xffffffu32))
-    } else {
-        String::new()
-    };
-    format!("http://{sub}{host}{path}{tail}")
+/// The random draws behind one URL, separated from string assembly so
+/// hot paths can draw first and write into a reused buffer later.
+struct UrlParts {
+    sub: &'static str,
+    path: &'static str,
+    tail: Option<u32>,
 }
 
-fn sender_localpart<R: Rng>(rng: &mut R) -> String {
+impl UrlParts {
+    fn draw<R: Rng>(rng: &mut R) -> UrlParts {
+        let sub = SUBDOMAINS[rng.random_range(0..SUBDOMAINS.len())];
+        let path = PATHS[rng.random_range(0..PATHS.len())];
+        let tail = if path.ends_with('=') || path.ends_with('/') && path.len() > 1 {
+            Some(rng.random_range(0..0xffffffu32))
+        } else {
+            None
+        };
+        UrlParts { sub, path, tail }
+    }
+
+    fn push_onto(&self, out: &mut String, truth: &GroundTruth, domain: DomainId) {
+        use std::fmt::Write;
+        out.push_str("http://");
+        out.push_str(self.sub);
+        out.push_str(truth.universe.table.text(domain));
+        out.push_str(self.path);
+        if let Some(tail) = self.tail {
+            write!(out, "{tail:x}").expect("writing to a String cannot fail");
+        }
+    }
+}
+
+/// Appends a URL on `domain` with a random subdomain and path onto
+/// `out`, allocation-free (buffer growth aside).
+pub fn push_random_url<R: Rng>(
+    out: &mut String,
+    truth: &GroundTruth,
+    domain: DomainId,
+    rng: &mut R,
+) {
+    UrlParts::draw(rng).push_onto(out, truth, domain);
+}
+
+/// Builds a URL string on `domain` with a random subdomain and path.
+/// Prefer [`push_random_url`] in loops.
+pub fn random_url<R: Rng>(truth: &GroundTruth, domain: DomainId, rng: &mut R) -> String {
+    let mut out = String::with_capacity(48);
+    push_random_url(&mut out, truth, domain, rng);
+    out
+}
+
+fn push_sender_localpart<R: Rng>(out: &mut String, rng: &mut R) {
+    use std::fmt::Write;
     const NAMES: &[&str] = &["info", "sales", "noreply", "news", "offers", "support"];
-    format!(
-        "{}{}",
-        NAMES[rng.random_range(0..NAMES.len())],
-        rng.random_range(0..100u8)
-    )
+    out.push_str(NAMES[rng.random_range(0..NAMES.len())]);
+    write!(out, "{}", rng.random_range(0..100u8)).expect("writing to a String cannot fail");
 }
 
 #[cfg(test)]
@@ -160,7 +247,10 @@ mod tests {
             assert!(!urls.is_empty(), "no URLs extracted from:\n{}", msg.text);
             let mut regs: Vec<String> = urls
                 .iter()
-                .filter_map(|u| psl.registered_domain(&u.host).map(|r| r.as_str().to_string()))
+                .filter_map(|u| {
+                    psl.registered_domain(&u.host)
+                        .map(|r| r.as_str().to_string())
+                })
                 .collect();
             regs.sort();
             let adv = truth.universe.table.text(e.advertised).to_string();
@@ -186,6 +276,38 @@ mod tests {
         assert!(msg.text.contains(text1));
         assert!(msg.text.contains(text2));
         assert!(msg.from.contains('@'));
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let truth = world();
+        let mut rng_a = RngStream::new(5, "render-into");
+        let mut rng_b = rng_a.clone();
+        let mut buf = String::new();
+        for e in truth.events.iter().take(200) {
+            let msg = render_spam(&truth, e.advertised, e.chaff, e.time, &mut rng_a);
+            let headers =
+                render_spam_into(&mut buf, &truth, e.advertised, e.chaff, e.time, &mut rng_b);
+            assert_eq!(buf, msg.text);
+            assert_eq!(headers.from_addr(&buf), msg.from);
+            assert_eq!(headers.subject, msg.subject);
+        }
+    }
+
+    #[test]
+    fn push_random_url_matches_random_url() {
+        let truth = world();
+        let mut rng_a = RngStream::new(6, "render-push-url");
+        let mut rng_b = rng_a.clone();
+        let mut buf = String::new();
+        for _ in 0..200 {
+            let d = truth.universe.sample_chaff(&mut rng_a);
+            let _ = truth.universe.sample_chaff(&mut rng_b);
+            let url = random_url(&truth, d, &mut rng_a);
+            buf.clear();
+            push_random_url(&mut buf, &truth, d, &mut rng_b);
+            assert_eq!(buf, url);
+        }
     }
 
     #[test]

@@ -30,8 +30,7 @@ impl MailWorld {
     /// then the provider model.
     pub fn build(mut truth: GroundTruth, mail_config: MailConfig) -> MailWorld {
         mail_config.validate().expect("valid mail config");
-        let benign_mail =
-            generate_benign_traffic(&mut truth, &mail_config, &MX_SIZE_FACTORS);
+        let benign_mail = generate_benign_traffic(&mut truth, &mail_config, &MX_SIZE_FACTORS);
         let provider = run_provider(&truth, &mail_config);
         MailWorld {
             truth,
@@ -49,8 +48,7 @@ mod tests {
 
     #[test]
     fn build_produces_all_streams() {
-        let truth =
-            GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 3).unwrap();
+        let truth = GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 3).unwrap();
         let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
         assert!(!world.benign_mail.is_empty());
         assert!(!world.provider.reports.is_empty());

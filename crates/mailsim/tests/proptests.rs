@@ -30,10 +30,7 @@ fn message_text() -> impl Strategy<Value = String> {
 }
 
 fn sender() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just(String::new()),
-        "[a-z]{1,8}@[a-z]{1,8}\\.(com|org|net)",
-    ]
+    prop_oneof![Just(String::new()), "[a-z]{1,8}@[a-z]{1,8}\\.(com|org|net)",]
 }
 
 proptest! {
@@ -62,7 +59,7 @@ proptest! {
             // representable in a line-oriented format).
             let g: Vec<&str> = got.text.lines().collect();
             let w: Vec<&str> = want.text.lines().collect();
-            fn trim<'a>(mut v: Vec<&'a str>) -> Vec<&'a str> {
+            fn trim(mut v: Vec<&str>) -> Vec<&str> {
                 while v.last().is_some_and(|l| l.is_empty()) {
                     v.pop();
                 }

@@ -18,14 +18,19 @@
 //! * [`queue`] — a stable event queue ([`queue::EventQueue`]) ordering
 //!   events by `(time, insertion sequence)` so simultaneous events pop
 //!   in a deterministic order.
+//! * [`par`] — deterministic fan-out over scoped threads
+//!   ([`par::Parallelism`]): ordered result merge plus per-task RNG
+//!   streams keep parallel runs bit-identical to serial ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use par::Parallelism;
 pub use queue::EventQueue;
 pub use rng::RngStream;
 pub use time::{SimTime, TimeWindow, DAY, HOUR, MINUTE};

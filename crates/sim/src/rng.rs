@@ -44,15 +44,16 @@ impl RngStream {
 
     /// Derives a numbered child stream, e.g. one per campaign.
     pub fn child(&self, master_seed: u64, name: &str, index: u64) -> RngStream {
-        RngStream::new(master_seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407), name)
+        RngStream::new(
+            master_seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407),
+            name,
+        )
     }
 
     #[inline]
     fn next(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = (s[0].wrapping_add(s[3]))
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = (s[0].wrapping_add(s[3])).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

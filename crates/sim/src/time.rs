@@ -197,7 +197,10 @@ mod tests {
         let a = TimeWindow::new(SimTime(10), SimTime(20));
         let b = TimeWindow::new(SimTime(15), SimTime(30));
         let c = TimeWindow::new(SimTime(20), SimTime(25));
-        assert_eq!(a.intersect(&b), Some(TimeWindow::new(SimTime(15), SimTime(20))));
+        assert_eq!(
+            a.intersect(&b),
+            Some(TimeWindow::new(SimTime(15), SimTime(20)))
+        );
         assert_eq!(a.intersect(&c), None);
     }
 

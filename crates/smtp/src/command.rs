@@ -118,8 +118,14 @@ mod tests {
 
     #[test]
     fn parses_the_core_verbs() {
-        assert_eq!(Command::parse("HELO spam.example"), Ok(Command::Helo("spam.example".into())));
-        assert_eq!(Command::parse("ehlo relay.example"), Ok(Command::Ehlo("relay.example".into())));
+        assert_eq!(
+            Command::parse("HELO spam.example"),
+            Ok(Command::Helo("spam.example".into()))
+        );
+        assert_eq!(
+            Command::parse("ehlo relay.example"),
+            Ok(Command::Ehlo("relay.example".into()))
+        );
         assert_eq!(
             Command::parse("MAIL FROM:<a@b.com>"),
             Ok(Command::MailFrom("a@b.com".into()))
@@ -136,13 +142,19 @@ mod tests {
 
     #[test]
     fn null_reverse_path() {
-        assert_eq!(Command::parse("MAIL FROM:<>"), Ok(Command::MailFrom(String::new())));
+        assert_eq!(
+            Command::parse("MAIL FROM:<>"),
+            Ok(Command::MailFrom(String::new()))
+        );
     }
 
     #[test]
     fn rejects_malformed() {
         assert!(matches!(Command::parse(""), Err(ParseError::Empty)));
-        assert!(matches!(Command::parse("HELO"), Err(ParseError::BadArguments(_))));
+        assert!(matches!(
+            Command::parse("HELO"),
+            Err(ParseError::BadArguments(_))
+        ));
         assert!(matches!(
             Command::parse("MAIL FROM:a@b.com"),
             Err(ParseError::BadArguments(_))

@@ -178,16 +178,19 @@ impl HoneypotServer {
             return Some(Reply::ok());
         }
         // Undo dot-stuffing (RFC 5321 §4.5.2).
-        let content = line.strip_prefix('.').filter(|_| line.starts_with("..")).map_or_else(
-            || {
-                if let Some(stripped) = line.strip_prefix('.') {
-                    stripped.to_string()
-                } else {
-                    line.to_string()
-                }
-            },
-            |s| format!(".{}", &s[1..]),
-        );
+        let content = line
+            .strip_prefix('.')
+            .filter(|_| line.starts_with(".."))
+            .map_or_else(
+                || {
+                    if let Some(stripped) = line.strip_prefix('.') {
+                        stripped.to_string()
+                    } else {
+                        line.to_string()
+                    }
+                },
+                |s| format!(".{}", &s[1..]),
+            );
         self.data_lines.push(content);
         None
     }
@@ -290,6 +293,10 @@ mod tests {
         let (mut s, _) = HoneypotServer::connect("mx.example");
         assert_eq!(drive(&mut s, "VRFY whoever").code, 500);
         assert_eq!(drive(&mut s, "HELO").code, 501);
-        assert_eq!(s.state(), SessionState::Connected, "errors do not advance state");
+        assert_eq!(
+            s.state(),
+            SessionState::Connected,
+            "errors do not advance state"
+        );
     }
 }

@@ -46,7 +46,10 @@ pub fn bootstrap_ci<R: Rng>(
     rng: &mut R,
 ) -> Option<ConfidenceInterval> {
     assert!(resamples > 0, "need at least one resample");
-    assert!((0.0..1.0).contains(&(1.0 - level)) && level > 0.0, "level in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&(1.0 - level)) && level > 0.0,
+        "level in (0,1)"
+    );
     if values.is_empty() {
         return None;
     }

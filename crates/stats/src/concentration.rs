@@ -69,8 +69,7 @@ pub fn lorenz_curve(values: &[f64], points: usize) -> Vec<LorenzPoint> {
     });
     for k in 1..=points {
         let population = k as f64 / points as f64;
-        let idx = ((population * sorted.len() as f64).ceil() as usize)
-            .clamp(1, sorted.len());
+        let idx = ((population * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         out.push(LorenzPoint {
             population,
             mass: cumulative[idx - 1] / total,
@@ -142,7 +141,9 @@ mod tests {
 
     #[test]
     fn top_share_of_pareto_like_data() {
-        let values: Vec<f64> = (1..=1000).map(|i| 1.0 / (i as f64).powf(1.1) * 1e6).collect();
+        let values: Vec<f64> = (1..=1000)
+            .map(|i| 1.0 / (i as f64).powf(1.1) * 1e6)
+            .collect();
         let top1 = top_share(&values, 0.01).unwrap();
         assert!(top1 > 0.3, "top 1% holds {top1:.2}");
         assert!((top_share(&values, 1.0).unwrap() - 1.0).abs() < 1e-12);

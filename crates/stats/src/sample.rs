@@ -33,7 +33,10 @@ impl Zipf {
     /// Creates a Zipf sampler; panics if `n == 0` or `s < 0`.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs a non-empty universe");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite, non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite, non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 1..=n {
@@ -213,7 +216,10 @@ mod tests {
         sorted.sort_by(f64::total_cmp);
         let median = sorted[draws.len() / 2];
         let mean = draws.iter().sum::<f64>() / draws.len() as f64;
-        assert!(mean > 2.0 * median, "heavy tail: mean {mean} vs median {median}");
+        assert!(
+            mean > 2.0 * median,
+            "heavy tail: mean {mean} vs median {median}"
+        );
     }
 
     #[test]
@@ -224,7 +230,10 @@ mod tests {
         draws.sort_by(f64::total_cmp);
         let median = draws[draws.len() / 2];
         let expect = 3.0f64.exp();
-        assert!((median / expect - 1.0).abs() < 0.1, "median {median} vs {expect}");
+        assert!(
+            (median / expect - 1.0).abs() < 0.1,
+            "median {median} vs {expect}"
+        );
     }
 
     #[test]

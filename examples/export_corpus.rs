@@ -38,7 +38,13 @@ fn main() {
         if event.target != TargetClass::BruteForce || !rng.random_bool(0.05) {
             continue;
         }
-        let msg = render_spam(&world.truth, event.advertised, event.chaff, event.time, &mut rng);
+        let msg = render_spam(
+            &world.truth,
+            event.advertised,
+            event.chaff,
+            event.time,
+            &mut rng,
+        );
         deliver(
             &mut server,
             "cannon.example",
@@ -57,7 +63,11 @@ fn main() {
 
     let text = write_mbox(&corpus);
     std::fs::write(&out_path, &text).expect("write mbox");
-    eprintln!("wrote {} messages ({} bytes) to {out_path}", corpus.len(), text.len());
+    eprintln!(
+        "wrote {} messages ({} bytes) to {out_path}",
+        corpus.len(),
+        text.len()
+    );
 
     // Round-trip check, like a downstream consumer would.
     let reparsed = parse_mbox(&text).expect("valid mbox");

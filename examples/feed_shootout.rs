@@ -44,7 +44,10 @@ fn main() {
         &FeedId::ALL,
     );
 
-    println!("{:<6} {:>8} {:>9} {:>9} {:>10}", "Feed", "purity", "coverage", "volume", "onset(d)");
+    println!(
+        "{:<6} {:>8} {:>9} {:>9} {:>10}",
+        "Feed", "purity", "coverage", "volume", "onset(d)"
+    );
     for id in FeedId::ALL {
         let p = purity.iter().find(|r| r.feed == id).unwrap();
         // Purity score: positive indicators minus benign contamination.

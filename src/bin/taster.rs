@@ -2,14 +2,26 @@
 //! toolkit.
 //!
 //! ```text
-//! taster report  [--scale S] [--seed N] [--section NAME]   regenerate tables/figures
-//! taster ablate  [--scale S] [--seed N]                    run the four ablation studies
-//! taster sweep   <seeding|mx-size> [--scale S] [--seed N]  parameter sweeps
-//! taster summary [--scale S] [--seed N]                    world statistics only
+//! taster report     [--scale S] [--seed N] [--section NAME]   regenerate tables/figures
+//! taster ablate     [--scale S] [--seed N]                    run the four ablation studies
+//! taster sweep      <seeding|mx-size> [--scale S] [--seed N]  parameter sweeps
+//! taster summary    [--scale S] [--seed N]                    world statistics only
+//! taster bench-json [--scale S] [--seed N] [--out PATH]       pipeline scaling benchmark
 //! ```
 //!
 //! Sections for `report`: `table1 table2 table3 fig1 … fig12 selection all`
 //! (default `all`).
+//!
+//! Every command accepts `--threads N` to pin the worker count of the
+//! parallel stages (feed collection, crawling, pairwise analyses).
+//! Without the flag the `TASTER_THREADS` environment variable is
+//! consulted, then the number of available cores. The thread count
+//! never changes any output — every parallel stage is bit-identical
+//! to a serial run — only how long the run takes.
+//!
+//! `bench-json` times feed collection and crawl/classification at 1,
+//! 2, 4 and 8 workers and writes the timings (plus speedups relative
+//! to one worker) as JSON, by default to `BENCH_pipeline.json`.
 
 use taster::analysis::classify::Category;
 use taster::core::{ablation, sweep, Experiment, Scenario};
@@ -21,6 +33,8 @@ struct Args {
     seed: u64,
     section: String,
     format: String,
+    threads: Option<usize>,
+    out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 20_100_801,
         section: "all".to_string(),
         format: "text".to_string(),
+        threads: None,
+        out: "BENCH_pipeline.json".to_string(),
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -56,6 +72,20 @@ fn parse_args() -> Result<Args, String> {
             "--format" => {
                 out.format = args.next().ok_or("--format needs a value")?;
             }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                out.threads = Some(n);
+            }
+            "--out" => {
+                out.out = args.next().ok_or("--out needs a value")?;
+            }
             other if !other.starts_with('-') => out.positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -64,7 +94,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: taster <report|ablate|sweep|summary> [--scale S] [--seed N] [--section NAME]"
+    "usage: taster <report|ablate|sweep|summary|bench-json> \
+     [--scale S] [--seed N] [--threads N] [--section NAME] [--out PATH]"
         .to_string()
 }
 
@@ -76,15 +107,19 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let scenario = Scenario::default_paper()
+    let mut scenario = Scenario::default_paper()
         .with_scale(args.scale)
         .with_seed(args.seed);
+    if let Some(n) = args.threads {
+        scenario = scenario.with_threads(n);
+    }
 
     match args.command.as_str() {
         "report" => report(&scenario, &args.section, &args.format),
         "ablate" => ablate(&scenario),
         "sweep" => do_sweep(&scenario, args.positional.first().map(|s| s.as_str())),
         "summary" => summary(&scenario),
+        "bench-json" => bench_json(&scenario, &args.out),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             std::process::exit(2);
@@ -222,6 +257,72 @@ fn do_sweep(scenario: &Scenario, which: Option<&str>) {
     }
 }
 
+/// Times feed collection and crawl/classification at 1/2/4/8 workers
+/// over one shared world and writes the results as JSON. Every timed
+/// run produces bit-identical output; only wall-clock varies.
+fn bench_json(scenario: &Scenario, path: &str) {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    eprintln!("building world for {}", scenario.name);
+    let world = sweep::build_world(scenario);
+    let reps = 3usize;
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let par = taster::sim::Parallelism::fixed(workers);
+        let mut collect_best = f64::INFINITY;
+        let mut classify_best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let feeds = taster::feeds::collect_all_with(&world, &scenario.feeds, &par);
+            collect_best = collect_best.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let classified = taster::analysis::Classified::build_with(
+                &world.truth,
+                &feeds,
+                scenario.classify,
+                &par,
+            );
+            classify_best = classify_best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&classified);
+        }
+        eprintln!("workers {workers}: collect {collect_best:.3}s classify {classify_best:.3}s");
+        rows.push((workers, collect_best, classify_best));
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (_, base_collect, base_classify) = rows[0];
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"pipeline_scaling\",");
+    let _ = writeln!(json, "  \"scenario\": \"{}\",", scenario.name);
+    let _ = writeln!(json, "  \"seed\": {},", scenario.seed);
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"runs\": [\n");
+    for (i, &(workers, collect, classify)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {workers}, \
+             \"collect_secs\": {collect:.6}, \
+             \"collect_speedup\": {:.3}, \
+             \"classify_secs\": {classify:.6}, \
+             \"classify_speedup\": {:.3}}}{comma}",
+            base_collect / collect,
+            base_classify / classify,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
+
 fn summary(scenario: &Scenario) {
     let world = sweep::build_world(scenario);
     let t = &world.truth;
@@ -232,10 +333,16 @@ fn summary(scenario: &Scenario) {
     println!("delivered copies  {}", t.total_volume());
     println!("domains ......... {}", t.universe.len());
     println!("web-spam corpus . {}", t.webspam.len());
-    println!("botnets ......... {} ({} monitored)", t.botnets.len(),
-        t.botnets.iter().filter(|b| b.monitored).count());
-    println!("programs ........ {} ({} tagged)", t.roster.programs.len(),
-        t.roster.tagged_programs().count());
+    println!(
+        "botnets ......... {} ({} monitored)",
+        t.botnets.len(),
+        t.botnets.iter().filter(|b| b.monitored).count()
+    );
+    println!(
+        "programs ........ {} ({} tagged)",
+        t.roster.programs.len(),
+        t.roster.tagged_programs().count()
+    );
     println!("affiliates ...... {}", t.roster.affiliates.len());
     println!("user reports .... {}", world.provider.reports.len());
     println!("benign trap mail  {}", world.benign_mail.len());

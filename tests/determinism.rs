@@ -7,7 +7,9 @@ use taster::ecosystem::{EcosystemConfig, GroundTruth};
 use taster::feeds::FeedId;
 
 fn scenario() -> Scenario {
-    Scenario::default_paper().with_scale(0.02).with_seed(424_242)
+    Scenario::default_paper()
+        .with_scale(0.02)
+        .with_seed(424_242)
 }
 
 #[test]

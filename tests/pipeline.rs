@@ -56,7 +56,14 @@ fn spam_collectors_see_only_advertised_or_chaff_domains() {
         .iter()
         .flat_map(|m| m.domains.iter().copied())
         .collect();
-    for id in [FeedId::Mx1, FeedId::Mx2, FeedId::Mx3, FeedId::Ac1, FeedId::Ac2, FeedId::Bot] {
+    for id in [
+        FeedId::Mx1,
+        FeedId::Mx2,
+        FeedId::Mx3,
+        FeedId::Ac1,
+        FeedId::Ac2,
+        FeedId::Bot,
+    ] {
         for (d, _) in e.feeds.get(id).iter() {
             assert!(
                 email_visible.contains(&d) || benign_mail.contains(&d),
@@ -78,7 +85,12 @@ fn classification_agrees_with_a_fresh_crawl() {
         checked += 1;
     }
     assert!(checked > 0);
-    for d in e.classified.set(FeedId::Hu, Category::Tagged).iter().take(500) {
+    for d in e
+        .classified
+        .set(FeedId::Hu, Category::Tagged)
+        .iter()
+        .take(500)
+    {
         let r = crawler.crawl_one(d);
         assert!(r.is_tagged());
         let tag = r.tag.unwrap();

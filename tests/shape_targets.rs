@@ -14,7 +14,11 @@ use taster::feeds::FeedId;
 fn experiment() -> &'static Experiment {
     static EXP: OnceLock<Experiment> = OnceLock::new();
     EXP.get_or_init(|| {
-        Experiment::run(&Scenario::default_paper().with_scale(0.3).with_seed(20_100_801))
+        Experiment::run(
+            &Scenario::default_paper()
+                .with_scale(0.3)
+                .with_seed(20_100_801),
+        )
     })
 }
 
@@ -109,7 +113,10 @@ fn target5_benign_volume_overhang() {
         );
     }
     let dbl = get(FeedId::Dbl);
-    assert!(dbl.benign_overhang < dbl.covered * 2.0, "dbl overhang small");
+    assert!(
+        dbl.benign_overhang < dbl.covered * 2.0,
+        "dbl overhang small"
+    );
 }
 
 /// Target 6: `Bot` covers few programs and almost no RX affiliates;
@@ -129,7 +136,10 @@ fn target6_program_and_affiliate_coverage() {
     let dbl = affs.get_extra(FeedId::Dbl).count;
     let mx2 = affs.get_extra(FeedId::Mx2).count;
     assert!(bot * 5 < hu, "Bot {bot} ≪ Hu {hu}");
-    assert!(mx2 < dbl, "mx2 {mx2} < dbl {dbl} (honeypots see few affiliates)");
+    assert!(
+        mx2 < dbl,
+        "mx2 {mx2} < dbl {dbl} (honeypots see few affiliates)"
+    );
     assert!(dbl < hu, "dbl {dbl} < Hu {hu}");
 
     // Fig 6: revenue coverage is skewed towards the feeds that catch
@@ -177,7 +187,10 @@ fn target8_timing_structure() {
     let e = experiment();
     let fig9 = e.fig9();
     let get = |rows: &[(FeedId, taster::stats::Boxplot)], id: FeedId| {
-        rows.iter().find(|(f, _)| *f == id).map(|(_, b)| *b).unwrap()
+        rows.iter()
+            .find(|(f, _)| *f == id)
+            .map(|(_, b)| *b)
+            .unwrap()
     };
     let hu = get(&fig9, FeedId::Hu);
     let dbl = get(&fig9, FeedId::Dbl);
@@ -185,7 +198,12 @@ fn target8_timing_structure() {
     let ac1 = get(&fig9, FeedId::Ac1);
     assert!(hu.median < 1.2, "Hu median {:.2}d", hu.median);
     assert!(dbl.median < 1.0, "dbl median {:.2}d", dbl.median);
-    assert!(mx1.median > hu.median, "mx1 {:.2} > Hu {:.2}", mx1.median, hu.median);
+    assert!(
+        mx1.median > hu.median,
+        "mx1 {:.2} > Hu {:.2}",
+        mx1.median,
+        hu.median
+    );
     assert!(ac1.median > dbl.median);
 
     let fig10 = e.fig10();

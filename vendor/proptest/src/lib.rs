@@ -1,0 +1,807 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the slice of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_filter`,
+//! range/tuple/`Just`/regex-string strategies, `collection::vec` and
+//! `collection::hash_set`, `option::of`, `any::<bool|char>()`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_oneof!` macros.
+//!
+//! Differences from upstream: generation is purely random (no
+//! shrinking — a failure reports the iteration and seed instead of a
+//! minimised case), and regex strategies support the subset of syntax
+//! the tests use (character classes, groups, alternation, `?`,
+//! `{m,n}` repetition, `\PC`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// The generator handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Why a test case failed.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (regenerates; panics
+    /// after too many rejections).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(move |rng: &mut TestRng| self.gen_value(rng)),
+        }
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.gen_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 10000 candidates", self.reason);
+    }
+}
+
+/// Always produces a clone of its payload.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// String literals are regex strategies, as in upstream proptest.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        // Compiling per draw is fine at test scale; memoisation would
+        // need interior mutability for no observable benefit.
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+            .gen_value(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mixture: mostly ASCII, some BMP, some astral — enough to
+        // exercise unicode handling without a full char distribution.
+        match rng.random_range(0..10u8) {
+            0..=5 => rng.random_range(0x20u32..0x7F) as u8 as char,
+            6 | 7 => char::from_u32(rng.random_range(0xA0u32..0xD800)).unwrap_or('\u{FFFD}'),
+            8 => char::from_u32(rng.random_range(0xE000u32..0x1_0000)).unwrap_or('\u{FFFD}'),
+            _ => char::from_u32(rng.random_range(0x1_0000u32..0x11_0000)).unwrap_or('\u{FFFD}'),
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+/// The strategy behind [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// A `HashSet` of roughly `size` elements drawn from `element`.
+    /// (Duplicates collapse, as in upstream.)
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.min..self.size.max_exclusive);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.random_range(self.size.min..self.size.max_exclusive);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Element-count specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum count (inclusive).
+    pub min: usize,
+    /// Maximum count (exclusive).
+    pub max_exclusive: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.random_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// Regex-driven string strategies.
+pub mod string {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A strategy producing strings matching `pattern` (syntax subset:
+    /// literals, `[...]` classes with ranges, `(...)` groups,
+    /// alternation, `?`, `{m,n}`/`{n}` repetition, `\.`, `\PC`).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        let mut parser = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let node = parser.parse_alternation()?;
+        if parser.pos != parser.chars.len() {
+            return Err(format!("trailing junk at {} in {pattern:?}", parser.pos));
+        }
+        Ok(RegexStrategy { node })
+    }
+
+    /// See [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        node: Node,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            emit(&self.node, rng, &mut out);
+            out
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        /// Ordered concatenation.
+        Seq(Vec<Node>),
+        /// One branch chosen uniformly.
+        Alt(Vec<Node>),
+        /// A literal character.
+        Lit(char),
+        /// One char drawn from the class ranges.
+        Class(Vec<(char, char)>),
+        /// `inner` repeated uniformly in `[min, max]`.
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Parser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+
+        fn parse_alternation(&mut self) -> Result<Node, String> {
+            let mut branches = vec![self.parse_seq()?];
+            while self.peek() == Some('|') {
+                self.bump();
+                branches.push(self.parse_seq()?);
+            }
+            Ok(if branches.len() == 1 {
+                branches.pop().expect("one branch")
+            } else {
+                Node::Alt(branches)
+            })
+        }
+
+        fn parse_seq(&mut self) -> Result<Node, String> {
+            let mut items = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let atom = self.parse_atom()?;
+                items.push(self.parse_repeat(atom)?);
+            }
+            Ok(Node::Seq(items))
+        }
+
+        fn parse_atom(&mut self) -> Result<Node, String> {
+            match self.bump().ok_or("unexpected end of pattern")? {
+                '(' => {
+                    let inner = self.parse_alternation()?;
+                    if self.bump() != Some(')') {
+                        return Err("unclosed group".to_string());
+                    }
+                    Ok(inner)
+                }
+                '[' => self.parse_class(),
+                '\\' => match self.bump().ok_or("dangling backslash")? {
+                    'P' => {
+                        // `\PC`: not-a-control character. Generate the
+                        // printable-ASCII subset plus a few multibyte
+                        // characters — every output matches upstream's
+                        // class, which is all these tests need.
+                        if self.bump() != Some('C') {
+                            return Err("only \\PC is supported".to_string());
+                        }
+                        Ok(Node::Class(vec![
+                            (' ', '~'),
+                            (' ', '~'),
+                            (' ', '~'),
+                            ('\u{A1}', '\u{FF}'),
+                            ('\u{100}', '\u{17F}'),
+                            ('\u{4E00}', '\u{4EFF}'),
+                        ]))
+                    }
+                    'n' => Ok(Node::Lit('\n')),
+                    't' => Ok(Node::Lit('\t')),
+                    c => Ok(Node::Lit(c)),
+                },
+                '.' => Ok(Node::Class(vec![(' ', '~')])),
+                c => Ok(Node::Lit(c)),
+            }
+        }
+
+        fn parse_class(&mut self) -> Result<Node, String> {
+            let mut ranges = Vec::new();
+            loop {
+                let c = self.bump().ok_or("unclosed class")?;
+                match c {
+                    ']' => break,
+                    '\\' => {
+                        let e = self.bump().ok_or("dangling backslash in class")?;
+                        ranges.push((e, e));
+                    }
+                    _ => {
+                        if self.peek() == Some('-')
+                            && self.chars.get(self.pos + 1).copied() != Some(']')
+                            && self.chars.get(self.pos + 1).is_some()
+                        {
+                            self.bump(); // '-'
+                            let hi = self.bump().ok_or("unclosed range")?;
+                            ranges.push((c, hi));
+                        } else {
+                            ranges.push((c, c));
+                        }
+                    }
+                }
+            }
+            if ranges.is_empty() {
+                return Err("empty class".to_string());
+            }
+            Ok(Node::Class(ranges))
+        }
+
+        fn parse_repeat(&mut self, atom: Node) -> Result<Node, String> {
+            match self.peek() {
+                Some('?') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 0, 1))
+                }
+                Some('*') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 0, 8))
+                }
+                Some('+') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 1, 8))
+                }
+                Some('{') => {
+                    self.bump();
+                    let mut min_s = String::new();
+                    let mut max_s = String::new();
+                    let mut in_max = false;
+                    loop {
+                        match self.bump().ok_or("unclosed repetition")? {
+                            '}' => break,
+                            ',' => in_max = true,
+                            d if d.is_ascii_digit() => {
+                                if in_max {
+                                    max_s.push(d);
+                                } else {
+                                    min_s.push(d);
+                                }
+                            }
+                            other => return Err(format!("bad repetition char {other:?}")),
+                        }
+                    }
+                    let min: u32 = min_s.parse().map_err(|e| format!("bad min: {e}"))?;
+                    let max: u32 = if !in_max {
+                        min
+                    } else {
+                        max_s.parse().map_err(|e| format!("bad max: {e}"))?
+                    };
+                    if max < min {
+                        return Err("max < min in repetition".to_string());
+                    }
+                    Ok(Node::Repeat(Box::new(atom), min, max))
+                }
+                _ => Ok(atom),
+            }
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Seq(items) => {
+                for item in items {
+                    emit(item, rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let i = rng.random_range(0..branches.len());
+                emit(&branches[i], rng, out);
+            }
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let i = rng.random_range(0..ranges.len());
+                let (lo, hi) = ranges[i];
+                let v = rng.random_range(lo as u32..=hi as u32);
+                out.push(char::from_u32(v).unwrap_or(lo));
+            }
+            Node::Repeat(inner, min, max) => {
+                let n = rng.random_range(*min..=*max);
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Drives one `proptest!` test: `cases` draws, deterministic seed.
+pub fn run_test<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng, u32) -> Result<(), TestCaseError>,
+{
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+    // Seed from the test name so every test explores a distinct but
+    // reproducible sequence.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = SmallRng::seed_from_u64(h);
+    for case in 0..cases {
+        if let Err(TestCaseError(msg)) = body(&mut rng, case) {
+            panic!("proptest {name} failed at case {case}/{cases}: {msg}");
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    /// Upstream-compatible alias used by generic bounds.
+    pub use crate::BoxedStrategy;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests. Subset of the upstream grammar:
+/// `#[test] fn name(arg in strategy, ...) { body }`, repeated.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_test(stringify!($name), |rng, _case| {
+                    $(
+                        #[allow(unused_variables, unused_mut)]
+                        let $arg = $crate::Strategy::gen_value(&($strat), rng);
+                    )*
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}: {:?} != {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Chooses uniformly among the listed strategies (all must produce the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Runtime support for [`prop_oneof!`].
+pub fn one_of<T: 'static>(branches: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!branches.is_empty());
+    OneOf { branches }
+}
+
+/// See [`one_of`].
+pub struct OneOf<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.branches.len());
+        self.branches[i].gen_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = rand::SeedableRng::seed_from_u64(7);
+        let s = crate::string::string_regex("[a-z0-9]([a-z0-9-]{0,12}[a-z0-9])?").unwrap();
+        for _ in 0..500 {
+            let v = s.gen_value(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 14, "{v:?}");
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            assert!(!v.starts_with('-') && !v.ends_with('-'), "{v:?}");
+        }
+        let email = crate::string::string_regex("[a-z]{1,8}@[a-z]{1,8}\\.(com|org|net)").unwrap();
+        for _ in 0..200 {
+            let v = email.gen_value(&mut rng);
+            let (local, rest) = v.split_once('@').unwrap();
+            let (host, tld) = rest.split_once('.').unwrap();
+            assert!((1..=8).contains(&local.len()) && (1..=8).contains(&host.len()));
+            assert!(matches!(tld, "com" | "org" | "net"));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_round_trip(xs in crate::collection::vec(0u32..100, 0..20), flag in any::<bool>()) {
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just("a".to_string()), "[bc]{1,2}".prop_map(|s| s)]) {
+            prop_assert!(v == "a" || v.chars().all(|c| c == 'b' || c == 'c'));
+        }
+    }
+}

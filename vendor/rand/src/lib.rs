@@ -1,0 +1,398 @@
+//! Offline vendored subset of the `rand` 0.10 API.
+//!
+//! The build environment for this repository has no crates.io access,
+//! so the workspace vendors the small slice of `rand` it actually
+//! uses: the `TryRng`/`Rng` core traits, the `RngExt` convenience
+//! methods (`random`, `random_range`, `random_bool`), `SeedableRng`,
+//! and a `SmallRng` (xoshiro256++ seeded via SplitMix64).
+//!
+//! Every generator in the toolkit that feeds *results* (the
+//! `RngStream` in `taster-sim`) implements its algorithm locally, so
+//! swapping this shim for the real crate would not change experiment
+//! output — only the test-only `SmallRng` sequences would differ.
+
+#![forbid(unsafe_code)]
+
+use std::convert::Infallible;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A fallible random generator: the root trait of the `rand` design.
+pub trait TryRng {
+    /// Error produced by a failed draw.
+    type Error;
+
+    /// Draws 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+    /// Draws 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Fills `dst` with random bytes.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random generator.
+pub trait Rng {
+    /// Draws 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Draws 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<T: TryRng<Error = Infallible>> Rng for T {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.try_next_u32().unwrap_or_else(|e| match e {})
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.try_next_u64().unwrap_or_else(|e| match e {})
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        self.try_fill_bytes(dst).unwrap_or_else(|e| match e {})
+    }
+}
+
+/// A generator seedable from a compact key.
+pub trait SeedableRng: Sized {
+    /// Derives a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `RngExt::random` can produce.
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of the type.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Integer types usable as `random_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[low, high)`; `high > low`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// The largest representable value (for `low..` ranges).
+    fn max_value() -> Self;
+    /// Whether `high` can be bumped by one for inclusive ranges.
+    fn checked_succ(self) -> Option<Self>;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low < high);
+                let span = (high as u64).wrapping_sub(low as u64);
+                // Unbiased bounded draw via 128-bit widening multiply
+                // (Lemire's method).
+                let mut m = (rng.next_u64() as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let threshold = span.wrapping_neg() % span;
+                    while lo < threshold {
+                        m = (rng.next_u64() as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                low.wrapping_add((m >> 64) as u64 as Self)
+            }
+
+            #[inline]
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+
+            #[inline]
+            fn checked_succ(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low < high);
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                let offset = <u64 as SampleUniform>::sample_half_open(rng, 0, span);
+                low.wrapping_add(offset as $t)
+            }
+
+            #[inline]
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+
+            #[inline]
+            fn checked_succ(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty as $standard:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low < high);
+                let u = <$standard as Standard>::sample_standard(rng) as $t;
+                // Clamp guards the rare rounding case where
+                // low + u * span == high.
+                (low + u * (high - low)).min(<$t>::from_bits(high.to_bits() - 1))
+            }
+
+            #[inline]
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+
+            #[inline]
+            fn checked_succ(self) -> Option<Self> {
+                // Floats treat `low..=high` as `low..high`, matching
+                // upstream's negligible-endpoint behaviour.
+                None
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f64 as f64, f32 as f32);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "empty range in random_range");
+        if low >= high {
+            return low;
+        }
+        match high.checked_succ() {
+            Some(h) => T::sample_half_open(rng, low, h),
+            // `high == T::MAX`: fold the unreachable-top bias into the
+            // last value; negligible and test-only in this workspace.
+            None => T::sample_half_open(rng, low, high),
+        }
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeFrom<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, T::max_value())
+    }
+}
+
+/// Convenience draws over any [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value of `T` from its standard distribution.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range`.
+    #[inline]
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // Compare against 53 uniform bits; exact at p = 0 and p = 1.
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Bundled generators.
+pub mod rngs {
+    use super::{SeedableRng, TryRng};
+    use std::convert::Infallible;
+
+    /// A small, fast generator for tests and benches: xoshiro256++
+    /// seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut x = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = super::splitmix64(&mut x);
+            }
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl TryRng for SmallRng {
+        type Error = Infallible;
+
+        #[inline]
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.next() >> 32) as u32)
+        }
+
+        #[inline]
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.next())
+        }
+
+        #[inline]
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            let mut chunks = dst.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+            Ok(())
+        }
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = (s[0].wrapping_add(s[3])).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn ranges_are_bounded_and_deterministic() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = a.random_range(5..17);
+            assert!((5..17).contains(&x));
+            assert_eq!(x, b.random_range(5..17));
+        }
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v: u8 = r.random_range(3..=4);
+            assert!(v == 3 || v == 4);
+            let w: i64 = r.random_range(-5..5);
+            assert!((-5..5).contains(&w));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!r.random_bool(0.0));
+            assert!(r.random_bool(1.0));
+        }
+        let heads = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2500..3500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_remainders() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut buf = [0u8; 11];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
