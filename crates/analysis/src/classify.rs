@@ -9,10 +9,8 @@
 //! restriction is reproduced here (and can be disabled to quantify the
 //! bias it introduces — the paper estimated 2.5–3 %).
 
-use std::collections::HashSet;
 use taster_crawler::{CrawlReport, Crawler};
-use taster_domain::interner::DomainSet;
-use taster_domain::DomainId;
+use taster_domain::DomainBitset as DomainSet;
 use taster_ecosystem::GroundTruth;
 use taster_feeds::{FeedId, FeedSet};
 use taster_sim::Parallelism;
@@ -69,56 +67,51 @@ impl Classified {
     /// shards the (sorted) domain union, then each feed's set
     /// derivation runs as one task. Both steps are pure per domain /
     /// per feed, so the result matches a serial build exactly.
+    ///
+    /// Set derivation is pure bitset algebra: a feed's *all* set is
+    /// its membership bitset (intersected with the base union for
+    /// restricted blacklists), and live/tagged/benign-listed are
+    /// word-wise intersections with the crawl's indicator bitsets —
+    /// no per-domain probing.
     pub fn build_with(
         truth: &GroundTruth,
         feeds: &FeedSet,
         options: ClassifyOptions,
         par: &Parallelism,
     ) -> Classified {
-        let capacity = truth.universe.len();
-        let base_union: HashSet<DomainId> = feeds.union_domains(&FeedId::BASE);
+        let base_union: DomainSet = feeds.union_domains(&FeedId::BASE);
 
-        // Crawl the union of everything we will classify.
-        let mut to_crawl: HashSet<DomainId> = base_union.clone();
-        for id in [FeedId::Dbl, FeedId::Uribl] {
-            for d in feeds.get(id).domain_ids() {
-                if !options.restrict_blacklists_to_base || base_union.contains(&d) {
-                    to_crawl.insert(d);
-                }
+        // Crawl the union of everything we will classify. Restricted
+        // blacklist entries are a subset of the base union, so they
+        // only widen the crawl when the restriction is off.
+        let mut to_crawl = base_union.clone();
+        if !options.restrict_blacklists_to_base {
+            for id in [FeedId::Dbl, FeedId::Uribl] {
+                to_crawl.union_with(feeds.columns(id).members());
             }
         }
         let crawler = Crawler::new(truth);
-        let crawl = crawler.crawl_par(to_crawl.iter().copied(), par);
+        let crawl = crawler.crawl_par(to_crawl.iter(), par);
 
         let per_feed = par.par_map(FeedId::ALL.to_vec(), |id| {
-            let feed = feeds.get(id);
-            let mut all = DomainSet::with_capacity(capacity);
-            let mut live = DomainSet::with_capacity(capacity);
-            let mut tagged = DomainSet::with_capacity(capacity);
-            let mut benign_listed = DomainSet::with_capacity(capacity);
+            let members = feeds.columns(id).members();
             let restrict =
                 options.restrict_blacklists_to_base && matches!(id, FeedId::Dbl | FeedId::Uribl);
-            for d in feed.domain_ids() {
-                if restrict && !base_union.contains(&d) {
-                    continue;
-                }
-                all.insert(d);
-                let result = crawl.get(d).expect("crawled every classified domain");
-                if result.is_live() {
-                    live.insert(d);
-                }
-                if result.is_tagged() {
-                    tagged.insert(d);
-                }
-                if result.http_ok && result.benign_listed() {
-                    benign_listed.insert(d);
-                }
-            }
+            let all = if restrict {
+                members.intersection(&base_union)
+            } else {
+                members.clone()
+            };
+            debug_assert_eq!(
+                all.difference_len(crawl.members()),
+                0,
+                "crawled every classified domain"
+            );
             FeedDomains {
+                live: all.intersection(crawl.live_set()),
+                tagged: all.intersection(crawl.storefront_set()),
+                benign_listed: all.intersection(crawl.benign_http_set()),
                 all,
-                live,
-                tagged,
-                benign_listed,
             }
         });
 

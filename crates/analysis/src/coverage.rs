@@ -8,7 +8,7 @@
 
 use crate::classify::{Category, Classified};
 use crate::matrix::{OverlapCell, PairwiseMatrix};
-use taster_domain::interner::DomainSet;
+use taster_domain::DomainBitset as DomainSet;
 use taster_feeds::FeedId;
 use taster_sim::Parallelism;
 
@@ -51,11 +51,10 @@ pub fn coverage_table_par(classified: &Classified, par: &Parallelism) -> Vec<Cov
             for &o in FeedId::ALL.iter().filter(|&&o| o != id) {
                 others.union_with(classified.set(o, cat));
             }
-            let mut exclusive = own.clone();
-            exclusive.subtract(&others);
             CoverageCounts {
                 total: own.len(),
-                exclusive: exclusive.len(),
+                // One andnot popcount pass — no materialised set.
+                exclusive: own.difference_len(&others),
             }
         })
     };

@@ -24,6 +24,17 @@ pub struct PairwiseMatrix<T> {
     /// `values[r][c]`; row-major; when an extra column exists each row
     /// has `feeds.len() + 1` entries with the extra last.
     values: Vec<Vec<T>>,
+    /// Row index per [`FeedId::index`], so `get` is O(1) instead of a
+    /// linear scan over `feeds`.
+    index: Vec<Option<u8>>,
+}
+
+fn feed_index(feeds: &[FeedId]) -> Vec<Option<u8>> {
+    let mut index = vec![None; FeedId::ALL.len()];
+    for (i, &f) in feeds.iter().enumerate() {
+        index[f.index()] = Some(u8::try_from(i).expect("at most ten feeds"));
+    }
+    index
 }
 
 impl<T: Copy> PairwiseMatrix<T> {
@@ -49,6 +60,7 @@ impl<T: Copy> PairwiseMatrix<T> {
             feeds: feeds.to_vec(),
             extra_label,
             values,
+            index: feed_index(feeds),
         }
     }
 
@@ -77,10 +89,7 @@ impl<T: Copy> PairwiseMatrix<T> {
     }
 
     fn pos(&self, id: FeedId) -> usize {
-        self.feeds
-            .iter()
-            .position(|&f| f == id)
-            .unwrap_or_else(|| panic!("{id} not in matrix"))
+        self.index[id.index()].unwrap_or_else(|| panic!("{id} not in matrix")) as usize
     }
 }
 
@@ -109,6 +118,7 @@ impl<T: Copy + Send> PairwiseMatrix<T> {
             feeds: feeds.to_vec(),
             extra_label,
             values,
+            index: feed_index(feeds),
         }
     }
 }

@@ -5,13 +5,23 @@
 //! incoming-mail oracle ("Mail") — with total variation distance
 //! (Fig 7) and Kendall's tau-b (Fig 8). Feeds without volume
 //! information (Hu, Hyb, dbl, uribl) are excluded (§4.3).
+//!
+//! Both matrices are computed from one columnar join: the tagged-union
+//! domain ids (ascending) with one aligned volume column per
+//! volume-bearing feed plus the oracle's column, gathered once via
+//! O(1) rank lookups into the sealed feed tables. Every pairwise
+//! statistic then scans two aligned columns. A domain absent from both
+//! feeds of a pair contributes exactly nothing to either statistic, so
+//! the scans visit the same keys in the same (ascending) order as the
+//! per-pair sparse unions they replaced — the floats are bit-identical.
 
 use crate::classify::{Category, Classified};
 use crate::matrix::PairwiseMatrix;
 use std::collections::HashSet;
+use taster_domain::DomainId;
 use taster_feeds::{FeedId, FeedSet};
 use taster_sim::Parallelism;
-use taster_stats::{kendall, variation_distance, EmpiricalDist};
+use taster_stats::{kendall, EmpiricalDist};
 
 /// The tagged-domain volume distribution of one feed, restricted to
 /// tagged domains appearing in the union of all feeds.
@@ -41,6 +51,90 @@ pub fn mail_distribution(classified: &Classified, oracle: &EmpiricalDist) -> Emp
     oracle.restricted_to(&tagged_union)
 }
 
+/// The columnar join behind Figs 7–8: per volume-bearing feed, its
+/// volume over every tagged-union domain as one column aligned with
+/// the sorted key list, plus the oracle's column.
+struct TaggedColumns {
+    /// One column per [`FeedId::WITH_VOLUME`] feed, plus the oracle's
+    /// column last; all aligned with the ascending tagged-union keys.
+    columns: Vec<Vec<u64>>,
+    /// Per-column totals (the restricted distributions' masses).
+    totals: Vec<u64>,
+}
+
+impl TaggedColumns {
+    fn build(
+        feeds: &FeedSet,
+        classified: &Classified,
+        oracle: &EmpiricalDist,
+        par: &Parallelism,
+    ) -> TaggedColumns {
+        let keys: Vec<u32> = classified
+            .union(&FeedId::ALL, Category::Tagged)
+            .iter()
+            .map(|d| d.0)
+            .collect();
+        let mut columns = par.par_map(FeedId::WITH_VOLUME.to_vec(), |f| {
+            let cols = feeds.columns(f);
+            keys.iter()
+                .map(|&k| cols.row_of(DomainId(k)).map_or(0, |i| cols.volumes()[i]))
+                .collect::<Vec<u64>>()
+        });
+        columns.push(keys.iter().map(|&k| oracle.count(k)).collect());
+        let totals = columns.iter().map(|c| c.iter().sum()).collect();
+        TaggedColumns { columns, totals }
+    }
+
+    /// Column index of a volume-bearing feed.
+    fn pos(id: FeedId) -> usize {
+        FeedId::WITH_VOLUME
+            .iter()
+            .position(|&f| f == id)
+            .expect("volume feed")
+    }
+
+    /// Column index of the oracle ("Mail").
+    fn mail(&self) -> usize {
+        self.columns.len() - 1
+    }
+
+    /// Total variation distance between columns `a` and `b`:
+    /// δ = ½ Σ |pᵢ − qᵢ| over keys carried by either column, in
+    /// ascending key order (empty-distribution conventions as in
+    /// [`taster_stats::variation_distance`]).
+    fn variation(&self, a: usize, b: usize) -> f64 {
+        let (ta, tb) = (self.totals[a], self.totals[b]);
+        if ta == 0 && tb == 0 {
+            return 0.0;
+        }
+        if ta == 0 || tb == 0 {
+            return 1.0;
+        }
+        let mut acc = 0.0f64;
+        for (&x, &y) in self.columns[a].iter().zip(&self.columns[b]) {
+            if x == 0 && y == 0 {
+                continue;
+            }
+            acc += (x as f64 / ta as f64 - y as f64 / tb as f64).abs();
+        }
+        (acc / 2.0).clamp(0.0, 1.0)
+    }
+
+    /// Kendall tau-b between columns `a` and `b` over keys carried by
+    /// both (§4.3), in ascending key order; 0 for degenerate pairs.
+    fn tau(&self, a: usize, b: usize) -> f64 {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (&x, &y) in self.columns[a].iter().zip(&self.columns[b]) {
+            if x > 0 && y > 0 {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        kendall::kendall_tau_b_counts(&xs, &ys).unwrap_or(0.0)
+    }
+}
+
 /// Fig 7: pairwise variation distance over the volume-bearing feeds,
 /// with the "Mail" column.
 pub fn variation_matrix(
@@ -51,31 +145,22 @@ pub fn variation_matrix(
     variation_matrix_par(feeds, classified, oracle, &Parallelism::serial())
 }
 
-/// [`variation_matrix`] on `par` workers: the per-feed tagged
-/// distributions are built concurrently, then the matrix rows fan
-/// out. Variation distance is a pure function of the two
-/// distributions, so the matrix is bit-identical to a serial build.
+/// [`variation_matrix`] on `par` workers: the aligned volume columns
+/// are gathered concurrently, then the matrix rows fan out. Variation
+/// distance is a pure function of the two columns, so the matrix is
+/// bit-identical to a serial build.
 pub fn variation_matrix_par(
     feeds: &FeedSet,
     classified: &Classified,
     oracle: &EmpiricalDist,
     par: &Parallelism,
 ) -> PairwiseMatrix<f64> {
-    let dists = par.par_map(FeedId::WITH_VOLUME.to_vec(), |f| {
-        tagged_distribution(feeds, classified, f)
-    });
-    let mail = mail_distribution(classified, oracle);
-    let pos = |id: FeedId| {
-        FeedId::WITH_VOLUME
-            .iter()
-            .position(|&f| f == id)
-            .expect("volume feed")
-    };
+    let t = TaggedColumns::build(feeds, classified, oracle, par);
     PairwiseMatrix::build_par(
         &FeedId::WITH_VOLUME,
         Some("Mail"),
-        |a, b| variation_distance(&dists[pos(a)], &dists[pos(b)]),
-        |a| variation_distance(&dists[pos(a)], &mail),
+        |a, b| t.variation(TaggedColumns::pos(a), TaggedColumns::pos(b)),
+        |a| t.variation(TaggedColumns::pos(a), t.mail()),
         par,
     )
 }
@@ -100,28 +185,12 @@ pub fn kendall_matrix_par(
     oracle: &EmpiricalDist,
     par: &Parallelism,
 ) -> PairwiseMatrix<f64> {
-    let dists = par.par_map(FeedId::WITH_VOLUME.to_vec(), |f| {
-        tagged_distribution(feeds, classified, f)
-    });
-    let mail = mail_distribution(classified, oracle);
-    let pos = |id: FeedId| {
-        FeedId::WITH_VOLUME
-            .iter()
-            .position(|&f| f == id)
-            .expect("volume feed")
-    };
-    let tau = |p: &EmpiricalDist, q: &EmpiricalDist| -> f64 {
-        // The sum runs over domains common to both feeds (§4.3).
-        let keys = p.common_keys(q);
-        let xs: Vec<u64> = keys.iter().map(|&k| p.count(k)).collect();
-        let ys: Vec<u64> = keys.iter().map(|&k| q.count(k)).collect();
-        kendall::kendall_tau_b_counts(&xs, &ys).unwrap_or(0.0)
-    };
+    let t = TaggedColumns::build(feeds, classified, oracle, par);
     PairwiseMatrix::build_par(
         &FeedId::WITH_VOLUME,
         Some("Mail"),
-        |a, b| tau(&dists[pos(a)], &dists[pos(b)]),
-        |a| tau(&dists[pos(a)], &mail),
+        |a, b| t.tau(TaggedColumns::pos(a), TaggedColumns::pos(b)),
+        |a| t.tau(TaggedColumns::pos(a), t.mail()),
         par,
     )
 }
@@ -133,6 +202,7 @@ mod tests {
     use taster_ecosystem::{EcosystemConfig, GroundTruth};
     use taster_feeds::{collect_all, FeedsConfig};
     use taster_mailsim::{MailConfig, MailWorld};
+    use taster_stats::variation_distance;
 
     fn setup() -> (MailWorld, FeedSet, Classified) {
         let truth =
@@ -167,6 +237,38 @@ mod tests {
             assert!(self_tau > 0.99 || self_tau == 0.0, "self tau {self_tau}");
             for b in FeedId::WITH_VOLUME {
                 assert!((-1.0..=1.0).contains(&m.get(a, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_matches_sparse_distributions() {
+        // The aligned-column scan must reproduce the restricted
+        // sparse-distribution statistics bit for bit.
+        let (world, feeds, c) = setup();
+        let oracle = &world.provider.oracle;
+        let m = variation_matrix(&feeds, &c, oracle);
+        let tau_m = kendall_matrix(&feeds, &c, oracle);
+        let mail = mail_distribution(&c, oracle);
+        for a in FeedId::WITH_VOLUME {
+            let pa = tagged_distribution(&feeds, &c, a);
+            assert_eq!(
+                m.get_extra(a).to_bits(),
+                variation_distance(&pa, &mail).to_bits(),
+                "{a} vs Mail"
+            );
+            for b in FeedId::WITH_VOLUME {
+                let pb = tagged_distribution(&feeds, &c, b);
+                assert_eq!(
+                    m.get(a, b).to_bits(),
+                    variation_distance(&pa, &pb).to_bits(),
+                    "{a} vs {b}"
+                );
+                let keys = pa.common_keys(&pb);
+                let xs: Vec<u64> = keys.iter().map(|&k| pa.count(k)).collect();
+                let ys: Vec<u64> = keys.iter().map(|&k| pb.count(k)).collect();
+                let expected = kendall::kendall_tau_b_counts(&xs, &ys).unwrap_or(0.0);
+                assert_eq!(tau_m.get(a, b).to_bits(), expected.to_bits(), "tau {a} {b}");
             }
         }
     }

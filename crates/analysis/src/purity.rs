@@ -36,43 +36,24 @@ pub fn purity(feeds: &FeedSet, classified: &Classified) -> Vec<PurityRow> {
 }
 
 /// [`purity`] with each feed's indicator counts computed as one task
-/// on `par` workers; every count is a pure fold over crawl results, so
-/// the table is bit-identical to a serial pass.
+/// on `par` workers. Each count is a word-wise intersection popcount
+/// between the feed's entry set and one of the crawl's indicator
+/// bitsets — the single columnar join that replaced the per-domain
+/// crawl-result probes — so the table is bit-identical to a serial
+/// pass.
 pub fn purity_par(feeds: &FeedSet, classified: &Classified, par: &Parallelism) -> Vec<PurityRow> {
     let _ = feeds; // entry sets come from the classification (restriction applied)
     par.par_map(FeedId::ALL.to_vec(), |id| {
         let all = &classified.feed(id).all;
         let n = all.len();
-        let mut dns = 0usize;
-        let mut http = 0usize;
-        let mut tagged = 0usize;
-        let mut odp = 0usize;
-        let mut alexa = 0usize;
-        for d in all.iter() {
-            let r = classified.crawl.get(d).expect("classified domains crawled");
-            if r.registered {
-                dns += 1;
-            }
-            if r.http_ok {
-                http += 1;
-            }
-            if r.tag.is_some() {
-                tagged += 1;
-            }
-            if r.odp {
-                odp += 1;
-            }
-            if r.alexa_rank.is_some() {
-                alexa += 1;
-            }
-        }
+        let crawl = &classified.crawl;
         PurityRow {
             feed: id,
-            dns: fraction(dns, n),
-            http: fraction(http, n),
-            tagged: fraction(tagged, n),
-            odp: fraction(odp, n),
-            alexa: fraction(alexa, n),
+            dns: fraction(all.intersection_len(crawl.registered_set()), n),
+            http: fraction(all.intersection_len(crawl.http_ok_set()), n),
+            tagged: fraction(all.intersection_len(crawl.tagged_page_set()), n),
+            odp: fraction(all.intersection_len(crawl.odp_set()), n),
+            alexa: fraction(all.intersection_len(crawl.alexa_set()), n),
         }
     })
 }

@@ -12,7 +12,7 @@
 //!   each collection methodology vs. across methodologies.
 
 use crate::classify::{Category, Classified};
-use taster_domain::interner::DomainSet;
+use taster_domain::DomainBitset as DomainSet;
 use taster_feeds::{FeedId, FeedKind};
 
 /// One step of the greedy acquisition order.

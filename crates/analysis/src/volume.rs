@@ -9,7 +9,7 @@
 //! attributes to any feed's domains".
 
 use crate::classify::{Category, Classified};
-use taster_domain::interner::DomainSet;
+use taster_domain::DomainBitset as DomainSet;
 use taster_feeds::FeedId;
 use taster_stats::EmpiricalDist;
 

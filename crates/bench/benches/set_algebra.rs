@@ -1,0 +1,75 @@
+//! Set-algebra microbenchmarks: the packed [`DomainBitset`] kernels
+//! against the `HashSet<DomainId>` representation they replaced, on
+//! feed-sized id sets (the pairwise coverage matrix computes exactly
+//! these intersections/differences for every ordered feed pair).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngExt;
+use std::collections::HashSet;
+use std::hint::black_box;
+use taster_domain::{DomainBitset, DomainId};
+use taster_sim::RngStream;
+
+/// Two overlapping id sets drawn from a `universe`-sized id space,
+/// roughly the shape of two feeds' domain sets at a given scale.
+fn feed_pair(universe: u32, per_feed: usize) -> (Vec<DomainId>, Vec<DomainId>) {
+    let mut rng = RngStream::new(7, "bench/set_algebra");
+    let mut draw = |n: usize| {
+        let mut ids: Vec<DomainId> = (0..n)
+            .map(|_| DomainId(rng.random_range(0..universe)))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    (draw(per_feed), draw(per_feed))
+}
+
+fn pairwise_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_algebra");
+    for per_feed in [1_000usize, 10_000, 50_000] {
+        let (a, b) = feed_pair(per_feed as u32 * 4, per_feed);
+
+        let ha: HashSet<DomainId> = a.iter().copied().collect();
+        let hb: HashSet<DomainId> = b.iter().copied().collect();
+        group.bench_with_input(
+            BenchmarkId::new("hashset_overlap", per_feed),
+            &per_feed,
+            |bench, _| {
+                bench.iter(|| {
+                    let inter = ha.intersection(&hb).count();
+                    let excl = ha.difference(&hb).count();
+                    black_box((inter, excl))
+                })
+            },
+        );
+
+        let sa = DomainBitset::from_sorted_ids(&a);
+        let sb = DomainBitset::from_sorted_ids(&b);
+        group.bench_with_input(
+            BenchmarkId::new("bitset_overlap", per_feed),
+            &per_feed,
+            |bench, _| {
+                bench.iter(|| {
+                    let inter = sa.intersection_len(&sb);
+                    let excl = sa.difference_len(&sb);
+                    black_box((inter, excl))
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("bitset_build", per_feed),
+            &per_feed,
+            |bench, _| bench.iter(|| black_box(DomainBitset::from_sorted_ids(&a)).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = set_algebra;
+    config = Criterion::default();
+    targets = pairwise_overlap
+}
+criterion_main!(set_algebra);

@@ -3,8 +3,7 @@
 use crate::oracle::{DnsOracle, FetchOutcome, HttpOracle, ListMembership};
 use crate::page::render_page;
 use crate::tagger::{extract_affiliate_id, SignatureSet};
-use std::collections::{HashMap, HashSet};
-use taster_domain::DomainId;
+use taster_domain::{DomainBitset, DomainId, RankIndex};
 use taster_ecosystem::ids::{AffiliateId, ProgramId};
 use taster_ecosystem::GroundTruth;
 use taster_sim::Parallelism;
@@ -60,30 +59,151 @@ impl CrawlResult {
 }
 
 /// A completed crawl over a set of domains.
+///
+/// Stored columnar: sorted domain ids, a parallel result column, a
+/// membership bitset + rank index for O(1) `get`, and one indicator
+/// bitset per classification predicate so the analyses can answer
+/// "how many of this feed's domains are live/tagged/listed" with
+/// word-level intersection counts instead of per-domain probes.
 #[derive(Debug, Clone, Default)]
 pub struct CrawlReport {
-    results: HashMap<DomainId, CrawlResult>,
+    ids: Vec<DomainId>,
+    results: Vec<CrawlResult>,
+    members: DomainBitset,
+    rank: RankIndex,
+    registered: DomainBitset,
+    http_ok: DomainBitset,
+    tagged_page: DomainBitset,
+    odp: DomainBitset,
+    alexa: DomainBitset,
+    live: DomainBitset,
+    storefront: DomainBitset,
+    benign_http: DomainBitset,
 }
 
 impl CrawlReport {
+    /// Builds from `(domain, result)` rows sorted ascending by domain
+    /// with no duplicates.
+    fn from_rows(rows: Vec<(DomainId, CrawlResult)>) -> CrawlReport {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "rows sorted unique"
+        );
+        let capacity = rows.last().map_or(0, |&(d, _)| d.index() + 1);
+        let mut report = CrawlReport {
+            ids: Vec::with_capacity(rows.len()),
+            results: Vec::with_capacity(rows.len()),
+            members: DomainBitset::with_capacity(capacity),
+            rank: RankIndex::default(),
+            registered: DomainBitset::with_capacity(capacity),
+            http_ok: DomainBitset::with_capacity(capacity),
+            tagged_page: DomainBitset::with_capacity(capacity),
+            odp: DomainBitset::with_capacity(capacity),
+            alexa: DomainBitset::with_capacity(capacity),
+            live: DomainBitset::with_capacity(capacity),
+            storefront: DomainBitset::with_capacity(capacity),
+            benign_http: DomainBitset::with_capacity(capacity),
+        };
+        for (d, r) in rows {
+            report.members.insert(d);
+            if r.registered {
+                report.registered.insert(d);
+            }
+            if r.http_ok {
+                report.http_ok.insert(d);
+            }
+            if r.tag.is_some() {
+                report.tagged_page.insert(d);
+            }
+            if r.odp {
+                report.odp.insert(d);
+            }
+            if r.alexa_rank.is_some() {
+                report.alexa.insert(d);
+            }
+            if r.is_live() {
+                report.live.insert(d);
+            }
+            if r.is_tagged() {
+                report.storefront.insert(d);
+            }
+            if r.http_ok && r.benign_listed() {
+                report.benign_http.insert(d);
+            }
+            report.ids.push(d);
+            report.results.push(r);
+        }
+        report.rank = RankIndex::build(&report.members);
+        report
+    }
+
     /// Result for one domain, if it was crawled.
     pub fn get(&self, domain: DomainId) -> Option<&CrawlResult> {
-        self.results.get(&domain)
+        self.rank
+            .rank(&self.members, domain)
+            .map(|i| &self.results[i])
     }
 
     /// Number of crawled domains.
     pub fn len(&self) -> usize {
-        self.results.len()
+        self.ids.len()
     }
 
     /// True when nothing was crawled.
     pub fn is_empty(&self) -> bool {
-        self.results.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Iterates `(domain, result)`.
+    /// Iterates `(domain, result)` in ascending domain order.
     pub fn iter(&self) -> impl Iterator<Item = (DomainId, &CrawlResult)> {
-        self.results.iter().map(|(&d, r)| (d, r))
+        self.ids.iter().copied().zip(self.results.iter())
+    }
+
+    /// Every crawled domain.
+    pub fn members(&self) -> &DomainBitset {
+        &self.members
+    }
+
+    /// Domains present in the zone files.
+    pub fn registered_set(&self) -> &DomainBitset {
+        &self.registered
+    }
+
+    /// Domains with at least one 200 response.
+    pub fn http_ok_set(&self) -> &DomainBitset {
+        &self.http_ok
+    }
+
+    /// Domains whose final page matched a storefront signature
+    /// (before benign-list exclusion).
+    pub fn tagged_page_set(&self) -> &DomainBitset {
+        &self.tagged_page
+    }
+
+    /// Domains in the Open Directory.
+    pub fn odp_set(&self) -> &DomainBitset {
+        &self.odp
+    }
+
+    /// Domains with an Alexa rank.
+    pub fn alexa_set(&self) -> &DomainBitset {
+        &self.alexa
+    }
+
+    /// [`CrawlResult::is_live`] domains.
+    pub fn live_set(&self) -> &DomainBitset {
+        &self.live
+    }
+
+    /// [`CrawlResult::is_tagged`] domains.
+    pub fn storefront_set(&self) -> &DomainBitset {
+        &self.storefront
+    }
+
+    /// HTTP-responsive domains on a benign list (the mass excluded
+    /// from *live*, analysed in Fig 3).
+    pub fn benign_http_set(&self) -> &DomainBitset {
+        &self.benign_http
     }
 }
 
@@ -138,28 +258,25 @@ impl<'a> Crawler<'a> {
 
     /// Crawls a deduplicated set of domains.
     pub fn crawl<I: IntoIterator<Item = DomainId>>(&self, domains: I) -> CrawlReport {
-        let mut results = HashMap::new();
-        for d in domains {
-            results.entry(d).or_insert_with(|| self.crawl_one(d));
-        }
-        CrawlReport { results }
+        let unique: DomainBitset = domains.into_iter().collect();
+        CrawlReport::from_rows(unique.iter().map(|d| (d, self.crawl_one(d))).collect())
     }
 
     /// [`Crawler::crawl`] sharded across `par` workers.
     ///
-    /// The domain set is deduplicated, sorted, and split into
-    /// contiguous near-equal shards; each worker crawls one shard.
-    /// [`Crawler::crawl_one`] is a pure function of the domain (the
-    /// oracles draw nothing from shared mutable state), so the report
-    /// is bit-identical to a serial crawl at any worker count.
+    /// The domain set is deduplicated into a bitset (which yields ids
+    /// sorted ascending) and split into contiguous near-equal shards;
+    /// each worker crawls one shard. [`Crawler::crawl_one`] is a pure
+    /// function of the domain (the oracles draw nothing from shared
+    /// mutable state), so the report is bit-identical to a serial
+    /// crawl at any worker count.
     pub fn crawl_par<I: IntoIterator<Item = DomainId>>(
         &self,
         domains: I,
         par: &Parallelism,
     ) -> CrawlReport {
-        let unique: HashSet<DomainId> = domains.into_iter().collect();
-        let mut unique: Vec<DomainId> = unique.into_iter().collect();
-        unique.sort_unstable();
+        let unique: DomainBitset = domains.into_iter().collect();
+        let unique: Vec<DomainId> = unique.iter().collect();
         let chunk = unique.len().div_ceil(par.workers()).max(1);
         let shards: Vec<&[DomainId]> = unique.chunks(chunk).collect();
         let results = par.par_map(shards, |shard| {
@@ -168,9 +285,7 @@ impl<'a> Crawler<'a> {
                 .map(|&d| (d, self.crawl_one(d)))
                 .collect::<Vec<_>>()
         });
-        CrawlReport {
-            results: results.into_iter().flatten().collect(),
-        }
+        CrawlReport::from_rows(results.into_iter().flatten().collect())
     }
 }
 

@@ -4,8 +4,12 @@
 //! over millions of feed records. Interning registered domains to
 //! dense `u32` ids turns those into bit-set and vector operations.
 
+use crate::fx::FxHashMap;
 use crate::psl::RegisteredDomain;
-use std::collections::HashMap;
+
+/// Backwards-compatible name for [`crate::bitset::DomainBitset`],
+/// which used to live in this module.
+pub use crate::bitset::DomainBitset as DomainSet;
 
 /// A dense identifier for an interned registered domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,7 +28,7 @@ impl DomainId {
 /// given a deterministic generation order.
 #[derive(Debug, Default, Clone)]
 pub struct DomainTable {
-    by_text: HashMap<String, DomainId>,
+    by_text: FxHashMap<String, DomainId>,
     by_id: Vec<String>,
 }
 
@@ -88,135 +92,6 @@ impl DomainTable {
     }
 }
 
-/// A set of [`DomainId`]s backed by a bit vector, sized to a table.
-///
-/// Supports the set algebra the coverage analyses need (union,
-/// intersection, difference counts) in O(words).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DomainSet {
-    bits: Vec<u64>,
-    len: usize,
-}
-
-impl DomainSet {
-    /// An empty set able to hold ids `0..capacity`.
-    pub fn with_capacity(capacity: usize) -> Self {
-        DomainSet {
-            bits: vec![0; capacity.div_ceil(64)],
-            len: 0,
-        }
-    }
-
-    /// Inserts an id; returns `true` when newly inserted.
-    pub fn insert(&mut self, id: DomainId) -> bool {
-        let (w, b) = (id.index() / 64, id.index() % 64);
-        if w >= self.bits.len() {
-            self.bits.resize(w + 1, 0);
-        }
-        let mask = 1u64 << b;
-        if self.bits[w] & mask == 0 {
-            self.bits[w] |= mask;
-            self.len += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Membership test.
-    pub fn contains(&self, id: DomainId) -> bool {
-        let (w, b) = (id.index() / 64, id.index() % 64);
-        self.bits.get(w).is_some_and(|word| word & (1u64 << b) != 0)
-    }
-
-    /// Number of members.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True when empty.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Iterates member ids in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = DomainId> + '_ {
-        self.bits.iter().enumerate().flat_map(|(w, &word)| {
-            let mut word = word;
-            std::iter::from_fn(move || {
-                if word == 0 {
-                    None
-                } else {
-                    let b = word.trailing_zeros();
-                    word &= word - 1;
-                    Some(DomainId((w * 64) as u32 + b))
-                }
-            })
-        })
-    }
-
-    /// `|self ∩ other|`.
-    pub fn intersection_len(&self, other: &DomainSet) -> usize {
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
-    }
-
-    /// `|self ∪ other|`.
-    pub fn union_len(&self, other: &DomainSet) -> usize {
-        let (long, short) = if self.bits.len() >= other.bits.len() {
-            (&self.bits, &other.bits)
-        } else {
-            (&other.bits, &self.bits)
-        };
-        let mut n = 0usize;
-        for (i, &w) in long.iter().enumerate() {
-            let o = short.get(i).copied().unwrap_or(0);
-            n += (w | o).count_ones() as usize;
-        }
-        n
-    }
-
-    /// In-place union.
-    pub fn union_with(&mut self, other: &DomainSet) {
-        if other.bits.len() > self.bits.len() {
-            self.bits.resize(other.bits.len(), 0);
-        }
-        for (i, &w) in other.bits.iter().enumerate() {
-            self.bits[i] |= w;
-        }
-        self.len = self.bits.iter().map(|w| w.count_ones() as usize).sum();
-    }
-
-    /// In-place intersection.
-    pub fn intersect_with(&mut self, other: &DomainSet) {
-        for (i, w) in self.bits.iter_mut().enumerate() {
-            *w &= other.bits.get(i).copied().unwrap_or(0);
-        }
-        self.len = self.bits.iter().map(|w| w.count_ones() as usize).sum();
-    }
-
-    /// In-place difference (`self \ other`).
-    pub fn subtract(&mut self, other: &DomainSet) {
-        for (i, w) in self.bits.iter_mut().enumerate() {
-            *w &= !other.bits.get(i).copied().unwrap_or(0);
-        }
-        self.len = self.bits.iter().map(|w| w.count_ones() as usize).sum();
-    }
-}
-
-impl FromIterator<DomainId> for DomainSet {
-    fn from_iter<I: IntoIterator<Item = DomainId>>(iter: I) -> Self {
-        let mut set = DomainSet::with_capacity(0);
-        for id in iter {
-            set.insert(id);
-        }
-        set
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,43 +118,5 @@ mod tests {
         }
         let texts: Vec<_> = t.iter().map(|(_, s)| s).collect();
         assert_eq!(texts, vec!["c.com", "a.com", "b.com"]);
-    }
-
-    #[test]
-    fn set_basics() {
-        let mut s = DomainSet::with_capacity(10);
-        assert!(s.insert(DomainId(3)));
-        assert!(!s.insert(DomainId(3)));
-        assert!(s.insert(DomainId(130))); // forces growth
-        assert_eq!(s.len(), 2);
-        assert!(s.contains(DomainId(3)));
-        assert!(s.contains(DomainId(130)));
-        assert!(!s.contains(DomainId(4)));
-        let ids: Vec<_> = s.iter().collect();
-        assert_eq!(ids, vec![DomainId(3), DomainId(130)]);
-    }
-
-    #[test]
-    fn set_algebra() {
-        let a: DomainSet = [1u32, 2, 3, 64].iter().map(|&i| DomainId(i)).collect();
-        let b: DomainSet = [3u32, 64, 65].iter().map(|&i| DomainId(i)).collect();
-        assert_eq!(a.intersection_len(&b), 2);
-        assert_eq!(a.union_len(&b), 5);
-        assert_eq!(b.union_len(&a), 5);
-
-        let mut u = a.clone();
-        u.union_with(&b);
-        assert_eq!(u.len(), 5);
-
-        let mut i = a.clone();
-        i.intersect_with(&b);
-        assert_eq!(
-            i.iter().collect::<Vec<_>>(),
-            vec![DomainId(3), DomainId(64)]
-        );
-
-        let mut d = a.clone();
-        d.subtract(&b);
-        assert_eq!(d.iter().collect::<Vec<_>>(), vec![DomainId(1), DomainId(2)]);
     }
 }

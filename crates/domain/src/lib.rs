@@ -21,6 +21,11 @@
 //! * [`interner::DomainTable`] — an interner mapping registered domains
 //!   to dense [`DomainId`]s so that set/multiset analytics over millions
 //!   of observations stay cheap.
+//! * [`bitset::DomainBitset`] — packed-word set algebra over those dense
+//!   ids (union/intersection/difference popcount kernels) plus a
+//!   [`bitset::RankIndex`] for O(1) member→row lookups into columnar
+//!   tables, and [`fx`] — the deterministic FxHash-style hasher used by
+//!   the hot-path maps.
 //! * [`punycode`] — an RFC 3492 codec for the `xn--` IDN labels that
 //!   appear in homograph spam domains.
 //! * [`gen`] — domain-name generators used by the ecosystem simulator:
@@ -42,6 +47,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
+pub mod fx;
 pub mod gen;
 pub mod interner;
 pub mod label;
@@ -50,6 +57,7 @@ pub mod psl;
 pub mod punycode;
 pub mod url;
 
+pub use bitset::{DomainBitset, RankIndex};
 pub use interner::{DomainId, DomainTable};
 pub use name::{DomainName, DomainParseError};
 pub use psl::{RegisteredDomain, SuffixList};

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use taster_domain::interner::{DomainSet, DomainTable};
 use taster_domain::psl::SuffixList;
 use taster_domain::url::{extract_urls, Url};
+use taster_domain::RankIndex;
 use taster_domain::{DomainId, DomainName};
 
 /// Strategy for a syntactically valid label.
@@ -23,6 +24,19 @@ fn domain_name() -> impl Strategy<Value = String> {
             s
         })
         .prop_filter("length", |s| s.len() <= 200)
+}
+
+/// Strategy for a domain id, overweighted around the 64-bit word
+/// boundaries of the packed bitset representation.
+fn boundary_id() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        0u32..200,
+        62u32..=66,
+        126u32..=130,
+        Just(63u32),
+        Just(64u32),
+        Just(65u32),
+    ]
 }
 
 proptest! {
@@ -171,5 +185,52 @@ proptest! {
         let mut d = sa.clone();
         d.subtract(&sb);
         prop_assert_eq!(d.len(), a.difference(&b).count());
+        prop_assert_eq!(sa.difference_len(&sb), a.difference(&b).count());
+        prop_assert_eq!(sb.difference_len(&sa), b.difference(&a).count());
+    }
+
+    #[test]
+    fn boundary_ids_match_model(
+        a in proptest::collection::hash_set(boundary_id(), 0..40),
+        b in proptest::collection::hash_set(boundary_id(), 0..40),
+    ) {
+        // Ids drawn heavily around the 64-bit word seams (63/64/65,
+        // 127/128) so cross-word carry bugs in the packed kernels
+        // can't hide; empty sets arise naturally from the 0.. sizes.
+        let sa: DomainSet = a.iter().map(|&i| DomainId(i)).collect();
+        let sb: DomainSet = b.iter().map(|&i| DomainId(i)).collect();
+        prop_assert_eq!(sa.len(), a.len());
+        prop_assert_eq!(sa.is_empty(), a.is_empty());
+        prop_assert_eq!(sa.intersection_len(&sb), a.intersection(&b).count());
+        prop_assert_eq!(sa.union_len(&sb), a.union(&b).count());
+        prop_assert_eq!(sa.difference_len(&sb), a.difference(&b).count());
+        prop_assert_eq!(sb.difference_len(&sa), b.difference(&a).count());
+
+        let inter = sa.intersection(&sb);
+        for id in [62u32, 63, 64, 65, 66, 126, 127, 128, 129] {
+            prop_assert_eq!(
+                inter.contains(DomainId(id)),
+                a.contains(&id) && b.contains(&id),
+                "intersection membership at id {}", id
+            );
+        }
+
+        // from_sorted_ids builds the same set as incremental inserts.
+        let mut sorted: Vec<u32> = a.iter().copied().collect();
+        sorted.sort_unstable();
+        let ids: Vec<DomainId> = sorted.iter().map(|&i| DomainId(i)).collect();
+        prop_assert_eq!(DomainSet::from_sorted_ids(&ids), sa.clone());
+
+        // RankIndex maps each member to its dense ascending row and
+        // rejects non-members.
+        let rank = RankIndex::build(&sa);
+        for (row, &id) in sorted.iter().enumerate() {
+            prop_assert_eq!(rank.rank(&sa, DomainId(id)), Some(row));
+        }
+        for id in [0u32, 63, 64, 65, 128, 199] {
+            if !a.contains(&id) {
+                prop_assert_eq!(rank.rank(&sa, DomainId(id)), None);
+            }
+        }
     }
 }

@@ -6,10 +6,17 @@
 //! common denominator the analyses need: per registered domain, the
 //! first and last time the feed carried it and (when the feed reports
 //! it) the observation volume; plus the raw sample count for Table 1.
+//!
+//! A feed has two storage states. During collection it is *building*:
+//! an incremental hash map, because events arrive in arbitrary domain
+//! order. [`FeedSet::new`] *seals* every feed into [`FeedColumns`] —
+//! sorted parallel columns plus a membership bitset — which is what the
+//! analyses scan. The `Feed` API is identical in both states.
 
 use crate::id::FeedId;
-use std::collections::HashMap;
-use taster_domain::DomainId;
+use crate::table::FeedColumns;
+use taster_domain::fx::{FxHashMap, FxHashSet};
+use taster_domain::{DomainBitset, DomainId};
 use taster_sim::SimTime;
 use taster_stats::EmpiricalDist;
 
@@ -24,6 +31,13 @@ pub struct DomainStats {
     pub volume: u64,
 }
 
+/// Either ingestion (map) or analysis (columnar) storage.
+#[derive(Debug, Clone)]
+enum Store {
+    Building(FxHashMap<DomainId, DomainStats>),
+    Sealed(FeedColumns),
+}
+
 /// One collected feed.
 #[derive(Debug, Clone)]
 pub struct Feed {
@@ -36,21 +50,21 @@ pub struct Feed {
     /// Whether the feed's records carry usable volume information
     /// (§4.3 restricts proportionality analysis to these feeds).
     pub reports_volume: bool,
-    domains: HashMap<DomainId, DomainStats>,
+    store: Store,
     /// Distinct fully-qualified hostnames observed (hashes), for feeds
     /// that report URL granularity; `None` for domain-only feeds
     /// (blacklists and scrubbed feeds — §2).
-    fqdns: Option<std::collections::HashSet<u64>>,
+    fqdns: Option<FxHashSet<u64>>,
 }
 
 impl Feed {
-    /// An empty feed.
+    /// An empty feed (in the building state).
     pub fn new(id: FeedId, reports_volume: bool) -> Feed {
         Feed {
             id,
             samples: None,
             reports_volume,
-            domains: HashMap::new(),
+            store: Store::Building(FxHashMap::default()),
             fqdns: None,
         }
     }
@@ -59,7 +73,7 @@ impl Feed {
     /// The first call switches the feed to URL granularity.
     pub fn note_fqdn(&mut self, host_hash: u64) {
         self.fqdns
-            .get_or_insert_with(std::collections::HashSet::new)
+            .get_or_insert_with(FxHashSet::default)
             .insert(host_hash);
     }
 
@@ -69,8 +83,13 @@ impl Feed {
     }
 
     /// Records one observation of `domain` at `time`.
+    ///
+    /// Panics once the feed has been sealed — collection is over.
     pub fn record(&mut self, domain: DomainId, time: SimTime) {
-        match self.domains.entry(domain) {
+        let Store::Building(domains) = &mut self.store else {
+            panic!("cannot record into a sealed feed");
+        };
+        match domains.entry(domain) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let s = e.get_mut();
                 s.first_seen = s.first_seen.min(time);
@@ -92,29 +111,63 @@ impl Feed {
         *self.samples.get_or_insert(0) += 1;
     }
 
+    /// Freezes the ingestion map into sorted columns. Idempotent.
+    pub fn seal(&mut self) {
+        if let Store::Building(domains) = &mut self.store {
+            let map = std::mem::take(domains);
+            self.store = Store::Sealed(FeedColumns::from_map(map));
+        }
+    }
+
+    /// The columnar storage. Panics while still building.
+    pub fn columns(&self) -> &FeedColumns {
+        match &self.store {
+            Store::Sealed(cols) => cols,
+            Store::Building(_) => panic!("feed {} has not been sealed", self.id),
+        }
+    }
+
     /// Number of unique registered domains.
     pub fn unique_domains(&self) -> usize {
-        self.domains.len()
+        match &self.store {
+            Store::Building(domains) => domains.len(),
+            Store::Sealed(cols) => cols.len(),
+        }
     }
 
     /// Stats for one domain.
-    pub fn stats(&self, domain: DomainId) -> Option<&DomainStats> {
-        self.domains.get(&domain)
+    pub fn stats(&self, domain: DomainId) -> Option<DomainStats> {
+        match &self.store {
+            Store::Building(domains) => domains.get(&domain).copied(),
+            Store::Sealed(cols) => cols.stats(domain),
+        }
     }
 
     /// Whether the feed carries `domain`.
     pub fn contains(&self, domain: DomainId) -> bool {
-        self.domains.contains_key(&domain)
+        match &self.store {
+            Store::Building(domains) => domains.contains_key(&domain),
+            Store::Sealed(cols) => cols.contains(domain),
+        }
     }
 
-    /// Iterates `(domain, stats)`.
-    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &DomainStats)> {
-        self.domains.iter().map(|(&d, s)| (d, s))
+    /// Iterates `(domain, stats)` — ascending domain order once sealed,
+    /// unordered while building.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, DomainStats)> + '_ {
+        let (building, sealed) = match &self.store {
+            Store::Building(domains) => (Some(domains.iter()), None),
+            Store::Sealed(cols) => (None, Some(cols.iter())),
+        };
+        building
+            .into_iter()
+            .flatten()
+            .map(|(&d, &s)| (d, s))
+            .chain(sealed.into_iter().flatten())
     }
 
-    /// All domain ids, unordered.
+    /// All domain ids — ascending once sealed, unordered while building.
     pub fn domain_ids(&self) -> impl Iterator<Item = DomainId> + '_ {
-        self.domains.keys().copied()
+        self.iter().map(|(d, _)| d)
     }
 
     /// The feed's empirical volume distribution over domains.
@@ -129,16 +182,21 @@ impl Feed {
     /// takes the minimum, last seen the maximum, volumes and sample
     /// counts add, FQDN sets union — so parallel collection can merge
     /// event-range shards in any grouping and produce the same feed a
-    /// serial pass over all events would.
+    /// serial pass over all events would. Both shards must still be
+    /// building.
     pub fn merge(&mut self, other: Feed) {
         assert_eq!(self.id, other.id, "merging shards of different feeds");
         assert_eq!(self.reports_volume, other.reports_volume);
+        let (Store::Building(ours), Store::Building(theirs)) = (&mut self.store, other.store)
+        else {
+            panic!("cannot merge sealed feeds");
+        };
         self.samples = match (self.samples, other.samples) {
             (Some(a), Some(b)) => Some(a + b),
             (a, b) => a.or(b),
         };
-        for (domain, stats) in other.domains {
-            match self.domains.entry(domain) {
+        for (domain, stats) in theirs {
+            match ours.entry(domain) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     let s = e.get_mut();
                     s.first_seen = s.first_seen.min(stats.first_seen);
@@ -152,7 +210,7 @@ impl Feed {
         }
         if let Some(theirs) = other.fqdns {
             self.fqdns
-                .get_or_insert_with(std::collections::HashSet::new)
+                .get_or_insert_with(FxHashSet::default)
                 .extend(theirs);
         }
     }
@@ -166,11 +224,13 @@ pub struct FeedSet {
 
 impl FeedSet {
     /// Assembles a set; `feeds` must contain each feed exactly once.
+    /// Seals every feed — collection is over once a set exists.
     pub fn new(mut feeds: Vec<Feed>) -> FeedSet {
         feeds.sort_by_key(|f| f.id.index());
         assert_eq!(feeds.len(), FeedId::ALL.len(), "need all ten feeds");
-        for (i, f) in feeds.iter().enumerate() {
+        for (i, f) in feeds.iter_mut().enumerate() {
             assert_eq!(f.id.index(), i, "duplicate or missing feed");
+            f.seal();
         }
         FeedSet { feeds }
     }
@@ -180,16 +240,21 @@ impl FeedSet {
         &self.feeds[id.index()]
     }
 
+    /// One feed's columnar storage.
+    pub fn columns(&self, id: FeedId) -> &FeedColumns {
+        self.get(id).columns()
+    }
+
     /// Iterate all feeds in table order.
     pub fn iter(&self) -> impl Iterator<Item = &Feed> {
         self.feeds.iter()
     }
 
-    /// Union of unique domains across `feeds`.
-    pub fn union_domains(&self, feeds: &[FeedId]) -> std::collections::HashSet<DomainId> {
-        let mut set = std::collections::HashSet::new();
+    /// Union of unique domains across `feeds`, as a bitset.
+    pub fn union_domains(&self, feeds: &[FeedId]) -> DomainBitset {
+        let mut set = DomainBitset::new();
         for &f in feeds {
-            set.extend(self.get(f).domain_ids());
+            set.union_with(self.columns(f).members());
         }
         set
     }
@@ -233,6 +298,36 @@ mod tests {
         let dist = f.volume_distribution();
         assert_eq!(dist.total(), 3);
         assert_eq!(dist.count(1), 2);
+    }
+
+    #[test]
+    fn sealing_preserves_contents() {
+        let mut f = Feed::new(FeedId::Bot, true);
+        for &(d, t) in &[(130u32, 9u64), (1, 4), (1, 2), (64, 7)] {
+            f.record(DomainId(d), SimTime(t));
+        }
+        let before: Vec<_> = {
+            let mut v: Vec<_> = f.iter().collect();
+            v.sort_by_key(|&(d, _)| d);
+            v
+        };
+        f.seal();
+        f.seal(); // idempotent
+        let after: Vec<_> = f.iter().collect();
+        assert_eq!(before, after, "sealed iteration is the sorted map");
+        assert_eq!(f.unique_domains(), 3);
+        assert!(f.contains(DomainId(64)));
+        assert!(!f.contains(DomainId(65)));
+        assert_eq!(f.stats(DomainId(1)).unwrap().volume, 2);
+        assert_eq!(f.columns().ids().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed feed")]
+    fn sealed_feed_rejects_records() {
+        let mut f = Feed::new(FeedId::Bot, true);
+        f.seal();
+        f.record(DomainId(1), SimTime(1));
     }
 
     #[test]
@@ -280,6 +375,7 @@ mod tests {
         assert_eq!(set.get(FeedId::Mx1).id, FeedId::Mx1);
         let union = set.union_domains(&[FeedId::Mx1, FeedId::Bot]);
         assert_eq!(union.len(), 2);
+        assert!(union.contains(DomainId(7)));
         let _ = dummy_set();
     }
 

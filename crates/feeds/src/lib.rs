@@ -35,9 +35,11 @@ pub mod id;
 pub mod parse;
 pub mod pipeline;
 pub mod reporting;
+pub mod table;
 
 pub use config::FeedsConfig;
 pub use feed::{DomainStats, Feed, FeedSet};
 pub use id::{FeedId, FeedKind};
 pub use pipeline::{collect_all, collect_all_with};
 pub use reporting::ReportingPolicy;
+pub use table::FeedColumns;

@@ -1,0 +1,164 @@
+//! Columnar per-feed domain storage.
+//!
+//! Ingestion accumulates per-domain stats in a hash map (events arrive
+//! in arbitrary domain order), but every analysis that follows is a
+//! scan or a set operation. [`FeedColumns`] is the post-collection
+//! layout: domain ids sorted ascending with `first_seen` / `last_seen`
+//! / `volume` as parallel columns, plus a membership [`DomainBitset`]
+//! and a [`RankIndex`] so point lookups (`stats`, `contains`) cost one
+//! word probe + popcount instead of a SipHash probe, and whole-feed
+//! unions/intersections run as word-level kernels.
+
+use crate::feed::DomainStats;
+use taster_domain::fx::FxHashMap;
+use taster_domain::{DomainBitset, DomainId, RankIndex};
+use taster_sim::SimTime;
+
+/// One feed's domains as sorted parallel columns + membership bitset.
+#[derive(Debug, Clone, Default)]
+pub struct FeedColumns {
+    ids: Vec<DomainId>,
+    first_seen: Vec<SimTime>,
+    last_seen: Vec<SimTime>,
+    volume: Vec<u64>,
+    members: DomainBitset,
+    rank: RankIndex,
+}
+
+impl FeedColumns {
+    /// Freezes an ingestion map into sorted columns.
+    pub fn from_map(map: FxHashMap<DomainId, DomainStats>) -> FeedColumns {
+        let mut rows: Vec<(DomainId, DomainStats)> = map.into_iter().collect();
+        rows.sort_unstable_by_key(|&(d, _)| d);
+        let mut cols = FeedColumns {
+            ids: Vec::with_capacity(rows.len()),
+            first_seen: Vec::with_capacity(rows.len()),
+            last_seen: Vec::with_capacity(rows.len()),
+            volume: Vec::with_capacity(rows.len()),
+            members: DomainBitset::with_capacity(rows.last().map_or(0, |&(d, _)| d.index() + 1)),
+            rank: RankIndex::default(),
+        };
+        for (d, s) in rows {
+            cols.ids.push(d);
+            cols.first_seen.push(s.first_seen);
+            cols.last_seen.push(s.last_seen);
+            cols.volume.push(s.volume);
+            cols.members.insert(d);
+        }
+        cols.rank = RankIndex::build(&cols.members);
+        cols
+    }
+
+    /// Number of distinct domains.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the feed carried nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test (one word probe).
+    pub fn contains(&self, domain: DomainId) -> bool {
+        self.members.contains(domain)
+    }
+
+    /// The row index of `domain`, if present.
+    pub fn row_of(&self, domain: DomainId) -> Option<usize> {
+        self.rank.rank(&self.members, domain)
+    }
+
+    /// Stats for one domain — O(1) rank lookup, no hashing.
+    pub fn stats(&self, domain: DomainId) -> Option<DomainStats> {
+        self.row_of(domain).map(|i| DomainStats {
+            first_seen: self.first_seen[i],
+            last_seen: self.last_seen[i],
+            volume: self.volume[i],
+        })
+    }
+
+    /// Iterates `(domain, stats)` in ascending domain order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, DomainStats)> + '_ {
+        self.ids.iter().enumerate().map(|(i, &d)| {
+            (
+                d,
+                DomainStats {
+                    first_seen: self.first_seen[i],
+                    last_seen: self.last_seen[i],
+                    volume: self.volume[i],
+                },
+            )
+        })
+    }
+
+    /// Domain ids, ascending.
+    pub fn ids(&self) -> &[DomainId] {
+        &self.ids
+    }
+
+    /// First-seen column, aligned with [`FeedColumns::ids`].
+    pub fn first_seen(&self) -> &[SimTime] {
+        &self.first_seen
+    }
+
+    /// Last-seen column, aligned with [`FeedColumns::ids`].
+    pub fn last_seen(&self) -> &[SimTime] {
+        &self.last_seen
+    }
+
+    /// Volume column, aligned with [`FeedColumns::ids`].
+    pub fn volumes(&self) -> &[u64] {
+        &self.volume
+    }
+
+    /// The membership bitset (for word-level set algebra).
+    pub fn members(&self) -> &DomainBitset {
+        &self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeedColumns {
+        let mut map: FxHashMap<DomainId, DomainStats> = FxHashMap::default();
+        for &(d, f, l, v) in &[(70u32, 3u64, 9u64, 4u64), (2, 1, 1, 1), (64, 5, 5, 2)] {
+            map.insert(
+                DomainId(d),
+                DomainStats {
+                    first_seen: SimTime(f),
+                    last_seen: SimTime(l),
+                    volume: v,
+                },
+            );
+        }
+        FeedColumns::from_map(map)
+    }
+
+    #[test]
+    fn columns_are_sorted_and_aligned() {
+        let cols = sample();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.ids(), &[DomainId(2), DomainId(64), DomainId(70)]);
+        assert_eq!(cols.volumes(), &[1, 2, 4]);
+        let rows: Vec<_> = cols.iter().map(|(d, s)| (d.0, s.volume)).collect();
+        assert_eq!(rows, vec![(2, 1), (64, 2), (70, 4)]);
+    }
+
+    #[test]
+    fn point_lookups_match_columns() {
+        let cols = sample();
+        assert!(cols.contains(DomainId(64)));
+        assert!(!cols.contains(DomainId(63)));
+        assert_eq!(cols.row_of(DomainId(70)), Some(2));
+        let s = cols.stats(DomainId(70)).unwrap();
+        assert_eq!(
+            (s.first_seen, s.last_seen, s.volume),
+            (SimTime(3), SimTime(9), 4)
+        );
+        assert_eq!(cols.stats(DomainId(1)), None);
+        assert_eq!(cols.members().len(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Times the four analysis stages (coverage, purity, proportionality,
+//! timing) over one prepared world — the harness behind the analyze
+//! numbers in README's Performance section.
+//!
+//! ```text
+//! cargo run --release --example analyze_stages [scale] [seed] [reps]
+//! ```
+
+use std::time::Instant;
+use taster::analysis::classify::Category;
+use taster::analysis::coverage::{coverage_table_par, exclusive_share_par, pairwise_overlap_par};
+use taster::analysis::proportionality::{kendall_matrix_par, variation_matrix_par};
+use taster::analysis::purity::purity_par;
+use taster::analysis::timing::{
+    duration_error_par, first_appearance_par, last_appearance_par, FIG9_FEEDS, HONEYPOT_FEEDS,
+};
+use taster::core::{Experiment, Scenario};
+use taster::sim::Parallelism;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().map_or(0.1, |s| s.parse().expect("scale"));
+    let seed: u64 = args.next().map_or(20_100_801, |s| s.parse().expect("seed"));
+    let reps: usize = args.next().map_or(3, |s| s.parse().expect("reps"));
+
+    let scenario = Scenario::default_paper().with_scale(scale).with_seed(seed);
+    eprintln!("building {} ...", scenario.name);
+    let e = Experiment::run(&scenario);
+    let par = Parallelism::serial();
+    let oracle = &e.world.provider.oracle;
+
+    let mut best = [f64::INFINITY; 4];
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(coverage_table_par(&e.classified, &par));
+        for cat in [Category::All, Category::Live, Category::Tagged] {
+            std::hint::black_box(pairwise_overlap_par(&e.classified, cat, &par));
+        }
+        std::hint::black_box(exclusive_share_par(&e.classified, Category::Live, &par));
+        best[0] = best[0].min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        std::hint::black_box(purity_par(&e.feeds, &e.classified, &par));
+        best[1] = best[1].min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        std::hint::black_box(variation_matrix_par(&e.feeds, &e.classified, oracle, &par));
+        std::hint::black_box(kendall_matrix_par(&e.feeds, &e.classified, oracle, &par));
+        best[2] = best[2].min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        std::hint::black_box(first_appearance_par(
+            &e.feeds,
+            &e.classified,
+            &FIG9_FEEDS,
+            &FIG9_FEEDS,
+            &par,
+        ));
+        std::hint::black_box(first_appearance_par(
+            &e.feeds,
+            &e.classified,
+            &HONEYPOT_FEEDS,
+            &HONEYPOT_FEEDS,
+            &par,
+        ));
+        std::hint::black_box(last_appearance_par(
+            &e.feeds,
+            &e.classified,
+            &HONEYPOT_FEEDS,
+            &HONEYPOT_FEEDS,
+            &par,
+        ));
+        std::hint::black_box(duration_error_par(
+            &e.feeds,
+            &e.classified,
+            &HONEYPOT_FEEDS,
+            &HONEYPOT_FEEDS,
+            &par,
+        ));
+        best[3] = best[3].min(t.elapsed().as_secs_f64());
+    }
+
+    let total: f64 = best.iter().sum();
+    println!("scale {scale} seed {seed} (best of {reps})");
+    println!("coverage        {:.4}s", best[0]);
+    println!("purity          {:.4}s", best[1]);
+    println!("proportionality {:.4}s", best[2]);
+    println!("timing          {:.4}s", best[3]);
+    println!("analyze total   {total:.4}s");
+}

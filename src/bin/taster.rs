@@ -19,7 +19,8 @@
 //! never changes any output — every parallel stage is bit-identical
 //! to a serial run — only how long the run takes.
 //!
-//! `bench-json` times feed collection and crawl/classification at 1,
+//! `bench-json` times feed collection, crawl/classification, and each
+//! analysis stage (coverage, purity, proportionality, timing) at 1,
 //! 2, 4 and 8 workers and writes the timings (plus speedups relative
 //! to one worker) as JSON, by default to `BENCH_pipeline.json`.
 
@@ -257,25 +258,62 @@ fn do_sweep(scenario: &Scenario, which: Option<&str>) {
     }
 }
 
-/// Times feed collection and crawl/classification at 1/2/4/8 workers
-/// over one shared world and writes the results as JSON. Every timed
-/// run produces bit-identical output; only wall-clock varies.
+/// Per-worker-count best-of-reps stage timings, seconds.
+#[derive(Clone, Copy)]
+struct StageTimes {
+    workers: usize,
+    collect: f64,
+    classify: f64,
+    coverage: f64,
+    purity: f64,
+    proportionality: f64,
+    timing: f64,
+}
+
+impl StageTimes {
+    /// Total analyze-stage wall time (everything after classification).
+    fn analyze(&self) -> f64 {
+        self.coverage + self.purity + self.proportionality + self.timing
+    }
+}
+
+/// Times feed collection, crawl/classification, and the four analysis
+/// stages (coverage, purity, proportionality, timing) at 1/2/4/8
+/// workers over one shared world and writes the results as JSON.
+/// Every timed run produces bit-identical output; only wall-clock
+/// varies.
 fn bench_json(scenario: &Scenario, path: &str) {
     use std::fmt::Write as _;
     use std::time::Instant;
+    use taster::analysis::coverage::{
+        coverage_table_par, exclusive_share_par, pairwise_overlap_par,
+    };
+    use taster::analysis::proportionality::{kendall_matrix_par, variation_matrix_par};
+    use taster::analysis::purity::purity_par;
+    use taster::analysis::timing::{
+        duration_error_par, first_appearance_par, last_appearance_par, FIG9_FEEDS, HONEYPOT_FEEDS,
+    };
 
     eprintln!("building world for {}", scenario.name);
     let world = sweep::build_world(scenario);
+    let oracle = &world.provider.oracle;
     let reps = 3usize;
-    let mut rows = Vec::new();
+    let mut rows: Vec<StageTimes> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let par = taster::sim::Parallelism::fixed(workers);
-        let mut collect_best = f64::INFINITY;
-        let mut classify_best = f64::INFINITY;
+        let mut best = StageTimes {
+            workers,
+            collect: f64::INFINITY,
+            classify: f64::INFINITY,
+            coverage: f64::INFINITY,
+            purity: f64::INFINITY,
+            proportionality: f64::INFINITY,
+            timing: f64::INFINITY,
+        };
         for _ in 0..reps {
             let t0 = Instant::now();
             let feeds = taster::feeds::collect_all_with(&world, &scenario.feeds, &par);
-            collect_best = collect_best.min(t0.elapsed().as_secs_f64());
+            best.collect = best.collect.min(t0.elapsed().as_secs_f64());
             let t0 = Instant::now();
             let classified = taster::analysis::Classified::build_with(
                 &world.truth,
@@ -283,17 +321,63 @@ fn bench_json(scenario: &Scenario, path: &str) {
                 scenario.classify,
                 &par,
             );
-            classify_best = classify_best.min(t0.elapsed().as_secs_f64());
-            std::hint::black_box(&classified);
+            best.classify = best.classify.min(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            std::hint::black_box(coverage_table_par(&classified, &par));
+            for cat in [Category::All, Category::Live, Category::Tagged] {
+                std::hint::black_box(pairwise_overlap_par(&classified, cat, &par));
+            }
+            std::hint::black_box(exclusive_share_par(&classified, Category::Live, &par));
+            best.coverage = best.coverage.min(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            std::hint::black_box(purity_par(&feeds, &classified, &par));
+            best.purity = best.purity.min(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            std::hint::black_box(variation_matrix_par(&feeds, &classified, oracle, &par));
+            std::hint::black_box(kendall_matrix_par(&feeds, &classified, oracle, &par));
+            best.proportionality = best.proportionality.min(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            for refs in [&FIG9_FEEDS[..], &HONEYPOT_FEEDS[..]] {
+                std::hint::black_box(first_appearance_par(&feeds, &classified, refs, refs, &par));
+            }
+            std::hint::black_box(last_appearance_par(
+                &feeds,
+                &classified,
+                &HONEYPOT_FEEDS,
+                &HONEYPOT_FEEDS,
+                &par,
+            ));
+            std::hint::black_box(duration_error_par(
+                &feeds,
+                &classified,
+                &HONEYPOT_FEEDS,
+                &HONEYPOT_FEEDS,
+                &par,
+            ));
+            best.timing = best.timing.min(t0.elapsed().as_secs_f64());
         }
-        eprintln!("workers {workers}: collect {collect_best:.3}s classify {classify_best:.3}s");
-        rows.push((workers, collect_best, classify_best));
+        eprintln!(
+            "workers {workers}: collect {:.3}s classify {:.3}s analyze {:.4}s \
+             (coverage {:.4} purity {:.4} proportionality {:.4} timing {:.4})",
+            best.collect,
+            best.classify,
+            best.analyze(),
+            best.coverage,
+            best.purity,
+            best.proportionality,
+            best.timing,
+        );
+        rows.push(best);
     }
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let (_, base_collect, base_classify) = rows[0];
+    let base = rows[0];
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"pipeline_scaling\",");
@@ -302,17 +386,32 @@ fn bench_json(scenario: &Scenario, path: &str) {
     let _ = writeln!(json, "  \"available_cores\": {cores},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     json.push_str("  \"runs\": [\n");
-    for (i, &(workers, collect, classify)) in rows.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"workers\": {workers}, \
-             \"collect_secs\": {collect:.6}, \
+            "    {{\"workers\": {}, \
+             \"collect_secs\": {:.6}, \
              \"collect_speedup\": {:.3}, \
-             \"classify_secs\": {classify:.6}, \
-             \"classify_speedup\": {:.3}}}{comma}",
-            base_collect / collect,
-            base_classify / classify,
+             \"classify_secs\": {:.6}, \
+             \"classify_speedup\": {:.3}, \
+             \"coverage_secs\": {:.6}, \
+             \"purity_secs\": {:.6}, \
+             \"proportionality_secs\": {:.6}, \
+             \"timing_secs\": {:.6}, \
+             \"analyze_secs\": {:.6}, \
+             \"analyze_speedup\": {:.3}}}{comma}",
+            row.workers,
+            row.collect,
+            base.collect / row.collect,
+            row.classify,
+            base.classify / row.classify,
+            row.coverage,
+            row.purity,
+            row.proportionality,
+            row.timing,
+            row.analyze(),
+            base.analyze() / row.analyze(),
         );
     }
     json.push_str("  ]\n}\n");

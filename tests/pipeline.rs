@@ -124,10 +124,10 @@ fn table1_matches_raw_feed_state() {
 #[test]
 fn blacklist_restriction_is_a_subset_of_base_union() {
     let e = experiment();
-    let base: HashSet<DomainId> = e.feeds.union_domains(&FeedId::BASE);
+    let base = e.feeds.union_domains(&FeedId::BASE);
     for id in [FeedId::Dbl, FeedId::Uribl] {
         for d in e.classified.feed(id).all.iter() {
-            assert!(base.contains(&d), "{id}: entry outside base union survived");
+            assert!(base.contains(d), "{id}: entry outside base union survived");
         }
     }
 }
