@@ -125,6 +125,29 @@ mod tests {
     }
 
     #[test]
+    fn empty_feeds_yield_zero_revenue_without_nan() {
+        // Regression: a blacked-out run sums revenue over an empty
+        // affiliate set — every bar must be exactly zero, never NaN.
+        use taster_feeds::Feed;
+        let truth = GroundTruth::generate(&EcosystemConfig::default().with_scale(0.01), 5).unwrap();
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.01));
+        let feeds =
+            taster_feeds::FeedSet::new(FeedId::ALL.iter().map(|&id| Feed::new(id, true)).collect());
+        let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
+        for bar in revenue_coverage(&c, &world.truth.roster) {
+            assert_eq!(bar.affiliates, 0, "{}", bar.feed);
+            assert_eq!(bar.revenue_usd, 0.0, "{}", bar.feed);
+            assert_eq!(bar.revenue_share, 0.0, "{}", bar.feed);
+        }
+        let m = affiliate_coverage(&c);
+        for row in FeedId::ALL {
+            let cell = m.get_extra(row);
+            assert_eq!(cell.count, 0);
+            assert!(!cell.fraction.is_nan());
+        }
+    }
+
+    #[test]
     fn hu_leads_affiliate_coverage_bot_trails() {
         let (_, c) = setup();
         let m = affiliate_coverage(&c);

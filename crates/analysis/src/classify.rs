@@ -13,7 +13,7 @@ use taster_crawler::{CrawlReport, Crawler};
 use taster_domain::DomainBitset as DomainSet;
 use taster_ecosystem::GroundTruth;
 use taster_feeds::{FeedId, FeedSet};
-use taster_sim::Parallelism;
+use taster_sim::{FaultPlan, Parallelism};
 
 /// Classification options.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +79,34 @@ impl Classified {
         options: ClassifyOptions,
         par: &Parallelism,
     ) -> Classified {
+        Self::build_inner(feeds, options, Crawler::new(truth), par)
+    }
+
+    /// [`Classified::build_with`] under a [`FaultPlan`]: the crawler's
+    /// DNS and HTTP visits can fail (with bounded retries) according to
+    /// the plan, degrading live/tagged sets instead of panicking. With
+    /// an off plan the result is bit-identical to a fault-free build.
+    pub fn build_faulted(
+        truth: &GroundTruth,
+        feeds: &FeedSet,
+        options: ClassifyOptions,
+        plan: &FaultPlan,
+        par: &Parallelism,
+    ) -> Classified {
+        Self::build_inner(
+            feeds,
+            options,
+            Crawler::with_faults(truth, plan.clone()),
+            par,
+        )
+    }
+
+    fn build_inner(
+        feeds: &FeedSet,
+        options: ClassifyOptions,
+        crawler: Crawler<'_>,
+        par: &Parallelism,
+    ) -> Classified {
         let base_union: DomainSet = feeds.union_domains(&FeedId::BASE);
 
         // Crawl the union of everything we will classify. Restricted
@@ -90,7 +118,6 @@ impl Classified {
                 to_crawl.union_with(feeds.columns(id).members());
             }
         }
-        let crawler = Crawler::new(truth);
         let crawl = crawler.crawl_par(to_crawl.iter(), par);
 
         let per_feed = par.par_map(FeedId::ALL.to_vec(), |id| {

@@ -1,0 +1,53 @@
+//! Typed errors for the analysis layer.
+//!
+//! The analyses are pure functions over already-validated inputs, so
+//! most lookups are infallible by construction; the fallible surface —
+//! matrix lookups over caller-chosen feed lists, degenerate inputs —
+//! reports through [`AnalysisError`] instead of panicking.
+
+use taster_feeds::FeedId;
+
+/// An analysis-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A feed was looked up in a matrix that does not carry it.
+    FeedNotInMatrix(FeedId),
+    /// The extra ("All"/"Mail") column was requested from a matrix
+    /// built without one.
+    NoExtraColumn,
+    /// An input was too degenerate for the statistic to be defined.
+    Degenerate(&'static str),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::FeedNotInMatrix(id) => write!(f, "{id} not in matrix"),
+            AnalysisError::NoExtraColumn => write!(f, "matrix has no extra column"),
+            AnalysisError::Degenerate(what) => write!(f, "degenerate input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            AnalysisError::FeedNotInMatrix(FeedId::Bot).to_string(),
+            "Bot not in matrix"
+        );
+        assert_eq!(
+            AnalysisError::NoExtraColumn.to_string(),
+            "matrix has no extra column"
+        );
+        assert_eq!(
+            AnalysisError::Degenerate("empty feed").to_string(),
+            "degenerate input: empty feed"
+        );
+    }
+}

@@ -35,15 +35,21 @@
 //! * [`timing`] — Figs 9–12 (relative first/last appearance and
 //!   duration error boxplots).
 //! * [`matrix`] — the shared labelled-matrix container.
+//! * [`degradation`] — clean-vs-faulted metric deltas for the fault-
+//!   injection sweeps (`taster degradation`).
+//! * [`error`] — the typed [`error::AnalysisError`] surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod affiliates;
 pub mod blocking;
 pub mod campaigns;
 pub mod classify;
 pub mod coverage;
+pub mod degradation;
+pub mod error;
 pub mod granularity;
 pub mod matrix;
 pub mod programs;
@@ -55,4 +61,6 @@ pub mod timing;
 pub mod volume;
 
 pub use classify::{Classified, ClassifyOptions};
+pub use degradation::{MetricDelta, MetricSnapshot, ProfileDegradation, RunSnapshot};
+pub use error::AnalysisError;
 pub use matrix::PairwiseMatrix;

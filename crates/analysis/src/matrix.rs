@@ -1,5 +1,6 @@
 //! A labelled pairwise matrix (the container behind Figs 2, 4, 5, 7, 8).
 
+use crate::error::AnalysisError;
 use taster_feeds::FeedId;
 use taster_sim::Parallelism;
 
@@ -32,7 +33,9 @@ pub struct PairwiseMatrix<T> {
 fn feed_index(feeds: &[FeedId]) -> Vec<Option<u8>> {
     let mut index = vec![None; FeedId::ALL.len()];
     for (i, &f) in feeds.iter().enumerate() {
-        index[f.index()] = Some(u8::try_from(i).expect("at most ten feeds"));
+        // At most ten distinct feeds exist, so the row index always
+        // fits; an (impossible) overflow leaves the entry unmapped.
+        index[f.index()] = u8::try_from(i).ok();
     }
     index
 }
@@ -64,18 +67,41 @@ impl<T: Copy> PairwiseMatrix<T> {
         }
     }
 
-    /// Cell at `(row, col)`.
+    /// Cell at `(row, col)`; panics when either feed is absent (a
+    /// caller bug — matrices are built over fixed feed lists).
     pub fn get(&self, row: FeedId, col: FeedId) -> T {
-        let r = self.pos(row);
-        let c = self.pos(col);
-        self.values[r][c]
+        match self.try_get(row, col) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Cell at `(row, col)`, or a typed error when a feed is absent.
+    pub fn try_get(&self, row: FeedId, col: FeedId) -> Result<T, AnalysisError> {
+        let r = self.try_pos(row)?;
+        let c = self.try_pos(col)?;
+        Ok(self.values[r][c])
     }
 
     /// The extra-column entry of `row`; panics when there is none.
     pub fn get_extra(&self, row: FeedId) -> T {
-        assert!(self.extra_label.is_some(), "matrix has no extra column");
-        let r = self.pos(row);
-        *self.values[r].last().expect("row non-empty")
+        match self.try_get_extra(row) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The extra-column entry of `row`, or a typed error when the
+    /// matrix has no extra column or does not carry `row`.
+    pub fn try_get_extra(&self, row: FeedId) -> Result<T, AnalysisError> {
+        if self.extra_label.is_none() {
+            return Err(AnalysisError::NoExtraColumn);
+        }
+        let r = self.try_pos(row)?;
+        self.values[r]
+            .last()
+            .copied()
+            .ok_or(AnalysisError::NoExtraColumn)
     }
 
     /// Number of row/column feeds.
@@ -88,8 +114,10 @@ impl<T: Copy> PairwiseMatrix<T> {
         self.feeds.is_empty()
     }
 
-    fn pos(&self, id: FeedId) -> usize {
-        self.index[id.index()].unwrap_or_else(|| panic!("{id} not in matrix")) as usize
+    fn try_pos(&self, id: FeedId) -> Result<usize, AnalysisError> {
+        self.index[id.index()]
+            .map(usize::from)
+            .ok_or(AnalysisError::FeedNotInMatrix(id))
     }
 }
 
@@ -167,6 +195,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_accessors_report_typed_errors() {
+        use crate::error::AnalysisError;
+        let m = PairwiseMatrix::build(&[FeedId::Hu], Some("All"), |_, _| 1u8, |_| 2u8);
+        assert_eq!(m.try_get(FeedId::Hu, FeedId::Hu), Ok(1));
+        assert_eq!(m.try_get_extra(FeedId::Hu), Ok(2));
+        assert_eq!(
+            m.try_get(FeedId::Bot, FeedId::Hu),
+            Err(AnalysisError::FeedNotInMatrix(FeedId::Bot))
+        );
+        let bare = PairwiseMatrix::build(&[FeedId::Hu], None, |_, _| 0u8, |_| 0u8);
+        assert_eq!(
+            bare.try_get_extra(FeedId::Hu),
+            Err(AnalysisError::NoExtraColumn)
+        );
+    }
+
+    #[test]
+    fn zero_row_matrix_is_well_defined() {
+        // A matrix built over no feeds (every row degenerate) still
+        // answers every structural query without panicking.
+        let m = PairwiseMatrix::build(&[], Some("All"), |_, _| 0u8, |_| 0u8);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        for id in FeedId::ALL {
+            assert_eq!(m.try_get(id, id), Err(AnalysisError::FeedNotInMatrix(id)));
+            assert_eq!(m.try_get_extra(id), Err(AnalysisError::FeedNotInMatrix(id)));
+        }
+        let par = PairwiseMatrix::build_par(&[], None, |_, _| 0u8, |_| 0u8, &Parallelism::fixed(4));
+        assert!(par.is_empty());
     }
 
     #[test]

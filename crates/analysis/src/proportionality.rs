@@ -85,12 +85,14 @@ impl TaggedColumns {
         TaggedColumns { columns, totals }
     }
 
-    /// Column index of a volume-bearing feed.
+    /// Column index of a volume-bearing feed. Callers only pass
+    /// members of [`FeedId::WITH_VOLUME`], the list the matrices are
+    /// built over.
     fn pos(id: FeedId) -> usize {
         FeedId::WITH_VOLUME
             .iter()
             .position(|&f| f == id)
-            .expect("volume feed")
+            .unwrap_or_else(|| panic!("{id} reports no volume"))
     }
 
     /// Column index of the oracle ("Mail").

@@ -39,15 +39,17 @@ pub fn greedy_selection(classified: &Classified, category: Category) -> Vec<Sele
     let mut remaining: Vec<FeedId> = FeedId::ALL.to_vec();
     let mut steps = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
-        let (idx, marginal) = remaining
+        let best = remaining
             .iter()
             .enumerate()
             .map(|(i, &f)| {
                 let set = classified.set(f, category);
                 (i, set.len() - set.intersection_len(&covered))
             })
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .expect("remaining non-empty");
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        let Some((idx, marginal)) = best else {
+            break; // unreachable: the loop guard keeps `remaining` non-empty
+        };
         let feed = remaining.remove(idx);
         covered.union_with(classified.set(feed, category));
         steps.push(SelectionStep {

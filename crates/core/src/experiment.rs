@@ -9,6 +9,7 @@ use taster_analysis::classify::Category;
 use taster_analysis::coverage::{
     coverage_table_par, exclusive_share_par, pairwise_overlap_par, CoverageRow,
 };
+use taster_analysis::degradation::{snapshot, RunSnapshot};
 use taster_analysis::granularity::{granularity_study, GranularityRow};
 use taster_analysis::matrix::OverlapCell;
 use taster_analysis::programs::program_coverage;
@@ -24,8 +25,9 @@ use taster_analysis::timing::{
 use taster_analysis::volume::{volume_coverage, VolumeBar};
 use taster_analysis::{Classified, PairwiseMatrix};
 use taster_ecosystem::GroundTruth;
-use taster_feeds::{collect_all_with, FeedId, FeedSet};
+use taster_feeds::{try_collect_all_faulted, FeedId, FeedSet, PipelineError};
 use taster_mailsim::MailWorld;
+use taster_sim::FaultPlan;
 use taster_stats::Boxplot;
 
 /// A fully-executed experiment: ground truth, mail world, feeds and
@@ -40,6 +42,8 @@ pub struct Experiment {
     pub feeds: FeedSet,
     /// Crawl + live/tagged classification.
     pub classified: Classified,
+    /// The fault plan the run executed under (off for clean runs).
+    pub faults: FaultPlan,
 }
 
 impl Experiment {
@@ -47,23 +51,46 @@ impl Experiment {
     /// (validation errors are programmer errors here; use
     /// [`Experiment::try_run`] to handle them).
     pub fn run(scenario: &Scenario) -> Experiment {
-        Self::try_run(scenario).expect("valid scenario")
+        match Self::try_run(scenario) {
+            Ok(e) => e,
+            Err(e) => panic!("invalid scenario: {e}"),
+        }
     }
 
-    /// Runs the scenario, returning configuration errors.
-    pub fn try_run(scenario: &Scenario) -> Result<Experiment, String> {
-        scenario.validate()?;
+    /// Runs the scenario, returning configuration errors as a typed
+    /// [`PipelineError`]. With a fault profile set, feed collection
+    /// and the crawl degrade deterministically instead of failing —
+    /// even a 100 %-outage profile completes with empty feeds.
+    pub fn try_run(scenario: &Scenario) -> Result<Experiment, PipelineError> {
+        scenario
+            .validate()
+            .map_err(PipelineError::InvalidScenario)?;
         let par = scenario.parallelism;
-        let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed)?;
+        let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed)
+            .map_err(PipelineError::Generation)?;
         let world = MailWorld::build(truth, scenario.mail.clone());
-        let feeds = collect_all_with(&world, &scenario.feeds, &par);
-        let classified = Classified::build_with(&world.truth, &feeds, scenario.classify, &par);
+        let plan = scenario.fault_plan();
+        let feeds = try_collect_all_faulted(&world, &scenario.feeds, &plan, &par)?;
+        let classified =
+            Classified::build_faulted(&world.truth, &feeds, scenario.classify, &plan, &par);
         Ok(Experiment {
             scenario: scenario.clone(),
             world,
             feeds,
             classified,
+            faults: plan,
         })
+    }
+
+    /// Freezes the degradation-relevant metrics of this run (the
+    /// clean-vs-faulted comparison input of `taster degradation`).
+    pub fn degradation_snapshot(&self) -> RunSnapshot {
+        snapshot(
+            &self.feeds,
+            &self.classified,
+            &self.world.provider.oracle,
+            &self.scenario.parallelism,
+        )
     }
 
     /// The plain-text report renderer.

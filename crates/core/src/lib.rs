@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod degradation;
 pub mod experiment;
 pub mod export;
 pub mod report;

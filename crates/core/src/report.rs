@@ -401,8 +401,68 @@ impl<'a> Report<'a> {
         out
     }
 
+    /// Fault model: what degradation was injected and what it cost.
+    /// Only rendered for faulted runs ([`Experiment::faults`] on);
+    /// clean reports stay byte-identical to a fault-free build.
+    pub fn fault_model(&self) -> String {
+        let plan = &self.experiment.faults;
+        let profile = plan.profile();
+        let crawl = &self.experiment.classified.crawl;
+        let mut out = header(
+            "Fault model: injected degradation",
+            &self.experiment.scenario.name,
+        );
+        out.push_str(&format!("profile: {}\n", profile.name));
+        out.push_str(&format!(
+            "record faults: drop {:.1}%, duplicate {:.1}%, truncate {:.1}%\n",
+            profile.record_drop_prob * 100.0,
+            profile.record_duplicate_prob * 100.0,
+            profile.record_truncate_prob * 100.0,
+        ));
+        out.push_str(&format!(
+            "crawler: DNS SERVFAIL {:.1}%, HTTP timeout {:.1}%, {} retries, {}s backoff\n",
+            profile.dns_servfail_prob * 100.0,
+            profile.http_timeout_prob * 100.0,
+            profile.crawl_max_retries,
+            profile.crawl_backoff_secs,
+        ));
+        out.push_str(&format!(
+            "crawl dispositions: {} timeouts, {} unreachable, {} attempts, {}s simulated backoff\n",
+            crawl.timeouts(),
+            crawl.unreachable(),
+            crawl.total_attempts(),
+            crawl.total_backoff_secs(),
+        ));
+        out.push_str(&format!("{:<6} {:>5}  gap windows\n", "Feed", "gaps"));
+        for id in FeedId::ALL {
+            let feed = self.experiment.feeds.get(id);
+            let gaps = feed.gaps();
+            let windows = gaps
+                .iter()
+                .map(|w| format!("d{:.0}–d{:.0}", w.start.days_f64(), w.end.days_f64()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "{:<6} {:>5}  {}\n",
+                id.label(),
+                gaps.len(),
+                if windows.is_empty() { "-" } else { &windows },
+            ));
+        }
+        out
+    }
+
     /// Every table and figure, in paper order.
     pub fn full_report(&self) -> String {
+        if !self.experiment.faults.is_off() {
+            let mut sections = vec![self.fault_model()];
+            sections.push(self.full_report_clean_sections());
+            return sections.join("\n");
+        }
+        self.full_report_clean_sections()
+    }
+
+    fn full_report_clean_sections(&self) -> String {
         [
             self.table1_feed_summary(),
             self.table2_purity(),
@@ -437,6 +497,10 @@ fn header(title: &str, scenario: &str) -> String {
 
 fn render_overlap_matrix(title: &str, scenario: &str, m: &PairwiseMatrix<OverlapCell>) -> String {
     let mut out = header(title, scenario);
+    if m.is_empty() {
+        out.push_str("   (no rows)\n");
+        return out;
+    }
     out.push_str("   cell = |row ∩ col| as % of col / count\n");
     out.push_str(&format!("{:<7}", ""));
     for col in &m.feeds {
@@ -477,6 +541,10 @@ fn render_overlap_matrix(title: &str, scenario: &str, m: &PairwiseMatrix<Overlap
 
 fn render_float_matrix(title: &str, scenario: &str, m: &PairwiseMatrix<f64>) -> String {
     let mut out = header(title, scenario);
+    if m.is_empty() {
+        out.push_str("   (no rows)\n");
+        return out;
+    }
     out.push_str(&format!("{:<7}", ""));
     for col in &m.feeds {
         out.push_str(&format!("{:>7}", col.label()));
@@ -500,6 +568,10 @@ fn render_float_matrix(title: &str, scenario: &str, m: &PairwiseMatrix<f64>) -> 
 
 fn render_boxplots(title: &str, scenario: &str, rows: &[(FeedId, Boxplot)], unit: &str) -> String {
     let mut out = header(title, scenario);
+    if rows.is_empty() {
+        out.push_str("   (no data)\n");
+        return out;
+    }
     out.push_str(&format!(
         "{:<6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
         "Feed", "n", "p5", "q1", "median", "q3", "p95"

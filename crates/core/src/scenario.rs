@@ -4,7 +4,7 @@ use taster_analysis::ClassifyOptions;
 use taster_ecosystem::EcosystemConfig;
 use taster_feeds::FeedsConfig;
 use taster_mailsim::MailConfig;
-use taster_sim::Parallelism;
+use taster_sim::{FaultPlan, FaultProfile, Parallelism};
 
 /// A complete, self-describing experiment configuration. An
 /// [`crate::Experiment`] is a pure function of a `Scenario`.
@@ -27,6 +27,9 @@ pub struct Scenario {
     /// parallel stage is bit-identical to a serial run — only how fast
     /// they arrive.
     pub parallelism: Parallelism,
+    /// Fault-injection profile. [`FaultProfile::off`] (the default)
+    /// leaves every output byte-identical to a fault-free build.
+    pub faults: FaultProfile,
 }
 
 impl Scenario {
@@ -41,6 +44,7 @@ impl Scenario {
             feeds: FeedsConfig::default(),
             classify: ClassifyOptions::default(),
             parallelism: Parallelism::default(),
+            faults: FaultProfile::off(),
         }
     }
 
@@ -64,6 +68,23 @@ impl Scenario {
     pub fn with_threads(mut self, workers: usize) -> Scenario {
         self.parallelism = Parallelism::fixed(workers);
         self
+    }
+
+    /// Injects a fault profile (the CLI's `--faults`). An off profile
+    /// is a no-op and leaves the scenario name untouched, keeping
+    /// clean reports byte-identical.
+    pub fn with_faults(mut self, profile: FaultProfile) -> Scenario {
+        if !profile.is_off() {
+            self.name = format!("{} [faults: {}]", self.name, profile.name);
+        }
+        self.faults = profile;
+        self
+    }
+
+    /// The concrete fault plan of this scenario: its profile keyed by
+    /// its master seed.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.faults.clone(), self.seed)
     }
 
     /// Ablation: disables the Rustock-style poisoning incident.
@@ -146,6 +167,7 @@ impl Scenario {
         self.ecosystem.validate()?;
         self.mail.validate()?;
         self.feeds.validate()?;
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -241,6 +263,18 @@ mod tests {
             "mx2 spam {mx2_spam} vs Hu spam {hu_spam}"
         );
         assert!(hu_spam > 50, "Hu still covers the quiet world: {hu_spam}");
+    }
+
+    #[test]
+    fn fault_profiles_annotate_names_only_when_on() {
+        let clean = Scenario::default_paper().with_faults(FaultProfile::off());
+        assert_eq!(clean.name, Scenario::default_paper().name);
+        assert!(clean.fault_plan().is_off());
+        let flaky = Scenario::default_paper().with_faults(FaultProfile::flaky_crawler());
+        assert!(flaky.name.contains("faults: flaky-crawler"));
+        assert!(!flaky.fault_plan().is_off());
+        assert_eq!(flaky.fault_plan().seed(), flaky.seed);
+        flaky.validate().unwrap();
     }
 
     #[test]

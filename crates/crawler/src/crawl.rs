@@ -3,10 +3,11 @@
 use crate::oracle::{DnsOracle, FetchOutcome, HttpOracle, ListMembership};
 use crate::page::render_page;
 use crate::tagger::{extract_affiliate_id, SignatureSet};
+use rand::RngExt;
 use taster_domain::{DomainBitset, DomainId, RankIndex};
 use taster_ecosystem::ids::{AffiliateId, ProgramId};
 use taster_ecosystem::GroundTruth;
-use taster_sim::Parallelism;
+use taster_sim::{FaultPlan, Parallelism};
 
 /// A storefront classification produced by signature matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +16,18 @@ pub struct Tag {
     pub program: ProgramId,
     /// The embedded affiliate identifier, when the program exposes one.
     pub affiliate: Option<AffiliateId>,
+}
+
+/// How a domain's crawl terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Disposition {
+    /// The visit completed (whether or not the page responded).
+    #[default]
+    Ok,
+    /// Every HTTP attempt timed out; retries exhausted.
+    Timeout,
+    /// Every DNS attempt returned SERVFAIL; retries exhausted.
+    Unreachable,
 }
 
 /// Everything the crawler learned about one domain.
@@ -32,6 +45,13 @@ pub struct CrawlResult {
     pub alexa_rank: Option<u32>,
     /// Listed in the Open Directory.
     pub odp: bool,
+    /// How the visit terminated (always [`Disposition::Ok`] without
+    /// fault injection).
+    pub disposition: Disposition,
+    /// Visits spent on this domain (1 + retries consumed).
+    pub attempts: u32,
+    /// Simulated backoff time spent between retries, in seconds.
+    pub backoff_secs: u64,
 }
 
 impl CrawlResult {
@@ -79,6 +99,10 @@ pub struct CrawlReport {
     live: DomainBitset,
     storefront: DomainBitset,
     benign_http: DomainBitset,
+    timeouts: usize,
+    unreachable: usize,
+    total_attempts: u64,
+    total_backoff_secs: u64,
 }
 
 impl CrawlReport {
@@ -103,8 +127,19 @@ impl CrawlReport {
             live: DomainBitset::with_capacity(capacity),
             storefront: DomainBitset::with_capacity(capacity),
             benign_http: DomainBitset::with_capacity(capacity),
+            timeouts: 0,
+            unreachable: 0,
+            total_attempts: 0,
+            total_backoff_secs: 0,
         };
         for (d, r) in rows {
+            match r.disposition {
+                Disposition::Ok => {}
+                Disposition::Timeout => report.timeouts += 1,
+                Disposition::Unreachable => report.unreachable += 1,
+            }
+            report.total_attempts += u64::from(r.attempts);
+            report.total_backoff_secs += r.backoff_secs;
             report.members.insert(d);
             if r.registered {
                 report.registered.insert(d);
@@ -205,6 +240,27 @@ impl CrawlReport {
     pub fn benign_http_set(&self) -> &DomainBitset {
         &self.benign_http
     }
+
+    /// Domains whose crawl ended in [`Disposition::Timeout`].
+    pub fn timeouts(&self) -> usize {
+        self.timeouts
+    }
+
+    /// Domains whose crawl ended in [`Disposition::Unreachable`].
+    pub fn unreachable(&self) -> usize {
+        self.unreachable
+    }
+
+    /// Total visits spent across all domains (per-domain attempt
+    /// accounting summed).
+    pub fn total_attempts(&self) -> u64 {
+        self.total_attempts
+    }
+
+    /// Total simulated backoff time spent between retries, in seconds.
+    pub fn total_backoff_secs(&self) -> u64 {
+        self.total_backoff_secs
+    }
 }
 
 /// The crawler: wraps the oracles and signature set.
@@ -215,6 +271,7 @@ pub struct Crawler<'a> {
     http: HttpOracle<'a>,
     lists: ListMembership<'a>,
     signatures: SignatureSet,
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> Crawler<'a> {
@@ -226,12 +283,111 @@ impl<'a> Crawler<'a> {
             http: HttpOracle::new(truth),
             lists: ListMembership::new(truth),
             signatures: SignatureSet::from_roster(&truth.roster),
+            faults: None,
         }
     }
 
+    /// Builds a crawler whose DNS/HTTP visits can fail according to
+    /// `plan` (transient SERVFAILs and timeouts with bounded retries).
+    /// An off plan is equivalent to [`Crawler::new`].
+    pub fn with_faults(truth: &'a GroundTruth, plan: FaultPlan) -> Crawler<'a> {
+        let mut crawler = Crawler::new(truth);
+        if !plan.is_off() {
+            crawler.faults = Some(plan);
+        }
+        crawler
+    }
+
+    /// Retries `stage` visits for `domain` until one succeeds or the
+    /// retry budget runs out. Returns `(survived, extra_attempts,
+    /// backoff_secs)`. Decisions draw from a fresh stream keyed by
+    /// `(seed, crawl/<stage>, domain index)`, so the outcome is a pure
+    /// function of the domain — independent of shard boundaries — and
+    /// backoff is deterministic simulated time (base doubling per
+    /// retry), not wall-clock sleeping.
+    fn visit_with_retries(
+        plan: &FaultPlan,
+        stage: &str,
+        domain: DomainId,
+        fail_prob: f64,
+    ) -> (bool, u32, u64) {
+        if fail_prob <= 0.0 {
+            return (true, 0, 0);
+        }
+        let profile = plan.profile();
+        let mut rng = plan.stream(stage, domain.index() as u64);
+        let mut extra_attempts = 0u32;
+        let mut backoff_secs = 0u64;
+        for attempt in 0..=profile.crawl_max_retries {
+            if attempt > 0 {
+                extra_attempts += 1;
+                backoff_secs += profile.crawl_backoff_secs << (attempt - 1);
+            }
+            if !rng.random_bool(fail_prob) {
+                return (true, extra_attempts, backoff_secs);
+            }
+        }
+        (false, extra_attempts, backoff_secs)
+    }
+
     /// Crawls one domain.
+    ///
+    /// A pure function of the domain (the oracles and the fault plan
+    /// draw nothing from shared mutable state), which is what keeps
+    /// sharded crawls bit-identical to serial ones.
     pub fn crawl_one(&self, domain: DomainId) -> CrawlResult {
+        let mut attempts = 1u32;
+        let mut backoff_secs = 0u64;
+        if let Some(plan) = &self.faults {
+            // DNS resolution first: a domain whose every lookup
+            // SERVFAILs is terminally unreachable — no HTTP fetch, no
+            // registration answer, no silent success.
+            let (resolved, extra, backoff) = Self::visit_with_retries(
+                plan,
+                "crawl/dns",
+                domain,
+                plan.profile().dns_servfail_prob,
+            );
+            attempts += extra;
+            backoff_secs += backoff;
+            if !resolved {
+                return CrawlResult {
+                    registered: false,
+                    http_ok: false,
+                    final_domain: domain,
+                    tag: None,
+                    alexa_rank: self.lists.alexa_rank(domain),
+                    odp: self.lists.odp_listed(domain),
+                    disposition: Disposition::Unreachable,
+                    attempts,
+                    backoff_secs,
+                };
+            }
+        }
         let registered = self.dns.registered(domain);
+        if let Some(plan) = &self.faults {
+            let (responded, extra, backoff) = Self::visit_with_retries(
+                plan,
+                "crawl/http",
+                domain,
+                plan.profile().http_timeout_prob,
+            );
+            attempts += extra;
+            backoff_secs += backoff;
+            if !responded {
+                return CrawlResult {
+                    registered,
+                    http_ok: false,
+                    final_domain: domain,
+                    tag: None,
+                    alexa_rank: self.lists.alexa_rank(domain),
+                    odp: self.lists.odp_listed(domain),
+                    disposition: Disposition::Timeout,
+                    attempts,
+                    backoff_secs,
+                };
+            }
+        }
         let (http_ok, final_domain) = match self.http.fetch(domain) {
             FetchOutcome::Ok { final_domain, .. } => (true, final_domain),
             FetchOutcome::Failed => (false, domain),
@@ -253,6 +409,9 @@ impl<'a> Crawler<'a> {
             tag,
             alexa_rank: self.lists.alexa_rank(domain),
             odp: self.lists.odp_listed(domain),
+            disposition: Disposition::Ok,
+            attempts,
+            backoff_secs,
         }
     }
 
@@ -412,6 +571,67 @@ mod tests {
                 assert_eq!(par.get(d), Some(r), "{d:?}");
             }
         }
+    }
+
+    #[test]
+    fn faulted_crawl_is_deterministic_and_degrades() {
+        use taster_sim::FaultProfile;
+        let truth = world();
+        let ids: Vec<DomainId> = truth.universe.iter().map(|(d, _)| d).collect();
+        let clean = Crawler::new(&truth).crawl(ids.iter().copied());
+        let plan = FaultPlan::new(FaultProfile::flaky_crawler(), truth.seed);
+        let flaky = Crawler::with_faults(&truth, plan.clone());
+        let faulted = flaky.crawl(ids.iter().copied());
+        // Terminal dispositions appear and cost extra attempts.
+        assert!(faulted.timeouts() > 0, "timeouts observed");
+        assert!(faulted.unreachable() > 0, "unreachable observed");
+        assert!(faulted.total_attempts() > faulted.len() as u64);
+        assert!(faulted.total_backoff_secs() > 0);
+        // Deterministic and shard-independent: 1/2/8 workers agree.
+        for workers in [2, 8] {
+            let par = flaky.crawl_par(ids.iter().copied(), &Parallelism::fixed(workers));
+            for (d, r) in faulted.iter() {
+                assert_eq!(par.get(d), Some(r), "{d:?}");
+            }
+        }
+        // A timed-out domain never reports http_ok; an unreachable one
+        // never reports registered.
+        for (_, r) in faulted.iter() {
+            match r.disposition {
+                Disposition::Timeout => assert!(!r.http_ok),
+                Disposition::Unreachable => assert!(!r.http_ok && !r.registered),
+                Disposition::Ok => {}
+            }
+        }
+        // The clean crawl is untouched by an off plan.
+        let off = Crawler::with_faults(&truth, FaultPlan::off(truth.seed));
+        let same = off.crawl(ids.iter().copied());
+        for (d, r) in clean.iter() {
+            assert_eq!(same.get(d), Some(r));
+        }
+        assert_eq!(clean.timeouts(), 0);
+        assert_eq!(clean.total_attempts(), clean.len() as u64);
+    }
+
+    #[test]
+    fn retries_recover_some_transient_failures() {
+        use taster_sim::FaultProfile;
+        let truth = world();
+        let ids: Vec<DomainId> = truth.universe.iter().take(2000).map(|(d, _)| d).collect();
+        let mut no_retry = FaultProfile::flaky_crawler();
+        no_retry.crawl_max_retries = 0;
+        let mut with_retry = FaultProfile::flaky_crawler();
+        with_retry.crawl_max_retries = 3;
+        let hard = Crawler::with_faults(&truth, FaultPlan::new(no_retry, truth.seed))
+            .crawl(ids.iter().copied());
+        let soft = Crawler::with_faults(&truth, FaultPlan::new(with_retry, truth.seed))
+            .crawl(ids.iter().copied());
+        assert!(
+            soft.timeouts() + soft.unreachable() < hard.timeouts() + hard.unreachable(),
+            "retries must recover transient failures: {} vs {}",
+            soft.timeouts() + soft.unreachable(),
+            hard.timeouts() + hard.unreachable()
+        );
     }
 
     #[test]

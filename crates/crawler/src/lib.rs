@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod crawl;
 pub mod oracle;
@@ -30,7 +31,7 @@ pub mod page;
 pub mod tagger;
 pub mod zonefile;
 
-pub use crawl::{CrawlReport, CrawlResult, Crawler, Tag};
+pub use crawl::{CrawlReport, CrawlResult, Crawler, Disposition, Tag};
 pub use oracle::{DnsOracle, HttpOracle, ListMembership};
 pub use tagger::SignatureSet;
 pub use zonefile::{ZoneFiles, ZoneRegistry};

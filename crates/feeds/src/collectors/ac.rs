@@ -10,7 +10,7 @@ use crate::config::AcConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
-use taster_sim::Parallelism;
+use taster_sim::{FaultPlan, Parallelism};
 
 /// Collects honey-account feed `index` (0 = Ac1, 1 = Ac2).
 ///
@@ -23,9 +23,14 @@ pub fn collect_ac(world: &MailWorld, config: &AcConfig, index: u8) -> Feed {
         config: *config,
         index,
     };
-    collect_content(world, std::slice::from_ref(&member), &Parallelism::serial())
-        .pop()
-        .expect("one member yields one feed")
+    collect_content(
+        world,
+        std::slice::from_ref(&member),
+        &FaultPlan::off(world.truth.seed),
+        &Parallelism::serial(),
+    )
+    .pop()
+    .unwrap_or_else(|| unreachable!("engine yields one feed per member"))
 }
 
 #[cfg(test)]

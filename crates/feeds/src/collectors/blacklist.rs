@@ -17,22 +17,37 @@ use rand::RngExt;
 use taster_domain::DomainId;
 use taster_ecosystem::campaign::CampaignStyle;
 use taster_mailsim::MailWorld;
-use taster_sim::{RngStream, SimTime};
+use taster_sim::{FaultPlan, RngStream, SimTime};
 use taster_stats::sample::exponential;
 
 /// Collects one blacklist feed.
-pub fn collect_blacklist(world: &MailWorld, config: &BlacklistConfig, id: FeedId) -> Feed {
+///
+/// Under fault injection the snapshot transport degrades: every
+/// listing is delayed by the profile's snapshot latency, individual
+/// snapshot entries can be lost to truncation (keyed by the serial
+/// entry index, so the result is identical at any worker count), and
+/// listings landing inside an outage window are missed entirely.
+pub fn collect_blacklist(
+    world: &MailWorld,
+    config: &BlacklistConfig,
+    id: FeedId,
+    fault_plan: &FaultPlan,
+) -> Feed {
     assert!(matches!(id, FeedId::Dbl | FeedId::Uribl));
     let mut feed = Feed::new(id, false);
     let mut rng = RngStream::new(world.truth.seed, &format!("feeds/{}", id.label()));
     let truth = &world.truth;
     let day_secs = taster_sim::DAY as f64;
+    let faults_on = !fault_plan.is_off();
+    let label = id.label();
+    let snapshot_stage = format!("snapshot/{label}");
+    let mut entry_idx = 0u64;
 
-    let consider = |domain: DomainId,
-                    base_prob: f64,
-                    anchor: SimTime,
-                    rng: &mut RngStream,
-                    feed: &mut Feed| {
+    let mut consider = |domain: DomainId,
+                        base_prob: f64,
+                        anchor: SimTime,
+                        rng: &mut RngStream,
+                        feed: &mut Feed| {
         let record = truth.universe.record(domain);
         // Curation: registration validation, benign-list suppression.
         let prob = if !record.registered {
@@ -44,7 +59,18 @@ pub fn collect_blacklist(world: &MailWorld, config: &BlacklistConfig, id: FeedId
         };
         if rng.random_bool(prob.clamp(0.0, 1.0)) {
             let delay = exponential(rng, config.delay_mean_days * day_secs) as u64;
-            feed.record(domain, anchor.plus(delay));
+            let mut listed = anchor.plus(delay);
+            let idx = entry_idx;
+            entry_idx += 1;
+            if faults_on {
+                listed = listed.plus(fault_plan.profile().snapshot_delay_secs);
+                if fault_plan.snapshot_dropped(&snapshot_stage, idx)
+                    || fault_plan.outage_at(label, listed)
+                {
+                    return;
+                }
+            }
+            feed.record(domain, listed);
         }
     };
 
@@ -98,7 +124,7 @@ mod tests {
     fn listings_are_binary_no_samples_no_volume() {
         let w = world();
         let cfg = FeedsConfig::default();
-        let dbl = collect_blacklist(&w, &cfg.dbl, FeedId::Dbl);
+        let dbl = collect_blacklist(&w, &cfg.dbl, FeedId::Dbl, &FaultPlan::off(w.truth.seed));
         assert_eq!(dbl.samples, None);
         assert!(!dbl.reports_volume);
         for (_, s) in dbl.iter() {
@@ -112,7 +138,7 @@ mod tests {
         let w = world();
         let cfg = FeedsConfig::default();
         for (blc, id) in [(&cfg.dbl, FeedId::Dbl), (&cfg.uribl, FeedId::Uribl)] {
-            let feed = collect_blacklist(&w, blc, id);
+            let feed = collect_blacklist(&w, blc, id, &FaultPlan::off(w.truth.seed));
             let registered = feed
                 .domain_ids()
                 .filter(|&d| w.truth.universe.record(d).registered)
@@ -126,7 +152,7 @@ mod tests {
     fn benign_contamination_is_tiny() {
         let w = world();
         let cfg = FeedsConfig::default();
-        let uribl = collect_blacklist(&w, &cfg.uribl, FeedId::Uribl);
+        let uribl = collect_blacklist(&w, &cfg.uribl, FeedId::Uribl, &FaultPlan::off(w.truth.seed));
         let benign = uribl
             .domain_ids()
             .filter(|&d| {
@@ -142,8 +168,8 @@ mod tests {
     fn dbl_lists_earlier_than_uribl() {
         let w = world();
         let cfg = FeedsConfig::default();
-        let dbl = collect_blacklist(&w, &cfg.dbl, FeedId::Dbl);
-        let uribl = collect_blacklist(&w, &cfg.uribl, FeedId::Uribl);
+        let dbl = collect_blacklist(&w, &cfg.dbl, FeedId::Dbl, &FaultPlan::off(w.truth.seed));
+        let uribl = collect_blacklist(&w, &cfg.uribl, FeedId::Uribl, &FaultPlan::off(w.truth.seed));
         // Compare mean listing time relative to the domain's first
         // advertisement over the common domains.
         let mut dbl_lag = 0f64;

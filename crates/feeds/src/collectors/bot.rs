@@ -10,7 +10,7 @@ use crate::config::BotConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
-use taster_sim::Parallelism;
+use taster_sim::{FaultPlan, Parallelism};
 
 /// Collects the `Bot` feed.
 ///
@@ -19,9 +19,14 @@ use taster_sim::Parallelism;
 /// slot in [`crate::pipeline::collect_all`].
 pub fn collect_bot(world: &MailWorld, config: &BotConfig) -> Feed {
     let member = MemberSpec::Bot { config: *config };
-    collect_content(world, std::slice::from_ref(&member), &Parallelism::serial())
-        .pop()
-        .expect("one member yields one feed")
+    collect_content(
+        world,
+        std::slice::from_ref(&member),
+        &FaultPlan::off(world.truth.seed),
+        &Parallelism::serial(),
+    )
+    .pop()
+    .unwrap_or_else(|| unreachable!("engine yields one feed per member"))
 }
 
 #[cfg(test)]

@@ -10,15 +10,46 @@
 use crate::feed::Feed;
 use crate::id::FeedId;
 use taster_mailsim::MailWorld;
+use taster_sim::fault::RecordFault;
+use taster_sim::FaultPlan;
 
 /// Collects the `Hu` feed from the provider's report stream.
-pub fn collect_hu(world: &MailWorld) -> Feed {
+///
+/// This collector is serial, so fault decisions keyed by the report
+/// index are deterministic at any worker count.
+pub fn collect_hu(world: &MailWorld, plan: &FaultPlan) -> Feed {
+    let faults_on = !plan.is_off();
+    let label = FeedId::Hu.label();
     let mut feed = Feed::new(FeedId::Hu, false);
     feed.samples = Some(0);
-    for report in &world.provider.reports {
-        feed.count_sample();
-        for &d in &report.domains {
-            feed.record(d, report.time);
+    for (idx, report) in world.provider.reports.iter().enumerate() {
+        if faults_on && plan.outage_at(label, report.time) {
+            continue;
+        }
+        let fault = if faults_on {
+            plan.record_fault(label, idx as u64)
+        } else {
+            RecordFault::Deliver
+        };
+        if fault == RecordFault::Drop {
+            continue;
+        }
+        let copies = if fault == RecordFault::Duplicate {
+            2
+        } else {
+            1
+        };
+        // A truncated report record lost the tail of its domain list.
+        let keep = if fault == RecordFault::Truncate {
+            report.domains.len() / 2
+        } else {
+            report.domains.len()
+        };
+        for _ in 0..copies {
+            feed.count_sample();
+            for &d in &report.domains[..keep] {
+                feed.record(d, report.time);
+            }
         }
     }
     feed
@@ -29,6 +60,7 @@ mod tests {
     use crate::collectors::collect_hu;
     use taster_ecosystem::{EcosystemConfig, GroundTruth};
     use taster_mailsim::{MailConfig, MailWorld};
+    use taster_sim::FaultPlan;
 
     fn world() -> MailWorld {
         let truth =
@@ -39,16 +71,35 @@ mod tests {
     #[test]
     fn hu_matches_report_stream() {
         let w = world();
-        let feed = collect_hu(&w);
+        let feed = collect_hu(&w, &FaultPlan::off(w.truth.seed));
         assert_eq!(feed.samples, Some(w.provider.reports.len() as u64));
         assert!(!feed.reports_volume);
         assert!(feed.unique_domains() > 0);
     }
 
     #[test]
+    fn lossy_plan_shrinks_the_feed() {
+        use taster_sim::FaultProfile;
+        let w = world();
+        let clean = collect_hu(&w, &FaultPlan::off(w.truth.seed));
+        let lossy = collect_hu(
+            &w,
+            &FaultPlan::new(FaultProfile::lossy_feeds(), w.truth.seed),
+        );
+        assert!(lossy.samples < clean.samples);
+        // Deterministic: the same plan reproduces the same feed.
+        let again = collect_hu(
+            &w,
+            &FaultPlan::new(FaultProfile::lossy_feeds(), w.truth.seed),
+        );
+        assert_eq!(lossy.samples, again.samples);
+        assert_eq!(lossy.unique_domains(), again.unique_domains());
+    }
+
+    #[test]
     fn report_times_not_delivery_times() {
         let w = world();
-        let feed = collect_hu(&w);
+        let feed = collect_hu(&w, &FaultPlan::off(w.truth.seed));
         // Every recorded first_seen equals some report time, which
         // trails delivery by the human delay.
         let report_times: std::collections::HashSet<_> =

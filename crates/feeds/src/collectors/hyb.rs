@@ -13,7 +13,7 @@ use crate::config::HybConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
-use taster_sim::Parallelism;
+use taster_sim::{FaultPlan, Parallelism};
 
 /// Collects the `Hyb` feed.
 ///
@@ -23,9 +23,14 @@ use taster_sim::Parallelism;
 /// slot in [`crate::pipeline::collect_all`].
 pub fn collect_hyb(world: &MailWorld, config: &HybConfig) -> Feed {
     let member = MemberSpec::Hyb { config: *config };
-    collect_content(world, std::slice::from_ref(&member), &Parallelism::serial())
-        .pop()
-        .expect("one member yields one feed")
+    collect_content(
+        world,
+        std::slice::from_ref(&member),
+        &FaultPlan::off(world.truth.seed),
+        &Parallelism::serial(),
+    )
+    .pop()
+    .unwrap_or_else(|| unreachable!("engine yields one feed per member"))
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use crate::config::MxConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
-use taster_sim::Parallelism;
+use taster_sim::{FaultPlan, Parallelism};
 
 /// Collects MX honeypot `index` (0 = mx1, 1 = mx2, 2 = mx3).
 ///
@@ -29,9 +29,14 @@ pub fn collect_mx(world: &MailWorld, config: &MxConfig, index: u8) -> Feed {
         config: *config,
         index,
     };
-    collect_content(world, std::slice::from_ref(&member), &Parallelism::serial())
-        .pop()
-        .expect("one member yields one feed")
+    collect_content(
+        world,
+        std::slice::from_ref(&member),
+        &FaultPlan::off(world.truth.seed),
+        &Parallelism::serial(),
+    )
+    .pop()
+    .unwrap_or_else(|| unreachable!("engine yields one feed per member"))
 }
 
 #[cfg(test)]

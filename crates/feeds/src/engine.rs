@@ -39,7 +39,8 @@ use taster_ecosystem::campaign::{DeliveryVector, TargetClass};
 use taster_mailsim::benign::BenignDest;
 use taster_mailsim::render::render_spam_into;
 use taster_mailsim::MailWorld;
-use taster_sim::{Parallelism, RngStream};
+use taster_sim::fault::{truncate_payload, FaultPlan, RecordFault};
+use taster_sim::{Parallelism, RngStream, TimeWindow};
 use taster_smtp::{deliver, HoneypotServer};
 
 /// Stream name for the shared per-event message render.
@@ -95,13 +96,19 @@ impl MemberSpec {
 /// Runs `members` over the full event log, sharded across `par`'s
 /// workers, then applies each member's non-event sources (benign
 /// pollution, Hyb's report sample and web-spam corpus).
+///
+/// Fault decisions come from `plan`, each keyed by
+/// `(seed, feed label, event index)` — a pure function of the event,
+/// never of shard boundaries — so faulted runs stay bit-identical at
+/// any worker count, and an off plan leaves the output untouched.
 pub(crate) fn collect_content(
     world: &MailWorld,
     members: &[MemberSpec],
+    plan: &FaultPlan,
     par: &Parallelism,
 ) -> Vec<Feed> {
     let shards = shard_ranges(world.truth.events.len(), par.workers());
-    let shard_feeds = par.par_map(shards, |range| run_shard(world, members, range));
+    let shard_feeds = par.par_map(shards, |range| run_shard(world, members, plan, range));
 
     let mut merged: Vec<Feed> = members.iter().map(MemberSpec::empty_feed).collect();
     for shard in shard_feeds {
@@ -110,7 +117,7 @@ pub(crate) fn collect_content(
         }
     }
     for (feed, member) in merged.iter_mut().zip(members) {
-        finalize(world, feed, member);
+        finalize(world, feed, member, plan);
     }
     merged
 }
@@ -154,7 +161,12 @@ impl MxSession {
     }
 }
 
-fn run_shard(world: &MailWorld, members: &[MemberSpec], range: Range<usize>) -> Vec<Feed> {
+fn run_shard(
+    world: &MailWorld,
+    members: &[MemberSpec],
+    plan: &FaultPlan,
+    range: Range<usize>,
+) -> Vec<Feed> {
     let seed = world.truth.seed;
     let truth = &world.truth;
     let extractor = DomainExtractor::new();
@@ -162,6 +174,12 @@ fn run_shard(world: &MailWorld, members: &[MemberSpec], range: Range<usize>) -> 
 
     let mut feeds: Vec<Feed> = members.iter().map(MemberSpec::empty_feed).collect();
     let names: Vec<String> = members.iter().map(MemberSpec::stream_name).collect();
+    let labels: Vec<&'static str> = members.iter().map(|m| m.feed_id().label()).collect();
+    let outages: Vec<Vec<TimeWindow>> = labels
+        .iter()
+        .map(|label| plan.outage_windows(label))
+        .collect();
+    let faults_on = !plan.is_off();
     let bases: Vec<RngStream> = names.iter().map(|n| RngStream::new(seed, n)).collect();
     let render_base = RngStream::new(seed, RENDER_STREAM);
     let mut sessions: Vec<Option<MxSession>> = members
@@ -175,12 +193,19 @@ fn run_shard(world: &MailWorld, members: &[MemberSpec], range: Range<usize>) -> 
     // Buffers reused across every event in the shard.
     let mut body = String::with_capacity(512);
     let mut extracted: Vec<(DomainId, u64)> = Vec::new();
+    let mut truncated_scratch: Vec<(DomainId, u64)> = Vec::new();
 
     for i in range {
         let event = &truth.events[i];
         let mut rendered = None;
         let mut extracted_ready = false;
         for (m, member) in members.iter().enumerate() {
+            // A collector that is down records nothing. Checked before
+            // any stream is derived: per-event child streams mean the
+            // skip cannot perturb other events' draws.
+            if faults_on && outages[m].iter().any(|w| w.contains(event.time)) {
+                continue;
+            }
             // Cheap structural filter first; the RNG stream is only
             // derived for eligible (member, event) pairs.
             let capture_prob = match member {
@@ -229,6 +254,23 @@ fn run_shard(world: &MailWorld, members: &[MemberSpec], range: Range<usize>) -> 
                 continue;
             }
 
+            // Fault disposition for the captured record, keyed by
+            // (seed, feed label, event index). A dropped record is
+            // lost before the collector logs anything.
+            let fault = if faults_on {
+                plan.record_fault(labels[m], i as u64)
+            } else {
+                RecordFault::Deliver
+            };
+            if fault == RecordFault::Drop {
+                continue;
+            }
+            let copies = if fault == RecordFault::Duplicate {
+                2
+            } else {
+                1
+            };
+
             // First capturing member triggers the event's render; the
             // body is a pure function of (seed, event), so every
             // member sees the same copy.
@@ -248,7 +290,12 @@ fn run_shard(world: &MailWorld, members: &[MemberSpec], range: Range<usize>) -> 
             let feed = &mut feeds[m];
             match member {
                 MemberSpec::Mx { .. } => {
-                    let session = sessions[m].as_mut().expect("mx member has a session");
+                    // Every MX member opened a session above; a missing
+                    // one means the record cannot be delivered, so it is
+                    // skipped rather than crashing the shard.
+                    let Some(session) = sessions[m].as_mut() else {
+                        continue;
+                    };
                     // Drive the SMTP dialogue: brute-force lists guess
                     // popular localparts at every domain with a valid
                     // MX. Post-capture draws continue on the member's
@@ -259,43 +306,68 @@ fn run_shard(world: &MailWorld, members: &[MemberSpec], range: Range<usize>) -> 
                         session.trap_domain
                     );
                     let helo = format!("host{}.sender.example", rng.random_range(0..1000u32));
-                    deliver(
+                    // The honeypot accepts everything; a rejected
+                    // transaction is a lost record, not a crash.
+                    if deliver(
                         &mut session.server,
                         &helo,
                         headers.from_addr(&body),
                         &[rcpt],
                         &body,
                     )
-                    .expect("honeypot accepts everything");
-                    let stored = session
-                        .server
-                        .drain_stored()
-                        .pop()
-                        .expect("one stored message");
-                    feed.count_sample();
-                    // A real MX sink parses the *stored* message — the
-                    // copy that survived the protocol state machine.
-                    for (d, host) in
-                        extractor.registered_domains_with_hosts(&stored.data, &truth.universe.table)
+                    .is_err()
                     {
-                        feed.record(d, event.time);
-                        feed.note_fqdn(host);
+                        continue;
+                    }
+                    let Some(stored) = session.server.drain_stored().pop() else {
+                        continue;
+                    };
+                    // A real MX sink parses the *stored* message — the
+                    // copy that survived the protocol state machine. A
+                    // truncated record lost the tail of that copy.
+                    let data = if fault == RecordFault::Truncate {
+                        truncate_payload(&stored.data)
+                    } else {
+                        &stored.data
+                    };
+                    for _ in 0..copies {
+                        feed.count_sample();
+                        for (d, host) in
+                            extractor.registered_domains_with_hosts(data, &truth.universe.table)
+                        {
+                            feed.record(d, event.time);
+                            feed.note_fqdn(host);
+                        }
                     }
                 }
                 _ => {
-                    if !extracted_ready {
-                        extracted.clear();
+                    let records: &[(DomainId, u64)] = if fault == RecordFault::Truncate {
+                        // Parse the surviving half of the payload.
+                        truncated_scratch.clear();
                         extractor.registered_domains_into(
-                            &body,
+                            truncate_payload(&body),
                             &truth.universe.table,
-                            &mut extracted,
+                            &mut truncated_scratch,
                         );
-                        extracted_ready = true;
-                    }
-                    feed.count_sample();
-                    for &(d, host) in &extracted {
-                        feed.record(d, event.time);
-                        feed.note_fqdn(host);
+                        &truncated_scratch
+                    } else {
+                        if !extracted_ready {
+                            extracted.clear();
+                            extractor.registered_domains_into(
+                                &body,
+                                &truth.universe.table,
+                                &mut extracted,
+                            );
+                            extracted_ready = true;
+                        }
+                        &extracted
+                    };
+                    for _ in 0..copies {
+                        feed.count_sample();
+                        for &(d, host) in records {
+                            feed.record(d, event.time);
+                            feed.note_fqdn(host);
+                        }
                     }
                 }
             }
@@ -305,12 +377,18 @@ fn run_shard(world: &MailWorld, members: &[MemberSpec], range: Range<usize>) -> 
 }
 
 /// Applies a member's non-event sources after the sharded event pass.
-fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec) {
+///
+/// This pass runs serially per member, so fault decisions keyed by the
+/// serial record index are deterministic at any worker count.
+fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &FaultPlan) {
+    let faults_on = !plan.is_off();
+    let label = member.feed_id().label();
+    let down = |t| faults_on && plan.outage_at(label, t);
     match member {
         MemberSpec::Mx { index, .. } => {
             // Legitimate pollution addressed to this honeypot.
             for mail in &world.benign_mail {
-                if mail.dest == BenignDest::MxHoneypot(*index) {
+                if mail.dest == BenignDest::MxHoneypot(*index) && !down(mail.time) {
                     feed.count_sample();
                     for &d in &mail.domains {
                         feed.record(d, mail.time);
@@ -320,7 +398,7 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec) {
         }
         MemberSpec::Ac { index, .. } => {
             for mail in &world.benign_mail {
-                if mail.dest == BenignDest::HoneyAccounts(*index) {
+                if mail.dest == BenignDest::HoneyAccounts(*index) && !down(mail.time) {
                     feed.count_sample();
                     for &d in &mail.domains {
                         feed.record(d, mail.time);
@@ -333,18 +411,59 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec) {
             let seed = world.truth.seed;
             // Partner sample of user reports.
             let mut rng = RngStream::new(seed, "feeds/hyb/reports");
-            for report in &world.provider.reports {
-                if rng.random_bool(config.report_sample_prob) {
+            for (idx, report) in world.provider.reports.iter().enumerate() {
+                if !rng.random_bool(config.report_sample_prob) || down(report.time) {
+                    continue;
+                }
+                let fault = if faults_on {
+                    plan.record_fault("Hyb/reports", idx as u64)
+                } else {
+                    RecordFault::Deliver
+                };
+                if fault == RecordFault::Drop {
+                    continue;
+                }
+                let copies = if fault == RecordFault::Duplicate {
+                    2
+                } else {
+                    1
+                };
+                // A truncated report record lost the tail of its
+                // pre-extracted domain list.
+                let keep = if fault == RecordFault::Truncate {
+                    report.domains.len() / 2
+                } else {
+                    report.domains.len()
+                };
+                for _ in 0..copies {
                     feed.count_sample();
-                    for &d in &report.domains {
+                    for &d in &report.domains[..keep] {
                         feed.record(d, report.time);
                     }
                 }
             }
             // The non-e-mail web-spam corpus.
             let mut rng = RngStream::new(seed, "feeds/hyb/webspam");
-            for &(time, domain) in &world.truth.webspam {
-                if rng.random_bool(config.webspam_prob) {
+            for (idx, &(time, domain)) in world.truth.webspam.iter().enumerate() {
+                if !rng.random_bool(config.webspam_prob) || down(time) {
+                    continue;
+                }
+                // Single-domain entries: truncation leaves nothing to
+                // cut, so only drop/duplicate apply.
+                let fault = if faults_on {
+                    plan.record_fault("Hyb/webspam", idx as u64)
+                } else {
+                    RecordFault::Deliver
+                };
+                if fault == RecordFault::Drop {
+                    continue;
+                }
+                let copies = if fault == RecordFault::Duplicate {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
                     feed.count_sample();
                     feed.record(domain, time);
                 }
@@ -408,9 +527,10 @@ mod tests {
         let w = world();
         let cfg = FeedsConfig::default();
         let members = all_members(&cfg);
-        let serial = collect_content(&w, &members, &Parallelism::serial());
+        let plan = FaultPlan::off(w.truth.seed);
+        let serial = collect_content(&w, &members, &plan, &Parallelism::serial());
         for workers in [2, 5, 8] {
-            let parallel = collect_content(&w, &members, &Parallelism::fixed(workers));
+            let parallel = collect_content(&w, &members, &plan, &Parallelism::fixed(workers));
             for (a, b) in serial.iter().zip(&parallel) {
                 assert_feeds_equal(a, b);
             }
@@ -424,10 +544,75 @@ mod tests {
         let w = world();
         let cfg = FeedsConfig::default();
         let members = all_members(&cfg);
-        let full = collect_content(&w, &members, &Parallelism::serial());
+        let plan = FaultPlan::off(w.truth.seed);
+        let full = collect_content(&w, &members, &plan, &Parallelism::serial());
         for (i, member) in members.iter().enumerate() {
-            let solo = collect_content(&w, std::slice::from_ref(member), &Parallelism::fixed(3));
+            let solo = collect_content(
+                &w,
+                std::slice::from_ref(member),
+                &plan,
+                &Parallelism::fixed(3),
+            );
             assert_feeds_equal(&full[i], &solo[0]);
+        }
+    }
+
+    #[test]
+    fn faulted_run_is_bit_identical_at_any_worker_count() {
+        use taster_sim::FaultProfile;
+        let w = world();
+        let cfg = FeedsConfig::default();
+        let members = all_members(&cfg);
+        let plan = FaultPlan::new(FaultProfile::lossy_feeds(), w.truth.seed);
+        let serial = collect_content(&w, &members, &plan, &Parallelism::serial());
+        for workers in [2, 8] {
+            let parallel = collect_content(&w, &members, &plan, &Parallelism::fixed(workers));
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_feeds_equal(a, b);
+            }
+        }
+        // And the faults actually bite: the lossy profile drops more
+        // records than it duplicates, so sample counts shrink.
+        let clean = collect_content(
+            &w,
+            &members,
+            &FaultPlan::off(w.truth.seed),
+            &Parallelism::serial(),
+        );
+        let faulted_samples: u64 = serial.iter().filter_map(|f| f.samples).sum();
+        let clean_samples: u64 = clean.iter().filter_map(|f| f.samples).sum();
+        assert!(faulted_samples < clean_samples);
+    }
+
+    #[test]
+    fn outage_silences_members_inside_the_window() {
+        use taster_sim::fault::Outage;
+        use taster_sim::{FaultProfile, SimTime, TimeWindow};
+        let w = world();
+        let cfg = FeedsConfig::default();
+        let members = all_members(&cfg);
+        let mut profile = FaultProfile::off();
+        profile.name = "bot-down".to_string();
+        profile.outages.push(Outage {
+            stage: "Bot".to_string(),
+            window: TimeWindow::new(SimTime::ZERO, SimTime(u64::MAX)),
+        });
+        let plan = FaultPlan::new(profile, w.truth.seed);
+        let feeds = collect_content(&w, &members, &plan, &Parallelism::fixed(4));
+        let clean = collect_content(
+            &w,
+            &members,
+            &FaultPlan::off(w.truth.seed),
+            &Parallelism::fixed(4),
+        );
+        for (f, c) in feeds.iter().zip(&clean) {
+            if f.id == FeedId::Bot {
+                assert_eq!(f.samples, Some(0), "Bot must be silenced");
+                assert_eq!(f.unique_domains(), 0);
+            } else {
+                // Other members are untouched by Bot's outage.
+                assert_feeds_equal(f, c);
+            }
         }
     }
 

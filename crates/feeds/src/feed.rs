@@ -17,7 +17,7 @@ use crate::id::FeedId;
 use crate::table::FeedColumns;
 use taster_domain::fx::{FxHashMap, FxHashSet};
 use taster_domain::{DomainBitset, DomainId};
-use taster_sim::SimTime;
+use taster_sim::{SimTime, TimeWindow};
 use taster_stats::EmpiricalDist;
 
 /// Per-domain state within a feed.
@@ -55,6 +55,9 @@ pub struct Feed {
     /// that report URL granularity; `None` for domain-only feeds
     /// (blacklists and scrubbed feeds — §2).
     fqdns: Option<FxHashSet<u64>>,
+    /// Known collection gaps: windows during which the collector was
+    /// down and recorded nothing. Empty on clean runs.
+    gaps: Vec<TimeWindow>,
 }
 
 impl Feed {
@@ -66,7 +69,22 @@ impl Feed {
             reports_volume,
             store: Store::Building(FxHashMap::default()),
             fqdns: None,
+            gaps: Vec::new(),
         }
+    }
+
+    /// Marks a known collection gap (an outage window during which this
+    /// feed recorded nothing). Works in either storage state.
+    pub fn note_gap(&mut self, window: TimeWindow) {
+        if !self.gaps.contains(&window) {
+            self.gaps.push(window);
+            self.gaps.sort_by_key(|w| (w.start, w.end));
+        }
+    }
+
+    /// The feed's known collection gaps, sorted by start time.
+    pub fn gaps(&self) -> &[TimeWindow] {
+        &self.gaps
     }
 
     /// Notes one observed fully-qualified hostname (by stable hash).
@@ -212,6 +230,9 @@ impl Feed {
             self.fqdns
                 .get_or_insert_with(FxHashSet::default)
                 .extend(theirs);
+        }
+        for gap in other.gaps {
+            self.note_gap(gap);
         }
     }
 }

@@ -110,7 +110,18 @@ impl FeedId {
 
     /// Dense index into `FeedId::ALL`.
     pub fn index(self) -> usize {
-        FeedId::ALL.iter().position(|&f| f == self).expect("in ALL")
+        match self {
+            FeedId::Hu => 0,
+            FeedId::Dbl => 1,
+            FeedId::Uribl => 2,
+            FeedId::Mx1 => 3,
+            FeedId::Mx2 => 4,
+            FeedId::Mx3 => 5,
+            FeedId::Ac1 => 6,
+            FeedId::Ac2 => 7,
+            FeedId::Bot => 8,
+            FeedId::Hyb => 9,
+        }
     }
 }
 

@@ -26,10 +26,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod collectors;
 pub mod config;
 mod engine;
+pub mod error;
 pub mod feed;
 pub mod id;
 pub mod parse;
@@ -38,8 +40,9 @@ pub mod reporting;
 pub mod table;
 
 pub use config::FeedsConfig;
+pub use error::PipelineError;
 pub use feed::{DomainStats, Feed, FeedSet};
 pub use id::{FeedId, FeedKind};
-pub use pipeline::{collect_all, collect_all_with};
+pub use pipeline::{collect_all, collect_all_with, try_collect_all_faulted};
 pub use reporting::ReportingPolicy;
 pub use table::FeedColumns;

@@ -3,10 +3,11 @@
 use crate::collectors::{collect_blacklist, collect_hu};
 use crate::config::FeedsConfig;
 use crate::engine::{collect_content, MemberSpec};
+use crate::error::PipelineError;
 use crate::feed::{Feed, FeedSet};
 use crate::id::FeedId;
 use taster_mailsim::MailWorld;
-use taster_sim::Parallelism;
+use taster_sim::{FaultPlan, Parallelism};
 
 /// Collects all ten feeds over the world with the default
 /// [`Parallelism`] (the `TASTER_THREADS` env override, else all
@@ -15,7 +16,8 @@ pub fn collect_all(world: &MailWorld, config: &FeedsConfig) -> FeedSet {
     collect_all_with(world, config, &Parallelism::default())
 }
 
-/// Collects all ten feeds over the world on `par` workers.
+/// Collects all ten feeds over the world on `par` workers, fault-free.
+/// See [`try_collect_all_faulted`] for the fault-injected variant.
 ///
 /// Every collector decision draws from an RNG stream derived from
 /// `(seed, feed, event)`, so the set is reproducible, *bit-identical
@@ -26,7 +28,31 @@ pub fn collect_all(world: &MailWorld, config: &FeedsConfig) -> FeedSet {
 /// cheap stream collectors (Hu and the two blacklists) fan out as
 /// whole tasks.
 pub fn collect_all_with(world: &MailWorld, config: &FeedsConfig, par: &Parallelism) -> FeedSet {
-    config.validate().expect("valid feeds config");
+    match try_collect_all_faulted(world, config, &FaultPlan::off(world.truth.seed), par) {
+        Ok(set) => set,
+        Err(e) => panic!("feed collection failed: {e}"),
+    }
+}
+
+/// Collects all ten feeds under a [`FaultPlan`], validating the
+/// configuration and the fault profile up front.
+///
+/// With an off plan the output is byte-identical to
+/// [`collect_all_with`] — fault streams live under disjoint
+/// `fault/…` names and are never derived. With faults enabled, every
+/// decision is keyed by `(seed, stage, event index)`, so the set stays
+/// bit-identical at any worker count. Feeds that suffered outages
+/// carry the outage windows as gap markers ([`Feed::gaps`]).
+pub fn try_collect_all_faulted(
+    world: &MailWorld,
+    config: &FeedsConfig,
+    plan: &FaultPlan,
+    par: &Parallelism,
+) -> Result<FeedSet, PipelineError> {
+    config.validate().map_err(PipelineError::InvalidConfig)?;
+    plan.profile()
+        .validate()
+        .map_err(PipelineError::InvalidFaultProfile)?;
     let members = [
         MemberSpec::Mx {
             config: config.mx[0],
@@ -51,14 +77,22 @@ pub fn collect_all_with(world: &MailWorld, config: &FeedsConfig, par: &Paralleli
         MemberSpec::Bot { config: config.bot },
         MemberSpec::Hyb { config: config.hyb },
     ];
-    let content = collect_content(world, &members, par);
+    let content = collect_content(world, &members, plan, par);
     type Task<'w> = Box<dyn FnOnce() -> Feed + Send + 'w>;
     let standalone = par.par_run::<Feed, Task<'_>>(vec![
-        Box::new(|| collect_hu(world)),
-        Box::new(|| collect_blacklist(world, &config.dbl, FeedId::Dbl)),
-        Box::new(|| collect_blacklist(world, &config.uribl, FeedId::Uribl)),
+        Box::new(|| collect_hu(world, plan)),
+        Box::new(|| collect_blacklist(world, &config.dbl, FeedId::Dbl, plan)),
+        Box::new(|| collect_blacklist(world, &config.uribl, FeedId::Uribl, plan)),
     ]);
-    FeedSet::new(standalone.into_iter().chain(content).collect())
+    let mut feeds: Vec<Feed> = standalone.into_iter().chain(content).collect();
+    if !plan.is_off() {
+        for feed in &mut feeds {
+            for window in plan.outage_windows(feed.id.label()) {
+                feed.note_gap(window);
+            }
+        }
+    }
+    Ok(FeedSet::new(feeds))
 }
 
 #[cfg(test)]

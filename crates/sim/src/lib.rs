@@ -21,15 +21,21 @@
 //! * [`par`] — deterministic fan-out over scoped threads
 //!   ([`par::Parallelism`]): ordered result merge plus per-task RNG
 //!   streams keep parallel runs bit-identical to serial ones.
+//! * [`fault`] — deterministic fault injection
+//!   ([`fault::FaultPlan`]): collector outages, record loss, crawler
+//!   timeouts and blacklist snapshot delays, every decision a pure
+//!   function of `(seed, stage, event index)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use fault::{FaultPlan, FaultProfile, Outage, RecordFault};
 pub use par::Parallelism;
 pub use queue::EventQueue;
 pub use rng::RngStream;

@@ -1,0 +1,71 @@
+//! Degenerate-input regression tests: the metrics behind Figs 7–12 must
+//! return well-defined values — never NaN, never panic — on the empty
+//! and single-domain feeds that fault injection (outages, blackouts)
+//! makes routine.
+
+use taster_stats::kendall::{kendall_tau_b, kendall_tau_b_counts, kendall_tau_b_reference};
+use taster_stats::quantile::{quantile, Boxplot};
+use taster_stats::summary::{fraction, mean, std_dev};
+use taster_stats::{variation_distance, EmpiricalDist};
+
+#[test]
+fn kendall_is_undefined_below_two_pairs() {
+    assert_eq!(kendall_tau_b(&[], &[]), None);
+    assert_eq!(kendall_tau_b(&[1.0], &[2.0]), None);
+    assert_eq!(kendall_tau_b_counts(&[], &[]), None);
+    assert_eq!(kendall_tau_b_counts(&[7], &[7]), None);
+    assert_eq!(kendall_tau_b_reference(&[], &[]), None);
+}
+
+#[test]
+fn kendall_is_undefined_when_a_variable_is_constant() {
+    // A single-domain feed compared against anything ranks every pair
+    // tied on one side: the tau-b denominator vanishes.
+    assert_eq!(kendall_tau_b(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]), None);
+    assert_eq!(kendall_tau_b(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]), None);
+    assert_eq!(kendall_tau_b_counts(&[4, 4], &[9, 2]), None);
+}
+
+#[test]
+fn variation_distance_empty_conventions() {
+    let empty = EmpiricalDist::new();
+    let single = EmpiricalDist::from_counts([(17, 100)]);
+    // δ(∅, ∅) = 0 by convention; δ(P, ∅) = 1 for non-empty P.
+    assert_eq!(variation_distance(&empty, &empty), 0.0);
+    assert_eq!(variation_distance(&single, &empty), 1.0);
+    assert_eq!(variation_distance(&empty, &single), 1.0);
+}
+
+#[test]
+fn variation_distance_single_domain_feeds() {
+    let a = EmpiricalDist::from_counts([(1, 50)]);
+    let b = EmpiricalDist::from_counts([(1, 9000)]);
+    let c = EmpiricalDist::from_counts([(2, 50)]);
+    // Same sole domain → identical distributions regardless of volume;
+    // disjoint sole domains → maximal distance.
+    assert!(variation_distance(&a, &b).abs() < 1e-12);
+    assert!((variation_distance(&a, &c) - 1.0).abs() < 1e-12);
+    let d = variation_distance(&a, &a);
+    assert!(d.is_finite() && d.abs() < 1e-12);
+}
+
+#[test]
+fn summary_helpers_handle_empty_input() {
+    assert_eq!(mean(&[]), None);
+    assert_eq!(std_dev(&[]), None);
+    assert_eq!(std_dev(&[1.0]), None);
+    // fraction(n, 0) is 0, not NaN: empty-feed purity rows render as 0%.
+    assert_eq!(fraction(0, 0), 0.0);
+    assert_eq!(fraction(5, 0), 0.0);
+}
+
+#[test]
+fn boxplot_and_quantile_of_empty_sample_are_none() {
+    assert!(Boxplot::from_values(&[]).is_none());
+    assert_eq!(quantile(&[], 0.5), None);
+    let b = Boxplot::from_values(&[4.0]).expect("singleton boxplot");
+    assert_eq!(b.n, 1);
+    for v in [b.p5, b.q1, b.median, b.q3, b.p95] {
+        assert!((v - 4.0).abs() < 1e-12, "singleton quantile drifted");
+    }
+}

@@ -2,15 +2,24 @@
 //! toolkit.
 //!
 //! ```text
-//! taster report     [--scale S] [--seed N] [--section NAME]   regenerate tables/figures
-//! taster ablate     [--scale S] [--seed N]                    run the four ablation studies
-//! taster sweep      <seeding|mx-size> [--scale S] [--seed N]  parameter sweeps
-//! taster summary    [--scale S] [--seed N]                    world statistics only
-//! taster bench-json [--scale S] [--seed N] [--out PATH]       pipeline scaling benchmark
+//! taster report      [--scale S] [--seed N] [--section NAME]  regenerate tables/figures
+//! taster ablate      [--scale S] [--seed N]                   run the four ablation studies
+//! taster sweep       <seeding|mx-size> [--scale S] [--seed N] parameter sweeps
+//! taster summary     [--scale S] [--seed N]                   world statistics only
+//! taster degradation [--scale S] [--seed N]                   canonical fault-profile sweep
+//! taster bench-json  [--scale S] [--seed N] [--out PATH]      pipeline scaling benchmark
 //! ```
 //!
 //! Sections for `report`: `table1 table2 table3 fig1 … fig12 selection all`
 //! (default `all`).
+//!
+//! `report` also accepts `--faults <profile>` to run under a named
+//! fault-injection profile (`off clean flaky-crawler feed-outage
+//! lossy-feeds delayed-blacklists blackout`); the default `off` leaves
+//! every byte of output identical to a fault-free build. Faulted runs
+//! prepend a "Fault model" section and stay bit-identical at any
+//! `--threads` count. `degradation` sweeps all canonical profiles and
+//! prints per-feed metric deltas against the clean run.
 //!
 //! Every command accepts `--threads N` to pin the worker count of the
 //! parallel stages (feed collection, crawling, pairwise analyses).
@@ -24,8 +33,11 @@
 //! 2, 4 and 8 workers and writes the timings (plus speedups relative
 //! to one worker) as JSON, by default to `BENCH_pipeline.json`.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use taster::analysis::classify::Category;
-use taster::core::{ablation, sweep, Experiment, Scenario};
+use taster::core::{ablation, degradation, sweep, Experiment, Scenario};
+use taster::sim::FaultProfile;
 
 struct Args {
     command: String,
@@ -35,6 +47,7 @@ struct Args {
     section: String,
     format: String,
     threads: Option<usize>,
+    faults: String,
     out: String,
 }
 
@@ -49,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         section: "all".to_string(),
         format: "text".to_string(),
         threads: None,
+        faults: "off".to_string(),
         out: "BENCH_pipeline.json".to_string(),
     };
     while let Some(a) = args.next() {
@@ -84,6 +98,9 @@ fn parse_args() -> Result<Args, String> {
                 }
                 out.threads = Some(n);
             }
+            "--faults" => {
+                out.faults = args.next().ok_or("--faults needs a value")?;
+            }
             "--out" => {
                 out.out = args.next().ok_or("--out needs a value")?;
             }
@@ -95,8 +112,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: taster <report|ablate|sweep|summary|bench-json> \
-     [--scale S] [--seed N] [--threads N] [--section NAME] [--out PATH]"
+    "usage: taster <report|ablate|sweep|summary|degradation|bench-json> \
+     [--scale S] [--seed N] [--threads N] [--section NAME] [--faults PROFILE] [--out PATH]"
         .to_string()
 }
 
@@ -114,12 +131,22 @@ fn main() {
     if let Some(n) = args.threads {
         scenario = scenario.with_threads(n);
     }
+    let Some(profile) = FaultProfile::by_name(&args.faults) else {
+        eprintln!(
+            "unknown fault profile {}; known: off {}",
+            args.faults,
+            FaultProfile::CANONICAL.join(" ")
+        );
+        std::process::exit(2);
+    };
+    scenario = scenario.with_faults(profile);
 
     match args.command.as_str() {
         "report" => report(&scenario, &args.section, &args.format),
         "ablate" => ablate(&scenario),
         "sweep" => do_sweep(&scenario, args.positional.first().map(|s| s.as_str())),
         "summary" => summary(&scenario),
+        "degradation" => degradation_cmd(&scenario),
         "bench-json" => bench_json(&scenario, &args.out),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
@@ -128,9 +155,29 @@ fn main() {
     }
 }
 
+fn degradation_cmd(scenario: &Scenario) {
+    eprintln!("sweeping canonical fault profiles over {}", scenario.name);
+    match degradation::degradation_sweep(scenario) {
+        Ok(sweep) => print!(
+            "{}",
+            degradation::render_degradation(&scenario.name, &sweep)
+        ),
+        Err(e) => {
+            eprintln!("degradation sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn report(scenario: &Scenario, section: &str, format: &str) {
     eprintln!("running {}", scenario.name);
-    let e = Experiment::run(scenario);
+    let e = match Experiment::try_run(scenario) {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("cannot run scenario: {err}");
+            std::process::exit(1);
+        }
+    };
     if format == "csv" {
         match taster::core::export::CsvExport::new(&e).section(section) {
             Some(csv) => {
@@ -264,6 +311,8 @@ struct StageTimes {
     workers: usize,
     collect: f64,
     classify: f64,
+    collect_faulted: f64,
+    classify_faulted: f64,
     coverage: f64,
     purity: f64,
     proportionality: f64,
@@ -277,11 +326,12 @@ impl StageTimes {
     }
 }
 
-/// Times feed collection, crawl/classification, and the four analysis
-/// stages (coverage, purity, proportionality, timing) at 1/2/4/8
-/// workers over one shared world and writes the results as JSON.
-/// Every timed run produces bit-identical output; only wall-clock
-/// varies.
+/// Times feed collection, crawl/classification (clean and under the
+/// `lossy-feeds`/`flaky-crawler` fault profiles), and the four
+/// analysis stages (coverage, purity, proportionality, timing) at
+/// 1/2/4/8 workers over one shared world and writes the results as
+/// JSON. Every timed run produces bit-identical output; only
+/// wall-clock varies.
 fn bench_json(scenario: &Scenario, path: &str) {
     use std::fmt::Write as _;
     use std::time::Instant;
@@ -297,6 +347,8 @@ fn bench_json(scenario: &Scenario, path: &str) {
     eprintln!("building world for {}", scenario.name);
     let world = sweep::build_world(scenario);
     let oracle = &world.provider.oracle;
+    let lossy = taster::sim::FaultPlan::new(FaultProfile::lossy_feeds(), scenario.seed);
+    let flaky = taster::sim::FaultPlan::new(FaultProfile::flaky_crawler(), scenario.seed);
     let reps = 3usize;
     let mut rows: Vec<StageTimes> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
@@ -305,6 +357,8 @@ fn bench_json(scenario: &Scenario, path: &str) {
             workers,
             collect: f64::INFINITY,
             classify: f64::INFINITY,
+            collect_faulted: f64::INFINITY,
+            classify_faulted: f64::INFINITY,
             coverage: f64::INFINITY,
             purity: f64::INFINITY,
             proportionality: f64::INFINITY,
@@ -322,6 +376,27 @@ fn bench_json(scenario: &Scenario, path: &str) {
                 &par,
             );
             best.classify = best.classify.min(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            let faulted_feeds =
+                match taster::feeds::try_collect_all_faulted(&world, &scenario.feeds, &lossy, &par)
+                {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("faulted collection failed: {e}");
+                        std::process::exit(1);
+                    }
+                };
+            best.collect_faulted = best.collect_faulted.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            std::hint::black_box(taster::analysis::Classified::build_faulted(
+                &world.truth,
+                &faulted_feeds,
+                scenario.classify,
+                &flaky,
+                &par,
+            ));
+            best.classify_faulted = best.classify_faulted.min(t0.elapsed().as_secs_f64());
 
             let t0 = Instant::now();
             std::hint::black_box(coverage_table_par(&classified, &par));
@@ -361,10 +436,13 @@ fn bench_json(scenario: &Scenario, path: &str) {
             best.timing = best.timing.min(t0.elapsed().as_secs_f64());
         }
         eprintln!(
-            "workers {workers}: collect {:.3}s classify {:.3}s analyze {:.4}s \
+            "workers {workers}: collect {:.3}s classify {:.3}s \
+             faulted collect {:.3}s classify {:.3}s analyze {:.4}s \
              (coverage {:.4} purity {:.4} proportionality {:.4} timing {:.4})",
             best.collect,
             best.classify,
+            best.collect_faulted,
+            best.classify_faulted,
             best.analyze(),
             best.coverage,
             best.purity,
@@ -395,6 +473,9 @@ fn bench_json(scenario: &Scenario, path: &str) {
              \"collect_speedup\": {:.3}, \
              \"classify_secs\": {:.6}, \
              \"classify_speedup\": {:.3}, \
+             \"collect_faulted_secs\": {:.6}, \
+             \"classify_faulted_secs\": {:.6}, \
+             \"fault_overhead\": {:.3}, \
              \"coverage_secs\": {:.6}, \
              \"purity_secs\": {:.6}, \
              \"proportionality_secs\": {:.6}, \
@@ -406,6 +487,9 @@ fn bench_json(scenario: &Scenario, path: &str) {
             base.collect / row.collect,
             row.classify,
             base.classify / row.classify,
+            row.collect_faulted,
+            row.classify_faulted,
+            (row.collect_faulted + row.classify_faulted) / (row.collect + row.classify),
             row.coverage,
             row.purity,
             row.proportionality,

@@ -56,6 +56,30 @@ fn full_report_is_byte_identical_at_any_worker_count() {
 }
 
 #[test]
+fn faulted_pipeline_is_byte_identical_at_any_worker_count() {
+    // Fault decisions are keyed by (seed, stage, event index), never by
+    // shard, so the determinism contract extends to degraded runs.
+    use taster::sim::FaultProfile;
+    let faulted =
+        |workers: usize| scenario(SEEDS[0], workers).with_faults(FaultProfile::lossy_feeds());
+    let serial = Experiment::run(&faulted(1));
+    let serial_report = serial.report().full_report();
+    for workers in WORKERS {
+        let parallel = Experiment::run(&faulted(workers));
+        assert_same_feeds(
+            &serial.feeds,
+            &parallel.feeds,
+            &format!("lossy-feeds, {workers} workers"),
+        );
+        assert_eq!(
+            serial_report,
+            parallel.report().full_report(),
+            "lossy-feeds: report differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn classification_is_identical_at_any_worker_count() {
     use taster::analysis::classify::Category;
     let seed = SEEDS[0];
