@@ -13,7 +13,7 @@ use taster_crawler::{CrawlReport, Crawler};
 use taster_domain::DomainBitset as DomainSet;
 use taster_ecosystem::GroundTruth;
 use taster_feeds::{FeedId, FeedSet};
-use taster_sim::{FaultPlan, Parallelism};
+use taster_sim::{FaultPlan, Obs, Parallelism};
 
 /// Classification options.
 #[derive(Debug, Clone, Copy)]
@@ -79,7 +79,7 @@ impl Classified {
         options: ClassifyOptions,
         par: &Parallelism,
     ) -> Classified {
-        Self::build_inner(feeds, options, Crawler::new(truth), par)
+        Self::build_inner(feeds, options, Crawler::new(truth), par, &Obs::off())
     }
 
     /// [`Classified::build_with`] under a [`FaultPlan`]: the crawler's
@@ -98,6 +98,31 @@ impl Classified {
             options,
             Crawler::with_faults(truth, plan.clone()),
             par,
+            &Obs::off(),
+        )
+    }
+
+    /// [`Classified::build_faulted`] with observability: the crawl and
+    /// set derivation run under spans, and classification counters plus
+    /// the analytically-computed bitset word-op count land in
+    /// `obs.metrics`. With `Obs::off()` this is [`build_faulted`]
+    /// exactly.
+    ///
+    /// [`build_faulted`]: Classified::build_faulted
+    pub fn build_observed(
+        truth: &GroundTruth,
+        feeds: &FeedSet,
+        options: ClassifyOptions,
+        plan: &FaultPlan,
+        par: &Parallelism,
+        obs: &Obs,
+    ) -> Classified {
+        Self::build_inner(
+            feeds,
+            options,
+            Crawler::with_faults(truth, plan.clone()),
+            par,
+            obs,
         )
     }
 
@@ -106,6 +131,7 @@ impl Classified {
         options: ClassifyOptions,
         crawler: Crawler<'_>,
         par: &Parallelism,
+        obs: &Obs,
     ) -> Classified {
         let base_union: DomainSet = feeds.union_domains(&FeedId::BASE);
 
@@ -118,8 +144,9 @@ impl Classified {
                 to_crawl.union_with(feeds.columns(id).members());
             }
         }
-        let crawl = crawler.crawl_par(to_crawl.iter(), par);
+        let crawl = crawler.crawl_par_observed(to_crawl.iter(), par, obs);
 
+        let _derive_span = obs.span("classify/derive_sets");
         let per_feed = par.par_map(FeedId::ALL.to_vec(), |id| {
             let members = feeds.columns(id).members();
             let restrict =
@@ -141,6 +168,33 @@ impl Classified {
                 all,
             }
         });
+        drop(_derive_span);
+
+        if obs.metrics.is_on() {
+            let m = &obs.metrics;
+            m.add("classify/base_union", base_union.len() as u64);
+            m.add("classify/crawled", to_crawl.len() as u64);
+            // Word-op accounting is analytic — a pure function of the
+            // set sizes the derivation above touched — so the kernels
+            // themselves stay counter-free (and a shared global counter
+            // could not be deterministic under concurrent tests anyway).
+            let mut word_ops = 0u64;
+            for id in FeedId::ALL {
+                let fd = &per_feed[id.index()];
+                let restrict = options.restrict_blacklists_to_base
+                    && matches!(id, FeedId::Dbl | FeedId::Uribl);
+                if restrict {
+                    word_ops += feeds.columns(id).members().kernel_words(&base_union);
+                }
+                word_ops += fd.all.kernel_words(crawl.live_set());
+                word_ops += fd.all.kernel_words(crawl.storefront_set());
+                word_ops += fd.all.kernel_words(crawl.benign_http_set());
+                let label = id.label();
+                m.add(&format!("classify/live/{label}"), fd.live.len() as u64);
+                m.add(&format!("classify/tagged/{label}"), fd.tagged.len() as u64);
+            }
+            m.add("classify/bitset_word_ops", word_ops);
+        }
 
         Classified {
             crawl,

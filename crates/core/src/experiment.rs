@@ -25,9 +25,13 @@ use taster_analysis::timing::{
 use taster_analysis::volume::{volume_coverage, VolumeBar};
 use taster_analysis::{Classified, PairwiseMatrix};
 use taster_ecosystem::GroundTruth;
-use taster_feeds::{try_collect_all_faulted, FeedId, FeedSet, PipelineError};
+use taster_feeds::{try_collect_all_observed, FeedId, FeedSet, PipelineError};
 use taster_mailsim::MailWorld;
-use taster_sim::FaultPlan;
+use taster_sim::metrics::{
+    STAGE_CLASSIFY, STAGE_COLLECT, STAGE_COVERAGE, STAGE_PROPORTIONALITY, STAGE_PURITY,
+    STAGE_TIMING,
+};
+use taster_sim::{FaultPlan, Obs};
 use taster_stats::Boxplot;
 
 /// A fully-executed experiment: ground truth, mail world, feeds and
@@ -44,6 +48,9 @@ pub struct Experiment {
     pub classified: Classified,
     /// The fault plan the run executed under (off for clean runs).
     pub faults: FaultPlan,
+    /// The observability handle the run executed under. Off (a no-op)
+    /// unless the run came through [`Experiment::try_run_observed`].
+    pub obs: Obs,
 }
 
 impl Experiment {
@@ -62,24 +69,83 @@ impl Experiment {
     /// and the crawl degrade deterministically instead of failing —
     /// even a 100 %-outage profile completes with empty feeds.
     pub fn try_run(scenario: &Scenario) -> Result<Experiment, PipelineError> {
+        Self::try_run_observed(scenario, Obs::off())
+    }
+
+    /// [`Experiment::try_run`] under an observability handle: the
+    /// `collect` and `classify` stages run inside spans (with wall
+    /// times recorded into the metrics registry), and every pipeline
+    /// counter/histogram lands in `obs.metrics`. With `Obs::off()`
+    /// this is `try_run` exactly, byte for byte.
+    pub fn try_run_observed(scenario: &Scenario, obs: Obs) -> Result<Experiment, PipelineError> {
         scenario
             .validate()
             .map_err(PipelineError::InvalidScenario)?;
         let par = scenario.parallelism;
-        let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed)
-            .map_err(PipelineError::Generation)?;
-        let world = MailWorld::build(truth, scenario.mail.clone());
+        let truth = {
+            let _span = obs.span("generate");
+            GroundTruth::generate(&scenario.ecosystem, scenario.seed)
+                .map_err(PipelineError::Generation)?
+        };
+        let world = {
+            let _span = obs.span("mail_world");
+            MailWorld::build(truth, scenario.mail.clone())
+        };
         let plan = scenario.fault_plan();
-        let feeds = try_collect_all_faulted(&world, &scenario.feeds, &plan, &par)?;
-        let classified =
-            Classified::build_faulted(&world.truth, &feeds, scenario.classify, &plan, &par);
+        let feeds = obs.stage(STAGE_COLLECT, || {
+            try_collect_all_observed(&world, &scenario.feeds, &plan, &par, &obs)
+        })?;
+        let classified = obs.stage(STAGE_CLASSIFY, || {
+            Classified::build_observed(&world.truth, &feeds, scenario.classify, &plan, &par, &obs)
+        });
         Ok(Experiment {
             scenario: scenario.clone(),
             world,
             feeds,
             classified,
             faults: plan,
+            obs,
         })
+    }
+
+    /// Runs the four post-classification analysis stage groups —
+    /// coverage, purity, proportionality, timing — under this run's
+    /// observability handle, recording one span and one stage wall
+    /// time per group plus a result-size counter. The results are
+    /// discarded: the point is the per-stage profile (`taster
+    /// profile`, `bench-json`), and every accessor is pure, so running
+    /// them here cannot change later output.
+    pub fn observe_analyses(&self) {
+        let m = &self.obs.metrics;
+        self.obs.stage(STAGE_COVERAGE, || {
+            let rows = self.table3();
+            let mut cells = 0usize;
+            for cat in [Category::All, Category::Live, Category::Tagged] {
+                cells += self.fig2(cat).len();
+            }
+            std::hint::black_box(self.exclusive_share(Category::Live));
+            m.add("coverage/rows", rows.len() as u64);
+            m.add("coverage/pairwise_cells", cells as u64);
+        });
+        self.obs.stage(STAGE_PURITY, || {
+            let rows = self.table2();
+            m.add("purity/rows", rows.len() as u64);
+        });
+        self.obs.stage(STAGE_PROPORTIONALITY, || {
+            let cells = self.fig7().len() + self.fig8().len();
+            m.add("proportionality/cells", cells as u64);
+        });
+        self.obs.stage(STAGE_TIMING, || {
+            let series =
+                self.fig9().len() + self.fig10().len() + self.fig11().len() + self.fig12().len();
+            // At small scales every boxplot can be empty (series == 0,
+            // and zero adds don't materialize a counter), so also count
+            // the candidate feeds examined — structurally non-zero, which
+            // keeps the `timing/` stage visible in the metrics section.
+            let examined = FIG9_FEEDS.len() + 3 * HONEYPOT_FEEDS.len();
+            m.add("timing/feeds_examined", examined as u64);
+            m.add("timing/series", series as u64);
+        });
     }
 
     /// Freezes the degradation-relevant metrics of this run (the

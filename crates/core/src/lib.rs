@@ -21,6 +21,7 @@ pub mod ablation;
 pub mod degradation;
 pub mod experiment;
 pub mod export;
+pub mod profile;
 pub mod report;
 pub mod scenario;
 pub mod sweep;

@@ -1,0 +1,354 @@
+//! The `taster profile` driver and the registry-clocked stage bench.
+//!
+//! A profile run is one fully-observed experiment: every pipeline
+//! stage executes under a span, stage wall times land in the
+//! [`MetricsRegistry`](taster_sim::MetricsRegistry) timing map, and
+//! counters/histograms accumulate as usual. Three renderings come out
+//! of it:
+//!
+//! * [`deterministic_profile`] — span tree + metrics, **no wall
+//!   times**; bit-identical at any worker count (what the golden
+//!   harness snapshots).
+//! * [`render_profile_tree`] — the per-stage self-time tree with wall
+//!   seconds (what `taster profile` prints for humans).
+//! * [`bench_json_string`] — `BENCH_pipeline.json`, whose per-stage
+//!   `<stage>_secs` keys come from the same registry timing map the
+//!   tree is built from, so the two can never disagree.
+
+use std::fmt::Write as _;
+
+use crate::experiment::Experiment;
+use crate::scenario::Scenario;
+use taster_analysis::classify::Category;
+use taster_analysis::coverage::{coverage_table_par, exclusive_share_par, pairwise_overlap_par};
+use taster_analysis::proportionality::{kendall_matrix_par, variation_matrix_par};
+use taster_analysis::purity::purity_par;
+use taster_analysis::timing::{
+    duration_error_par, first_appearance_par, last_appearance_par, FIG9_FEEDS, HONEYPOT_FEEDS,
+};
+use taster_analysis::Classified;
+use taster_feeds::PipelineError;
+use taster_feeds::{collect_all_with, try_collect_all_faulted, try_collect_all_observed};
+use taster_mailsim::MailWorld;
+use taster_sim::metrics::{
+    STAGE_CLASSIFY, STAGE_COLLECT, STAGE_COVERAGE, STAGE_PROPORTIONALITY, STAGE_PURITY,
+    STAGE_TIMING,
+};
+use taster_sim::{FaultPlan, FaultProfile, Obs, Parallelism};
+
+/// Registry timing key for fault-injected feed collection (bench only;
+/// not one of the report's canonical stages).
+pub const STAGE_COLLECT_FAULTED: &str = "collect_faulted";
+/// Registry timing key for fault-injected classification (bench only).
+pub const STAGE_CLASSIFY_FAULTED: &str = "classify_faulted";
+
+/// Runs `scenario` end-to-end with full observability — metrics,
+/// tracing, and the four post-classification analysis stage groups —
+/// and returns the experiment whose [`Experiment::obs`] holds the
+/// complete profile.
+pub fn profile_scenario(scenario: &Scenario) -> Result<Experiment, PipelineError> {
+    let exp = Experiment::try_run_observed(scenario, Obs::on())?;
+    exp.observe_analyses();
+    Ok(exp)
+}
+
+/// The deterministic profile view: the span/event tree (attributes and
+/// sim windows, no wall times) followed by the metrics render.
+/// Bit-identical at any worker count.
+pub fn deterministic_profile(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Profile (deterministic view)");
+    let _ = writeln!(out, "   scenario: {}", exp.scenario.name);
+    out.push_str(&exp.obs.trace.deterministic_view());
+    let _ = writeln!(out, "== Pipeline metrics");
+    out.push_str(&exp.obs.metrics.render());
+    out
+}
+
+/// The per-stage self-time tree with wall seconds. Wall-clock, so not
+/// deterministic — `taster profile` prints this after the
+/// deterministic view.
+pub fn render_profile_tree(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Profile (wall time)");
+    let _ = writeln!(out, "   scenario: {}", exp.scenario.name);
+    let _ = writeln!(out, "{:<44} {:>12} {:>12}", "span", "wall s", "self s");
+    for t in exp.obs.trace.span_timings() {
+        let label = format!("{:indent$}{}", "", t.name, indent = t.depth * 2);
+        let _ = writeln!(
+            out,
+            "{label:<44} {:>12.6} {:>12.6}",
+            t.wall_secs, t.self_secs
+        );
+    }
+    out
+}
+
+/// Best-of-reps stage wall times at one worker count, every number
+/// read back from the metrics registry — the same clock the profile
+/// tree uses.
+#[derive(Debug, Clone, Copy)]
+pub struct StageBench {
+    /// Worker count the stages ran at.
+    pub workers: usize,
+    /// Feed collection, seconds.
+    pub collect: f64,
+    /// Crawl + classification, seconds.
+    pub classify: f64,
+    /// Feed collection under the `lossy-feeds` profile.
+    pub collect_faulted: f64,
+    /// Classification under the `flaky-crawler` profile.
+    pub classify_faulted: f64,
+    /// Coverage analyses (Table 3, Figs 1–2).
+    pub coverage: f64,
+    /// Purity analysis (Table 2).
+    pub purity: f64,
+    /// Proportionality analyses (Figs 7–8).
+    pub proportionality: f64,
+    /// Timing analyses (Figs 9–12).
+    pub timing: f64,
+}
+
+impl StageBench {
+    /// Total analyze-stage wall time (everything after classification).
+    pub fn analyze(&self) -> f64 {
+        self.coverage + self.purity + self.proportionality + self.timing
+    }
+
+    /// Reads one bench row out of a registry's timing map (absent
+    /// stages read as 0). `workers` is carried through verbatim.
+    pub fn from_registry(obs: &Obs, workers: usize) -> StageBench {
+        let g = |key: &str| obs.metrics.timing(key).unwrap_or(0.0);
+        StageBench {
+            workers,
+            collect: g(STAGE_COLLECT),
+            classify: g(STAGE_CLASSIFY),
+            collect_faulted: g(STAGE_COLLECT_FAULTED),
+            classify_faulted: g(STAGE_CLASSIFY_FAULTED),
+            coverage: g(STAGE_COVERAGE),
+            purity: g(STAGE_PURITY),
+            proportionality: g(STAGE_PROPORTIONALITY),
+            timing: g(STAGE_TIMING),
+        }
+    }
+}
+
+/// Times every pipeline stage at `workers` workers over a pre-built
+/// world, best of `reps`, through [`Obs::stage`] (so each number is a
+/// registry timing, not an ad-hoc stopwatch). The faulted rows use the
+/// `lossy-feeds` profile for collection and `flaky-crawler` for
+/// classification, matching the historical bench. Every timed run
+/// produces bit-identical output; only wall-clock varies.
+pub fn bench_stages(
+    world: &MailWorld,
+    scenario: &Scenario,
+    workers: usize,
+    reps: usize,
+) -> Result<StageBench, PipelineError> {
+    let par = Parallelism::fixed(workers);
+    let obs = Obs::with(true, false);
+    let lossy = FaultPlan::new(FaultProfile::lossy_feeds(), scenario.seed);
+    let flaky = FaultPlan::new(FaultProfile::flaky_crawler(), scenario.seed);
+    let oracle = &world.provider.oracle;
+    for _ in 0..reps {
+        let feeds = obs.stage(STAGE_COLLECT, || {
+            collect_all_with(world, &scenario.feeds, &par)
+        });
+        let classified = obs.stage(STAGE_CLASSIFY, || {
+            Classified::build_with(&world.truth, &feeds, scenario.classify, &par)
+        });
+
+        let faulted_feeds = obs.stage(STAGE_COLLECT_FAULTED, || {
+            try_collect_all_faulted(world, &scenario.feeds, &lossy, &par)
+        })?;
+        obs.stage(STAGE_CLASSIFY_FAULTED, || {
+            std::hint::black_box(Classified::build_faulted(
+                &world.truth,
+                &faulted_feeds,
+                scenario.classify,
+                &flaky,
+                &par,
+            ));
+        });
+
+        obs.stage(STAGE_COVERAGE, || {
+            std::hint::black_box(coverage_table_par(&classified, &par));
+            for cat in [Category::All, Category::Live, Category::Tagged] {
+                std::hint::black_box(pairwise_overlap_par(&classified, cat, &par));
+            }
+            std::hint::black_box(exclusive_share_par(&classified, Category::Live, &par));
+        });
+        obs.stage(STAGE_PURITY, || {
+            std::hint::black_box(purity_par(&feeds, &classified, &par));
+        });
+        obs.stage(STAGE_PROPORTIONALITY, || {
+            std::hint::black_box(variation_matrix_par(&feeds, &classified, oracle, &par));
+            std::hint::black_box(kendall_matrix_par(&feeds, &classified, oracle, &par));
+        });
+        obs.stage(STAGE_TIMING, || {
+            for refs in [&FIG9_FEEDS[..], &HONEYPOT_FEEDS[..]] {
+                std::hint::black_box(first_appearance_par(&feeds, &classified, refs, refs, &par));
+            }
+            std::hint::black_box(last_appearance_par(
+                &feeds,
+                &classified,
+                &HONEYPOT_FEEDS,
+                &HONEYPOT_FEEDS,
+                &par,
+            ));
+            std::hint::black_box(duration_error_par(
+                &feeds,
+                &classified,
+                &HONEYPOT_FEEDS,
+                &HONEYPOT_FEEDS,
+                &par,
+            ));
+        });
+    }
+    Ok(StageBench::from_registry(&obs, workers))
+}
+
+/// Renders the `BENCH_pipeline.json` document. Every canonical stage
+/// key ([`STAGE_KEYS`](taster_sim::metrics::STAGE_KEYS)) appears as a
+/// `<stage>_secs` field in each run row; speedups are relative to the
+/// first row.
+pub fn bench_json_string(scenario: &Scenario, reps: usize, rows: &[StageBench]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let base = rows.first().copied().unwrap_or(StageBench {
+        workers: 1,
+        collect: 1.0,
+        classify: 1.0,
+        collect_faulted: 0.0,
+        classify_faulted: 0.0,
+        coverage: 1.0,
+        purity: 0.0,
+        proportionality: 0.0,
+        timing: 0.0,
+    });
+    let speedup = |base: f64, now: f64| if now > 0.0 { base / now } else { 0.0 };
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"pipeline_scaling\",");
+    let _ = writeln!(json, "  \"scenario\": \"{}\",", scenario.name);
+    let _ = writeln!(json, "  \"seed\": {},", scenario.seed);
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let fault_overhead = if row.collect + row.classify > 0.0 {
+            (row.collect_faulted + row.classify_faulted) / (row.collect + row.classify)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \
+             \"collect_secs\": {:.6}, \
+             \"collect_speedup\": {:.3}, \
+             \"classify_secs\": {:.6}, \
+             \"classify_speedup\": {:.3}, \
+             \"collect_faulted_secs\": {:.6}, \
+             \"classify_faulted_secs\": {:.6}, \
+             \"fault_overhead\": {:.3}, \
+             \"coverage_secs\": {:.6}, \
+             \"purity_secs\": {:.6}, \
+             \"proportionality_secs\": {:.6}, \
+             \"timing_secs\": {:.6}, \
+             \"analyze_secs\": {:.6}, \
+             \"analyze_speedup\": {:.3}}}{comma}",
+            row.workers,
+            row.collect,
+            speedup(base.collect, row.collect),
+            row.classify,
+            speedup(base.classify, row.classify),
+            row.collect_faulted,
+            row.classify_faulted,
+            fault_overhead,
+            row.coverage,
+            row.purity,
+            row.proportionality,
+            row.timing,
+            row.analyze(),
+            speedup(base.analyze(), row.analyze()),
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Measures the `collect` stage uninstrumented and instrumented over
+/// the same world, best of `reps`, and returns `(off_secs, on_secs)`.
+/// Both numbers come from registry clocks; only the *measured body*
+/// differs (a disabled [`Obs`] vs. a metrics-recording one). The CI
+/// overhead gate fails when `on / off - 1` exceeds its threshold.
+pub fn collect_overhead(scenario: &Scenario, reps: usize) -> Result<(f64, f64), PipelineError> {
+    let world = crate::sweep::build_world(scenario);
+    let par = scenario.parallelism;
+    let plan = scenario.fault_plan();
+    let off_clock = Obs::with(true, false);
+    let on_clock = Obs::with(true, false);
+    for _ in 0..reps {
+        off_clock.stage(STAGE_COLLECT, || {
+            try_collect_all_observed(&world, &scenario.feeds, &plan, &par, &Obs::off())
+        })?;
+        on_clock.stage(STAGE_COLLECT, || {
+            try_collect_all_observed(&world, &scenario.feeds, &plan, &par, &on_clock)
+        })?;
+    }
+    let g = |obs: &Obs| obs.metrics.timing(STAGE_COLLECT).unwrap_or(0.0);
+    Ok((g(&off_clock), g(&on_clock)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scenario {
+        Scenario::default_paper()
+            .with_scale(0.02)
+            .with_seed(71)
+            .with_threads(2)
+    }
+
+    #[test]
+    fn profile_records_every_stage() {
+        let exp = profile_scenario(&small()).expect("profile runs");
+        for stage in taster_sim::metrics::STAGE_KEYS {
+            assert!(
+                exp.obs.metrics.timing(stage).is_some(),
+                "stage {stage} missing from registry"
+            );
+        }
+        let det = deterministic_profile(&exp);
+        assert!(det.contains("span collect"));
+        assert!(det.contains("counter   collect/events"));
+        assert!(!det.contains("wall"), "wall time leaked: {det}");
+        let tree = render_profile_tree(&exp);
+        assert!(tree.contains("collect"));
+    }
+
+    #[test]
+    fn bench_rows_and_json_cover_all_stages() {
+        let scenario = small();
+        let world = crate::sweep::build_world(&scenario);
+        let row = bench_stages(&world, &scenario, 2, 1).expect("bench runs");
+        assert!(row.collect > 0.0 && row.classify > 0.0);
+        let json = bench_json_string(&scenario, 1, &[row]);
+        for stage in taster_sim::metrics::STAGE_KEYS {
+            assert!(
+                json.contains(&format!("\"{stage}_secs\"")),
+                "JSON missing {stage}_secs"
+            );
+        }
+        assert!(json.contains("\"collect_faulted_secs\""));
+    }
+
+    #[test]
+    fn overhead_measures_both_modes() {
+        let (off, on) = collect_overhead(&small(), 1).expect("overhead run");
+        assert!(off > 0.0 && on > 0.0);
+    }
+}

@@ -452,14 +452,30 @@ impl<'a> Report<'a> {
         out
     }
 
-    /// Every table and figure, in paper order.
+    /// Pipeline metrics: every counter and histogram the observed run
+    /// recorded, in the registry's deterministic render order (sorted
+    /// by name, wall times excluded). Only rendered when the run was
+    /// observed with metrics on ([`Experiment::obs`]); unobserved
+    /// reports stay byte-identical to an uninstrumented build.
+    pub fn metrics_section(&self) -> String {
+        let mut out = header("Pipeline metrics", &self.experiment.scenario.name);
+        out.push_str(&self.experiment.obs.metrics.render());
+        out
+    }
+
+    /// Every table and figure, in paper order. Faulted runs prepend
+    /// the fault model; metrics-observed runs append the metrics
+    /// section; a plain run renders exactly the clean sections.
     pub fn full_report(&self) -> String {
+        let mut sections = Vec::new();
         if !self.experiment.faults.is_off() {
-            let mut sections = vec![self.fault_model()];
-            sections.push(self.full_report_clean_sections());
-            return sections.join("\n");
+            sections.push(self.fault_model());
         }
-        self.full_report_clean_sections()
+        sections.push(self.full_report_clean_sections());
+        if self.experiment.obs.metrics.is_on() {
+            sections.push(self.metrics_section());
+        }
+        sections.join("\n")
     }
 
     fn full_report_clean_sections(&self) -> String {

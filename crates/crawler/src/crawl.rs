@@ -7,7 +7,11 @@ use rand::RngExt;
 use taster_domain::{DomainBitset, DomainId, RankIndex};
 use taster_ecosystem::ids::{AffiliateId, ProgramId};
 use taster_ecosystem::GroundTruth;
-use taster_sim::{FaultPlan, Parallelism};
+use taster_sim::{FaultPlan, Obs, Parallelism};
+
+/// Bucket edges for the crawl attempts-per-domain histogram (1 = no
+/// retries; the flaky profiles allow a handful of extra visits).
+const ATTEMPTS_BOUNDS: [u64; 5] = [1, 2, 3, 5, 8];
 
 /// A storefront classification produced by signature matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -445,6 +449,44 @@ impl<'a> Crawler<'a> {
                 .collect::<Vec<_>>()
         });
         CrawlReport::from_rows(results.into_iter().flatten().collect())
+    }
+
+    /// [`Crawler::crawl_par`] with observability: wraps the crawl in a
+    /// `crawl` span and derives disposition counters and the
+    /// attempts-per-domain histogram from the merged report, so the
+    /// sharded hot path is untouched and the metrics are trivially
+    /// identical at any worker count.
+    pub fn crawl_par_observed<I: IntoIterator<Item = DomainId>>(
+        &self,
+        domains: I,
+        par: &Parallelism,
+        obs: &Obs,
+    ) -> CrawlReport {
+        let mut span = obs.span("crawl");
+        let report = self.crawl_par(domains, par);
+        span.attr_u64("domains", report.len() as u64);
+        if obs.metrics.is_on() {
+            let m = &obs.metrics;
+            m.add("crawl/domains", report.len() as u64);
+            m.add("crawl/registered", report.registered_set().len() as u64);
+            m.add("crawl/http_ok", report.http_ok_set().len() as u64);
+            m.add("crawl/tagged_pages", report.tagged_page_set().len() as u64);
+            m.add("crawl/live", report.live_set().len() as u64);
+            m.add("crawl/timeouts", report.timeouts() as u64);
+            m.add("crawl/unreachable", report.unreachable() as u64);
+            m.add("crawl/attempts", report.total_attempts());
+            m.add("crawl/backoff_secs", report.total_backoff_secs());
+            let mut shard = taster_sim::MetricsShard::new();
+            for (_, r) in report.iter() {
+                shard.observe(
+                    "crawl/attempts_per_domain",
+                    &ATTEMPTS_BOUNDS,
+                    u64::from(r.attempts),
+                );
+            }
+            m.absorb(&shard);
+        }
+        report
     }
 }
 

@@ -82,6 +82,14 @@ impl DomainBitset {
         &self.bits
     }
 
+    /// Number of `u64` word operations a binary kernel over `self` and
+    /// `other` performs (the overlapping word count). The observability
+    /// layer uses this to account set-algebra work analytically, so the
+    /// hot kernels stay free of counters.
+    pub fn kernel_words(&self, other: &DomainBitset) -> u64 {
+        self.bits.len().min(other.bits.len()) as u64
+    }
+
     /// Iterates member ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = DomainId> + '_ {
         self.bits.iter().enumerate().flat_map(|(w, &word)| {

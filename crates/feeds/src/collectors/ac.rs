@@ -10,7 +10,7 @@ use crate::config::AcConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
-use taster_sim::{FaultPlan, Parallelism};
+use taster_sim::{FaultPlan, Obs, Parallelism};
 
 /// Collects honey-account feed `index` (0 = Ac1, 1 = Ac2).
 ///
@@ -28,6 +28,7 @@ pub fn collect_ac(world: &MailWorld, config: &AcConfig, index: u8) -> Feed {
         std::slice::from_ref(&member),
         &FaultPlan::off(world.truth.seed),
         &Parallelism::serial(),
+        &Obs::off(),
     )
     .pop()
     .unwrap_or_else(|| unreachable!("engine yields one feed per member"))

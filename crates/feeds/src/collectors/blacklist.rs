@@ -11,13 +11,14 @@
 //! all Alexa/ODP-listed domains (hence ≤2 % benign contamination).
 
 use crate::config::{BlacklistConfig, ListingAnchor};
+use crate::engine::ShardObs;
 use crate::feed::Feed;
 use crate::id::FeedId;
 use rand::RngExt;
 use taster_domain::DomainId;
 use taster_ecosystem::campaign::CampaignStyle;
 use taster_mailsim::MailWorld;
-use taster_sim::{FaultPlan, RngStream, SimTime};
+use taster_sim::{FaultPlan, Obs, RngStream, SimTime};
 use taster_stats::sample::exponential;
 
 /// Collects one blacklist feed.
@@ -33,7 +34,21 @@ pub fn collect_blacklist(
     id: FeedId,
     fault_plan: &FaultPlan,
 ) -> Feed {
+    collect_blacklist_observed(world, config, id, fault_plan, &Obs::off())
+}
+
+/// [`collect_blacklist`] with observability: counts listings recorded,
+/// snapshot entries lost and outage misses into `obs`. Accumulation is
+/// local and absorbed once, so the metrics totals match a serial pass.
+pub fn collect_blacklist_observed(
+    world: &MailWorld,
+    config: &BlacklistConfig,
+    id: FeedId,
+    fault_plan: &FaultPlan,
+    obs: &Obs,
+) -> Feed {
     assert!(matches!(id, FeedId::Dbl | FeedId::Uribl));
+    let mut local = ShardObs::new(obs.metrics.is_on());
     let mut feed = Feed::new(id, false);
     let mut rng = RngStream::new(world.truth.seed, &format!("feeds/{}", id.label()));
     let truth = &world.truth;
@@ -64,13 +79,21 @@ pub fn collect_blacklist(
             entry_idx += 1;
             if faults_on {
                 listed = listed.plus(fault_plan.profile().snapshot_delay_secs);
-                if fault_plan.snapshot_dropped(&snapshot_stage, idx)
-                    || fault_plan.outage_at(label, listed)
-                {
+                if fault_plan.snapshot_dropped(&snapshot_stage, idx) {
+                    if local.on {
+                        local.snapshot_dropped += 1;
+                    }
+                    return;
+                }
+                if fault_plan.outage_at(label, listed) {
+                    if local.on {
+                        local.outage_skips += 1;
+                    }
                     return;
                 }
             }
             feed.record(domain, listed);
+            local.record_domains(1);
         }
     };
 
@@ -104,6 +127,7 @@ pub fn collect_blacklist(
         consider(domain, config.webspam_prob, time, &mut rng, &mut feed);
     }
 
+    obs.metrics.absorb(&local.into_shard());
     feed
 }
 

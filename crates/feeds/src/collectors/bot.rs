@@ -10,7 +10,7 @@ use crate::config::BotConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
-use taster_sim::{FaultPlan, Parallelism};
+use taster_sim::{FaultPlan, Obs, Parallelism};
 
 /// Collects the `Bot` feed.
 ///
@@ -24,6 +24,7 @@ pub fn collect_bot(world: &MailWorld, config: &BotConfig) -> Feed {
         std::slice::from_ref(&member),
         &FaultPlan::off(world.truth.seed),
         &Parallelism::serial(),
+        &Obs::off(),
     )
     .pop()
     .unwrap_or_else(|| unreachable!("engine yields one feed per member"))

@@ -7,23 +7,35 @@
 //! so the paper excludes it from proportionality analysis, and so do
 //! we (`reports_volume == false`).
 
+use crate::engine::ShardObs;
 use crate::feed::Feed;
 use crate::id::FeedId;
 use taster_mailsim::MailWorld;
 use taster_sim::fault::RecordFault;
-use taster_sim::FaultPlan;
+use taster_sim::{FaultPlan, Obs};
 
 /// Collects the `Hu` feed from the provider's report stream.
 ///
 /// This collector is serial, so fault decisions keyed by the report
 /// index are deterministic at any worker count.
 pub fn collect_hu(world: &MailWorld, plan: &FaultPlan) -> Feed {
+    collect_hu_observed(world, plan, &Obs::off())
+}
+
+/// [`collect_hu`] with observability: counts captured records, fault
+/// decisions and domains-per-record into `obs`. Accumulation is local
+/// and absorbed once, so the metrics totals match a serial pass.
+pub fn collect_hu_observed(world: &MailWorld, plan: &FaultPlan, obs: &Obs) -> Feed {
+    let mut local = ShardObs::new(obs.metrics.is_on());
     let faults_on = !plan.is_off();
     let label = FeedId::Hu.label();
     let mut feed = Feed::new(FeedId::Hu, false);
     feed.samples = Some(0);
     for (idx, report) in world.provider.reports.iter().enumerate() {
         if faults_on && plan.outage_at(label, report.time) {
+            if local.on {
+                local.outage_skips += 1;
+            }
             continue;
         }
         let fault = if faults_on {
@@ -31,6 +43,7 @@ pub fn collect_hu(world: &MailWorld, plan: &FaultPlan) -> Feed {
         } else {
             RecordFault::Deliver
         };
+        local.record_fault(fault);
         if fault == RecordFault::Drop {
             continue;
         }
@@ -50,8 +63,10 @@ pub fn collect_hu(world: &MailWorld, plan: &FaultPlan) -> Feed {
             for &d in &report.domains[..keep] {
                 feed.record(d, report.time);
             }
+            local.record_domains(keep as u64);
         }
     }
+    obs.metrics.absorb(&local.into_shard());
     feed
 }
 

@@ -13,7 +13,7 @@ use crate::config::HybConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
-use taster_sim::{FaultPlan, Parallelism};
+use taster_sim::{FaultPlan, Obs, Parallelism};
 
 /// Collects the `Hyb` feed.
 ///
@@ -28,6 +28,7 @@ pub fn collect_hyb(world: &MailWorld, config: &HybConfig) -> Feed {
         std::slice::from_ref(&member),
         &FaultPlan::off(world.truth.seed),
         &Parallelism::serial(),
+        &Obs::off(),
     )
     .pop()
     .unwrap_or_else(|| unreachable!("engine yields one feed per member"))

@@ -15,9 +15,9 @@ pub mod hyb;
 pub mod mx;
 
 pub use ac::collect_ac;
-pub use blacklist::collect_blacklist;
+pub use blacklist::{collect_blacklist, collect_blacklist_observed};
 pub use bot::collect_bot;
-pub use hu::collect_hu;
+pub use hu::{collect_hu, collect_hu_observed};
 pub use hyb::collect_hyb;
 pub use mx::collect_mx;
 

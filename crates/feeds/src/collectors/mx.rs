@@ -16,7 +16,7 @@ use crate::config::MxConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
-use taster_sim::{FaultPlan, Parallelism};
+use taster_sim::{FaultPlan, Obs, Parallelism};
 
 /// Collects MX honeypot `index` (0 = mx1, 1 = mx2, 2 = mx3).
 ///
@@ -34,6 +34,7 @@ pub fn collect_mx(world: &MailWorld, config: &MxConfig, index: u8) -> Feed {
         std::slice::from_ref(&member),
         &FaultPlan::off(world.truth.seed),
         &Parallelism::serial(),
+        &Obs::off(),
     )
     .pop()
     .unwrap_or_else(|| unreachable!("engine yields one feed per member"))

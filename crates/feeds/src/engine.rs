@@ -40,11 +40,15 @@ use taster_mailsim::benign::BenignDest;
 use taster_mailsim::render::render_spam_into;
 use taster_mailsim::MailWorld;
 use taster_sim::fault::{truncate_payload, FaultPlan, RecordFault};
-use taster_sim::{Parallelism, RngStream, TimeWindow};
+use taster_sim::metrics::{Histogram, MetricsShard};
+use taster_sim::{Obs, Parallelism, RngStream, TimeWindow};
 use taster_smtp::{deliver, HoneypotServer};
 
 /// Stream name for the shared per-event message render.
 const RENDER_STREAM: &str = "feeds/render-spam";
+
+/// Bucket edges for the domains-per-captured-record histogram.
+const DOMAINS_PER_RECORD_BOUNDS: [u64; 6] = [0, 1, 2, 5, 10, 20];
 
 const LOCALPARTS: &[&str] = &["info", "admin", "bob", "sales", "john", "mary", "office"];
 
@@ -106,20 +110,101 @@ pub(crate) fn collect_content(
     members: &[MemberSpec],
     plan: &FaultPlan,
     par: &Parallelism,
+    obs: &Obs,
 ) -> Vec<Feed> {
+    let metrics_on = obs.metrics.is_on();
     let shards = shard_ranges(world.truth.events.len(), par.workers());
-    let shard_feeds = par.par_map(shards, |range| run_shard(world, members, plan, range));
+    let results = par.par_map(shards, |range| {
+        run_shard(world, members, plan, range, metrics_on)
+    });
 
     let mut merged: Vec<Feed> = members.iter().map(MemberSpec::empty_feed).collect();
-    for shard in shard_feeds {
+    let mut metric_shards: Vec<MetricsShard> = Vec::new();
+    for (shard, shard_metrics) in results {
         for (acc, piece) in merged.iter_mut().zip(shard) {
             acc.merge(piece);
         }
+        metric_shards.push(shard_metrics);
     }
+    // Shards come back in event-range order from par_map; merge their
+    // metrics in that same order.
+    obs.metrics.absorb_in_order(&metric_shards);
     for (feed, member) in merged.iter_mut().zip(members) {
-        finalize(world, feed, member, plan);
+        finalize(world, feed, member, plan, obs);
     }
     merged
+}
+
+/// Shard-local observability accumulator: plain integers on the hot
+/// path, converted to a [`MetricsShard`] once per shard. When `on` is
+/// false every method is branch-and-return, so the unobserved pipeline
+/// pays (almost) nothing.
+pub(crate) struct ShardObs {
+    pub(crate) on: bool,
+    pub(crate) events: u64,
+    pub(crate) renders: u64,
+    pub(crate) captured: u64,
+    pub(crate) dropped: u64,
+    pub(crate) duplicated: u64,
+    pub(crate) truncated: u64,
+    pub(crate) outage_skips: u64,
+    pub(crate) snapshot_dropped: u64,
+    pub(crate) domains_hist: Histogram,
+}
+
+impl ShardObs {
+    pub(crate) fn new(on: bool) -> ShardObs {
+        ShardObs {
+            on,
+            events: 0,
+            renders: 0,
+            captured: 0,
+            dropped: 0,
+            duplicated: 0,
+            truncated: 0,
+            outage_skips: 0,
+            snapshot_dropped: 0,
+            domains_hist: Histogram::new(&DOMAINS_PER_RECORD_BOUNDS),
+        }
+    }
+
+    pub(crate) fn record_fault(&mut self, fault: RecordFault) {
+        if !self.on {
+            return;
+        }
+        match fault {
+            RecordFault::Deliver => {}
+            RecordFault::Drop => self.dropped += 1,
+            RecordFault::Duplicate => self.duplicated += 1,
+            RecordFault::Truncate => self.truncated += 1,
+        }
+    }
+
+    pub(crate) fn record_domains(&mut self, n: u64) {
+        if self.on {
+            self.captured += 1;
+            self.domains_hist.observe(n);
+        }
+    }
+
+    pub(crate) fn into_shard(self) -> MetricsShard {
+        let mut shard = MetricsShard::new();
+        if !self.on {
+            return shard;
+        }
+        shard.add("collect/events", self.events);
+        shard.add("collect/renders", self.renders);
+        shard.add("collect/records", self.captured);
+        shard.add("collect/fault/dropped", self.dropped);
+        shard.add("collect/fault/duplicated", self.duplicated);
+        shard.add("collect/fault/truncated", self.truncated);
+        shard.add("collect/outage_skips", self.outage_skips);
+        shard.add("collect/fault/snapshot_dropped", self.snapshot_dropped);
+        if self.domains_hist.total() > 0 {
+            shard.merge_histogram("collect/domains_per_record", &self.domains_hist);
+        }
+        shard
+    }
 }
 
 /// Splits `0..n` into up to `parts` contiguous ranges of near-equal
@@ -166,7 +251,10 @@ fn run_shard(
     members: &[MemberSpec],
     plan: &FaultPlan,
     range: Range<usize>,
-) -> Vec<Feed> {
+    metrics_on: bool,
+) -> (Vec<Feed>, MetricsShard) {
+    let mut shard_obs = ShardObs::new(metrics_on);
+    shard_obs.events = range.len() as u64;
     let seed = world.truth.seed;
     let truth = &world.truth;
     let extractor = DomainExtractor::new();
@@ -204,6 +292,9 @@ fn run_shard(
             // any stream is derived: per-event child streams mean the
             // skip cannot perturb other events' draws.
             if faults_on && outages[m].iter().any(|w| w.contains(event.time)) {
+                if shard_obs.on {
+                    shard_obs.outage_skips += 1;
+                }
                 continue;
             }
             // Cheap structural filter first; the RNG stream is only
@@ -262,6 +353,7 @@ fn run_shard(
             } else {
                 RecordFault::Deliver
             };
+            shard_obs.record_fault(fault);
             if fault == RecordFault::Drop {
                 continue;
             }
@@ -274,6 +366,9 @@ fn run_shard(
             // First capturing member triggers the event's render; the
             // body is a pure function of (seed, event), so every
             // member sees the same copy.
+            if shard_obs.on && rendered.is_none() {
+                shard_obs.renders += 1;
+            }
             let headers = rendered.get_or_insert_with(|| {
                 let mut render_rng = render_base.child(seed, RENDER_STREAM, i as u64);
                 extracted_ready = false;
@@ -332,12 +427,15 @@ fn run_shard(
                     };
                     for _ in 0..copies {
                         feed.count_sample();
+                        let mut parsed = 0u64;
                         for (d, host) in
                             extractor.registered_domains_with_hosts(data, &truth.universe.table)
                         {
                             feed.record(d, event.time);
                             feed.note_fqdn(host);
+                            parsed += 1;
                         }
+                        shard_obs.record_domains(parsed);
                     }
                 }
                 _ => {
@@ -368,19 +466,21 @@ fn run_shard(
                             feed.record(d, event.time);
                             feed.note_fqdn(host);
                         }
+                        shard_obs.record_domains(records.len() as u64);
                     }
                 }
             }
         }
     }
-    feeds
+    (feeds, shard_obs.into_shard())
 }
 
 /// Applies a member's non-event sources after the sharded event pass.
 ///
 /// This pass runs serially per member, so fault decisions keyed by the
 /// serial record index are deterministic at any worker count.
-fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &FaultPlan) {
+fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &FaultPlan, obs: &Obs) {
+    let mut local = ShardObs::new(obs.metrics.is_on());
     let faults_on = !plan.is_off();
     let label = member.feed_id().label();
     let down = |t| faults_on && plan.outage_at(label, t);
@@ -393,6 +493,7 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                     for &d in &mail.domains {
                         feed.record(d, mail.time);
                     }
+                    local.record_domains(mail.domains.len() as u64);
                 }
             }
         }
@@ -403,6 +504,7 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                     for &d in &mail.domains {
                         feed.record(d, mail.time);
                     }
+                    local.record_domains(mail.domains.len() as u64);
                 }
             }
         }
@@ -420,6 +522,7 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                 } else {
                     RecordFault::Deliver
                 };
+                local.record_fault(fault);
                 if fault == RecordFault::Drop {
                     continue;
                 }
@@ -440,6 +543,7 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                     for &d in &report.domains[..keep] {
                         feed.record(d, report.time);
                     }
+                    local.record_domains(keep as u64);
                 }
             }
             // The non-e-mail web-spam corpus.
@@ -455,6 +559,7 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                 } else {
                     RecordFault::Deliver
                 };
+                local.record_fault(fault);
                 if fault == RecordFault::Drop {
                     continue;
                 }
@@ -466,10 +571,12 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                 for _ in 0..copies {
                     feed.count_sample();
                     feed.record(domain, time);
+                    local.record_domains(1);
                 }
             }
         }
     }
+    obs.metrics.absorb(&local.into_shard());
 }
 
 #[cfg(test)]
@@ -528,9 +635,15 @@ mod tests {
         let cfg = FeedsConfig::default();
         let members = all_members(&cfg);
         let plan = FaultPlan::off(w.truth.seed);
-        let serial = collect_content(&w, &members, &plan, &Parallelism::serial());
+        let serial = collect_content(&w, &members, &plan, &Parallelism::serial(), &Obs::off());
         for workers in [2, 5, 8] {
-            let parallel = collect_content(&w, &members, &plan, &Parallelism::fixed(workers));
+            let parallel = collect_content(
+                &w,
+                &members,
+                &plan,
+                &Parallelism::fixed(workers),
+                &Obs::off(),
+            );
             for (a, b) in serial.iter().zip(&parallel) {
                 assert_feeds_equal(a, b);
             }
@@ -545,13 +658,14 @@ mod tests {
         let cfg = FeedsConfig::default();
         let members = all_members(&cfg);
         let plan = FaultPlan::off(w.truth.seed);
-        let full = collect_content(&w, &members, &plan, &Parallelism::serial());
+        let full = collect_content(&w, &members, &plan, &Parallelism::serial(), &Obs::off());
         for (i, member) in members.iter().enumerate() {
             let solo = collect_content(
                 &w,
                 std::slice::from_ref(member),
                 &plan,
                 &Parallelism::fixed(3),
+                &Obs::off(),
             );
             assert_feeds_equal(&full[i], &solo[0]);
         }
@@ -564,9 +678,15 @@ mod tests {
         let cfg = FeedsConfig::default();
         let members = all_members(&cfg);
         let plan = FaultPlan::new(FaultProfile::lossy_feeds(), w.truth.seed);
-        let serial = collect_content(&w, &members, &plan, &Parallelism::serial());
+        let serial = collect_content(&w, &members, &plan, &Parallelism::serial(), &Obs::off());
         for workers in [2, 8] {
-            let parallel = collect_content(&w, &members, &plan, &Parallelism::fixed(workers));
+            let parallel = collect_content(
+                &w,
+                &members,
+                &plan,
+                &Parallelism::fixed(workers),
+                &Obs::off(),
+            );
             for (a, b) in serial.iter().zip(&parallel) {
                 assert_feeds_equal(a, b);
             }
@@ -578,6 +698,7 @@ mod tests {
             &members,
             &FaultPlan::off(w.truth.seed),
             &Parallelism::serial(),
+            &Obs::off(),
         );
         let faulted_samples: u64 = serial.iter().filter_map(|f| f.samples).sum();
         let clean_samples: u64 = clean.iter().filter_map(|f| f.samples).sum();
@@ -598,12 +719,13 @@ mod tests {
             window: TimeWindow::new(SimTime::ZERO, SimTime(u64::MAX)),
         });
         let plan = FaultPlan::new(profile, w.truth.seed);
-        let feeds = collect_content(&w, &members, &plan, &Parallelism::fixed(4));
+        let feeds = collect_content(&w, &members, &plan, &Parallelism::fixed(4), &Obs::off());
         let clean = collect_content(
             &w,
             &members,
             &FaultPlan::off(w.truth.seed),
             &Parallelism::fixed(4),
+            &Obs::off(),
         );
         for (f, c) in feeds.iter().zip(&clean) {
             if f.id == FeedId::Bot {

@@ -43,6 +43,8 @@ pub use config::FeedsConfig;
 pub use error::PipelineError;
 pub use feed::{DomainStats, Feed, FeedSet};
 pub use id::{FeedId, FeedKind};
-pub use pipeline::{collect_all, collect_all_with, try_collect_all_faulted};
+pub use pipeline::{
+    collect_all, collect_all_with, try_collect_all_faulted, try_collect_all_observed,
+};
 pub use reporting::ReportingPolicy;
 pub use table::FeedColumns;

@@ -1,13 +1,13 @@
 //! Runs all ten collectors.
 
-use crate::collectors::{collect_blacklist, collect_hu};
+use crate::collectors::{collect_blacklist_observed, collect_hu_observed};
 use crate::config::FeedsConfig;
 use crate::engine::{collect_content, MemberSpec};
 use crate::error::PipelineError;
 use crate::feed::{Feed, FeedSet};
 use crate::id::FeedId;
 use taster_mailsim::MailWorld;
-use taster_sim::{FaultPlan, Parallelism};
+use taster_sim::{FaultPlan, Obs, Parallelism};
 
 /// Collects all ten feeds over the world with the default
 /// [`Parallelism`] (the `TASTER_THREADS` env override, else all
@@ -49,6 +49,24 @@ pub fn try_collect_all_faulted(
     plan: &FaultPlan,
     par: &Parallelism,
 ) -> Result<FeedSet, PipelineError> {
+    try_collect_all_observed(world, config, plan, par, &Obs::off())
+}
+
+/// [`try_collect_all_faulted`] with observability.
+///
+/// Per-feed record/domain counters, fault-decision counters and the
+/// domains-per-record histogram land in `obs.metrics` (worker shards
+/// merged in event-range order, so totals match a serial pass);
+/// per-feed outage gaps are recorded as trace events in feed order.
+/// With `Obs::off()` the output — and every byte the pipeline later
+/// renders — is identical to the unobserved entry points.
+pub fn try_collect_all_observed(
+    world: &MailWorld,
+    config: &FeedsConfig,
+    plan: &FaultPlan,
+    par: &Parallelism,
+    obs: &Obs,
+) -> Result<FeedSet, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
     plan.profile()
         .validate()
@@ -77,22 +95,55 @@ pub fn try_collect_all_faulted(
         MemberSpec::Bot { config: config.bot },
         MemberSpec::Hyb { config: config.hyb },
     ];
-    let content = collect_content(world, &members, plan, par);
+    let content = {
+        let _span = obs.span("collect/content");
+        collect_content(world, &members, plan, par, obs)
+    };
     type Task<'w> = Box<dyn FnOnce() -> Feed + Send + 'w>;
-    let standalone = par.par_run::<Feed, Task<'_>>(vec![
-        Box::new(|| collect_hu(world, plan)),
-        Box::new(|| collect_blacklist(world, &config.dbl, FeedId::Dbl, plan)),
-        Box::new(|| collect_blacklist(world, &config.uribl, FeedId::Uribl, plan)),
-    ]);
+    let standalone = {
+        let _span = obs.span("collect/standalone");
+        // Counter adds are saturating (commutative + associative), so
+        // concurrent absorption from these three tasks cannot change
+        // the totals.
+        par.par_run::<Feed, Task<'_>>(vec![
+            Box::new(|| collect_hu_observed(world, plan, obs)),
+            Box::new(|| collect_blacklist_observed(world, &config.dbl, FeedId::Dbl, plan, obs)),
+            Box::new(|| collect_blacklist_observed(world, &config.uribl, FeedId::Uribl, plan, obs)),
+        ])
+    };
     let mut feeds: Vec<Feed> = standalone.into_iter().chain(content).collect();
     if !plan.is_off() {
         for feed in &mut feeds {
             for window in plan.outage_windows(feed.id.label()) {
                 feed.note_gap(window);
+                obs.trace.event(
+                    "gap",
+                    &[
+                        ("feed", feed.id.label()),
+                        ("start", &window.start.0.to_string()),
+                        ("end", &window.end.0.to_string()),
+                    ],
+                );
+                obs.metrics.add("collect/gaps", 1);
             }
         }
     }
-    Ok(FeedSet::new(feeds))
+    let set = FeedSet::new(feeds);
+    if obs.metrics.is_on() {
+        for id in FeedId::ALL {
+            let feed = set.get(id);
+            let label = id.label();
+            if let Some(samples) = feed.samples {
+                obs.metrics
+                    .add(&format!("collect/samples/{label}"), samples);
+            }
+            obs.metrics.add(
+                &format!("collect/unique_domains/{label}"),
+                feed.unique_domains() as u64,
+            );
+        }
+    }
+    Ok(set)
 }
 
 #[cfg(test)]

@@ -25,18 +25,29 @@
 //!   ([`fault::FaultPlan`]): collector outages, record loss, crawler
 //!   timeouts and blacklist snapshot delays, every decision a pure
 //!   function of `(seed, stage, event index)`.
+//! * [`metrics`] / [`trace`] / [`obs`] — deterministic observability:
+//!   saturating counters and fixed-bucket histograms
+//!   ([`metrics::MetricsRegistry`]) plus nested stage spans
+//!   ([`trace::Tracer`]), bundled into one [`obs::Obs`] handle whose
+//!   deterministic views are bit-identical at any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod metrics;
+pub mod obs;
 pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use fault::{FaultPlan, FaultProfile, Outage, RecordFault};
+pub use metrics::{Histogram, MetricsRegistry, MetricsShard};
+pub use obs::Obs;
 pub use par::Parallelism;
 pub use queue::EventQueue;
 pub use rng::RngStream;
 pub use time::{SimTime, TimeWindow, DAY, HOUR, MINUTE};
+pub use trace::{SpanTiming, Tracer};

@@ -1,0 +1,144 @@
+//! Property-based tests of the metrics layer's merge algebra: bucket
+//! edges belong to the bucket they bound, shard merges commute and
+//! associate (the precondition for worker-count-invariant totals), and
+//! counters saturate instead of wrapping near `u64::MAX`.
+
+use proptest::prelude::*;
+use taster_sim::{Histogram, MetricsShard};
+
+/// A small fixed name pool so generated shards collide on keys (a
+/// merge over disjoint keys would test nothing).
+const NAMES: [&str; 4] = ["collect/events", "crawl/attempts", "fault/dropped", "x"];
+
+/// Strictly increasing bucket bounds, 1..=6 edges.
+fn bounds() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000, 1..6).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// One shard as a list of counter adds and histogram observations over
+/// the shared name pool and a fixed bucket layout.
+fn ops() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0usize..NAMES.len(), 0u64..1_000_000), 0..24)
+}
+
+fn build_shard(ops: &[(usize, u64)], hist_bounds: &[u64]) -> MetricsShard {
+    let mut shard = MetricsShard::new();
+    for &(name, value) in ops {
+        shard.add(NAMES[name], value);
+        shard.observe("hist", hist_bounds, value % 1_000);
+    }
+    shard
+}
+
+fn assert_shards_agree(a: &MetricsShard, b: &MetricsShard) -> Result<(), TestCaseError> {
+    for name in NAMES {
+        prop_assert_eq!(a.counter(name), b.counter(name), "counter {} differs", name);
+    }
+    prop_assert_eq!(a.histogram("hist"), b.histogram("hist"));
+    Ok(())
+}
+
+proptest! {
+    // A value on a bucket edge lands in the bucket it bounds
+    // (`v <= bound`), values between edges land one bucket up, and
+    // values above the last edge land in the overflow bucket.
+    #[test]
+    fn bucket_index_is_the_first_bound_at_or_above(bounds in bounds(), value in 0u64..2_000) {
+        let h = Histogram::new(&bounds);
+        let i = h.bucket_index(value);
+        if i < bounds.len() {
+            prop_assert!(value <= bounds[i], "value above its bucket's bound");
+        } else {
+            prop_assert!(value > *bounds.last().unwrap(), "in-range value overflowed");
+        }
+        if i > 0 {
+            prop_assert!(value > bounds[i - 1], "value at or below the previous bound");
+        }
+    }
+
+    // Observing each edge value increments exactly that edge's bucket.
+    #[test]
+    fn edge_values_fill_their_own_bucket(bounds in bounds()) {
+        let mut h = Histogram::new(&bounds);
+        for &edge in &bounds {
+            h.observe(edge);
+        }
+        let expected: Vec<u64> = (0..=bounds.len())
+            .map(|i| u64::from(i < bounds.len()))
+            .collect();
+        prop_assert_eq!(h.counts(), &expected[..]);
+        prop_assert_eq!(h.total(), bounds.len() as u64);
+    }
+
+    // Shard merge is commutative: a⊕b == b⊕a for counters and
+    // histograms alike. This is what lets worker shards merge in any
+    // order without changing the registry totals.
+    #[test]
+    fn shard_merge_commutes(a in ops(), b in ops(), bounds in bounds()) {
+        let (sa, sb) = (build_shard(&a, &bounds), build_shard(&b, &bounds));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_shards_agree(&ab, &ba)?;
+    }
+
+    // ... and associative: (a⊕b)⊕c == a⊕(b⊕c), so any shard tree —
+    // sequential fold or pairwise reduction — lands on the same totals.
+    #[test]
+    fn shard_merge_associates(a in ops(), b in ops(), c in ops(), bounds in bounds()) {
+        let (sa, sb, sc) = (
+            build_shard(&a, &bounds),
+            build_shard(&b, &bounds),
+            build_shard(&c, &bounds),
+        );
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        assert_shards_agree(&left, &right)?;
+    }
+
+    // Counter adds near u64::MAX clamp to u64::MAX — they never wrap
+    // to a small value, and the clamp composes with merging.
+    #[test]
+    fn counter_adds_saturate_not_wrap(
+        start in (u64::MAX - 1_000)..=u64::MAX,
+        deltas in proptest::collection::vec(0u64..2_000, 0..8),
+    ) {
+        let mut shard = MetricsShard::new();
+        shard.add("near_max", start);
+        let mut expected = start;
+        for &d in &deltas {
+            shard.add("near_max", d);
+            expected = expected.saturating_add(d);
+        }
+        prop_assert_eq!(shard.counter("near_max"), expected);
+        prop_assert!(shard.counter("near_max") >= start, "counter wrapped");
+
+        // Merging two near-max shards saturates the same way.
+        let mut other = MetricsShard::new();
+        other.add("near_max", start);
+        shard.merge(&other);
+        prop_assert_eq!(shard.counter("near_max"), expected.saturating_add(start));
+    }
+
+    // Histogram bucket counts saturate bucket-wise on merge.
+    #[test]
+    fn histogram_merge_saturates(n in 1u64..4) {
+        let mut a = Histogram::new(&[10]);
+        a.observe_n(5, u64::MAX - 1);
+        let mut b = Histogram::new(&[10]);
+        b.observe_n(5, n);
+        a.merge(&b);
+        prop_assert_eq!(a.counts()[0], u64::MAX);
+        prop_assert_eq!(a.total(), u64::MAX);
+    }
+}

@@ -8,6 +8,7 @@
 //! taster summary     [--scale S] [--seed N]                   world statistics only
 //! taster degradation [--scale S] [--seed N]                   canonical fault-profile sweep
 //! taster bench-json  [--scale S] [--seed N] [--out PATH]      pipeline scaling benchmark
+//! taster profile     [--scale S] [--seed N] [--out PATH]      per-stage observability profile
 //! ```
 //!
 //! Sections for `report`: `table1 table2 table3 fig1 … fig12 selection all`
@@ -31,12 +32,35 @@
 //! `bench-json` times feed collection, crawl/classification, and each
 //! analysis stage (coverage, purity, proportionality, timing) at 1,
 //! 2, 4 and 8 workers and writes the timings (plus speedups relative
-//! to one worker) as JSON, by default to `BENCH_pipeline.json`.
+//! to one worker) as JSON, by default to `BENCH_pipeline.json`. Every
+//! number is read back from the observability layer's metrics
+//! registry — the same clock `taster profile` prints — so the bench
+//! and the profile can never disagree about a stage.
+//!
+//! Observability flags:
+//!
+//! * `--metrics` (`report`, `profile`) appends a deterministic
+//!   "Pipeline metrics" section — counters and histograms, sorted,
+//!   wall times excluded — to the report. Bit-identical at any
+//!   `--threads` count.
+//! * `--trace PATH` (`report`, `profile`) writes the span/event log
+//!   as JSON lines. Spans carry wall-clock nanoseconds, so the file
+//!   differs run to run by design; everything else in it is
+//!   deterministic.
+//! * `taster profile` runs one fully-observed experiment and prints
+//!   the deterministic span tree + metrics followed by a per-stage
+//!   self-time table, then writes `BENCH_pipeline.json`-compatible
+//!   stage timings to `--out`. `--overhead-gate FRAC` additionally
+//!   measures instrumented vs. uninstrumented collection and exits
+//!   non-zero when the metrics overhead exceeds `FRAC` (the CI gate).
+//!
+//! With `--metrics` and `--trace` both absent, every command's output
+//! is byte-identical to a build without the observability layer.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use taster::analysis::classify::Category;
-use taster::core::{ablation, degradation, sweep, Experiment, Scenario};
+use taster::core::{ablation, degradation, profile, sweep, Experiment, Scenario};
 use taster::sim::FaultProfile;
 
 struct Args {
@@ -49,6 +73,9 @@ struct Args {
     threads: Option<usize>,
     faults: String,
     out: String,
+    metrics: bool,
+    trace: Option<String>,
+    overhead_gate: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +91,9 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         faults: "off".to_string(),
         out: "BENCH_pipeline.json".to_string(),
+        metrics: false,
+        trace: None,
+        overhead_gate: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -104,6 +134,21 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out.out = args.next().ok_or("--out needs a value")?;
             }
+            "--metrics" => out.metrics = true,
+            "--trace" => {
+                out.trace = Some(args.next().ok_or("--trace needs a path")?);
+            }
+            "--overhead-gate" => {
+                let frac: f64 = args
+                    .next()
+                    .ok_or("--overhead-gate needs a fraction")?
+                    .parse()
+                    .map_err(|e| format!("bad --overhead-gate: {e}"))?;
+                if !frac.is_finite() || frac <= 0.0 {
+                    return Err("--overhead-gate must be positive".to_string());
+                }
+                out.overhead_gate = Some(frac);
+            }
             other if !other.starts_with('-') => out.positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -112,8 +157,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: taster <report|ablate|sweep|summary|degradation|bench-json> \
-     [--scale S] [--seed N] [--threads N] [--section NAME] [--faults PROFILE] [--out PATH]"
+    "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile> \
+     [--scale S] [--seed N] [--threads N] [--section NAME] [--faults PROFILE] [--out PATH] \
+     [--metrics] [--trace PATH] [--overhead-gate FRAC]"
         .to_string()
 }
 
@@ -142,17 +188,27 @@ fn main() {
     scenario = scenario.with_faults(profile);
 
     match args.command.as_str() {
-        "report" => report(&scenario, &args.section, &args.format),
+        "report" => report(&scenario, &args),
         "ablate" => ablate(&scenario),
         "sweep" => do_sweep(&scenario, args.positional.first().map(|s| s.as_str())),
         "summary" => summary(&scenario),
         "degradation" => degradation_cmd(&scenario),
         "bench-json" => bench_json(&scenario, &args.out),
+        "profile" => profile_cmd(&scenario, &args),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             std::process::exit(2);
         }
     }
+}
+
+/// Writes the trace JSONL of an observed run, exiting on I/O failure.
+fn write_trace(exp: &Experiment, path: &str) {
+    if let Err(e) = std::fs::write(path, exp.obs.trace.to_jsonl()) {
+        eprintln!("cannot write trace {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote trace {path}");
 }
 
 fn degradation_cmd(scenario: &Scenario) {
@@ -169,15 +225,20 @@ fn degradation_cmd(scenario: &Scenario) {
     }
 }
 
-fn report(scenario: &Scenario, section: &str, format: &str) {
+fn report(scenario: &Scenario, args: &Args) {
+    let (section, format) = (args.section.as_str(), args.format.as_str());
     eprintln!("running {}", scenario.name);
-    let e = match Experiment::try_run(scenario) {
+    let obs = taster::sim::Obs::with(args.metrics, args.trace.is_some());
+    let e = match Experiment::try_run_observed(scenario, obs) {
         Ok(e) => e,
         Err(err) => {
             eprintln!("cannot run scenario: {err}");
             std::process::exit(1);
         }
     };
+    if let Some(path) = &args.trace {
+        write_trace(&e, path);
+    }
     if format == "csv" {
         match taster::core::export::CsvExport::new(&e).section(section) {
             Some(csv) => {
@@ -227,6 +288,61 @@ fn report(scenario: &Scenario, section: &str, format: &str) {
         }
     };
     println!("{text}");
+    // `full_report` already appends the metrics section; single
+    // sections get it appended here so `--metrics` always surfaces.
+    if args.metrics && section != "all" {
+        println!("{}", r.metrics_section());
+    }
+}
+
+/// One fully-observed run: deterministic span tree + metrics, then the
+/// wall-clock self-time table, then `BENCH_pipeline.json`-compatible
+/// stage timings to `--out`. With `--overhead-gate FRAC`, also
+/// measures instrumented vs. uninstrumented collection and exits 1
+/// when the overhead fraction exceeds the gate.
+fn profile_cmd(scenario: &Scenario, args: &Args) {
+    eprintln!("profiling {}", scenario.name);
+    let e = match profile::profile_scenario(scenario) {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("cannot run scenario: {err}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &args.trace {
+        write_trace(&e, path);
+    }
+    print!("{}", profile::deterministic_profile(&e));
+    print!("{}", profile::render_profile_tree(&e));
+    let row = profile::StageBench::from_registry(&e.obs, e.scenario.parallelism.workers());
+    let json = profile::bench_json_string(scenario, 1, &[row]);
+    if let Err(err) = std::fs::write(&args.out, &json) {
+        eprintln!("cannot write {}: {err}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+    if let Some(gate) = args.overhead_gate {
+        let (off, on) = match profile::collect_overhead(scenario, 3) {
+            Ok(pair) => pair,
+            Err(err) => {
+                eprintln!("overhead measurement failed: {err}");
+                std::process::exit(1);
+            }
+        };
+        let overhead = if off > 0.0 { on / off - 1.0 } else { 0.0 };
+        eprintln!(
+            "collect overhead: off {off:.4}s, instrumented {on:.4}s ({:+.2}%)",
+            overhead * 100.0
+        );
+        if overhead > gate {
+            eprintln!(
+                "metrics overhead {:.2}% exceeds gate {:.2}%",
+                overhead * 100.0,
+                gate * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn ablate(scenario: &Scenario) {
@@ -305,136 +421,26 @@ fn do_sweep(scenario: &Scenario, which: Option<&str>) {
     }
 }
 
-/// Per-worker-count best-of-reps stage timings, seconds.
-#[derive(Clone, Copy)]
-struct StageTimes {
-    workers: usize,
-    collect: f64,
-    classify: f64,
-    collect_faulted: f64,
-    classify_faulted: f64,
-    coverage: f64,
-    purity: f64,
-    proportionality: f64,
-    timing: f64,
-}
-
-impl StageTimes {
-    /// Total analyze-stage wall time (everything after classification).
-    fn analyze(&self) -> f64 {
-        self.coverage + self.purity + self.proportionality + self.timing
-    }
-}
-
 /// Times feed collection, crawl/classification (clean and under the
 /// `lossy-feeds`/`flaky-crawler` fault profiles), and the four
 /// analysis stages (coverage, purity, proportionality, timing) at
 /// 1/2/4/8 workers over one shared world and writes the results as
-/// JSON. Every timed run produces bit-identical output; only
-/// wall-clock varies.
+/// JSON. Every number is sourced from the observability layer's
+/// metrics registry ([`profile::bench_stages`]); every timed run
+/// produces bit-identical output, only wall-clock varies.
 fn bench_json(scenario: &Scenario, path: &str) {
-    use std::fmt::Write as _;
-    use std::time::Instant;
-    use taster::analysis::coverage::{
-        coverage_table_par, exclusive_share_par, pairwise_overlap_par,
-    };
-    use taster::analysis::proportionality::{kendall_matrix_par, variation_matrix_par};
-    use taster::analysis::purity::purity_par;
-    use taster::analysis::timing::{
-        duration_error_par, first_appearance_par, last_appearance_par, FIG9_FEEDS, HONEYPOT_FEEDS,
-    };
-
     eprintln!("building world for {}", scenario.name);
     let world = sweep::build_world(scenario);
-    let oracle = &world.provider.oracle;
-    let lossy = taster::sim::FaultPlan::new(FaultProfile::lossy_feeds(), scenario.seed);
-    let flaky = taster::sim::FaultPlan::new(FaultProfile::flaky_crawler(), scenario.seed);
     let reps = 3usize;
-    let mut rows: Vec<StageTimes> = Vec::new();
+    let mut rows: Vec<profile::StageBench> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let par = taster::sim::Parallelism::fixed(workers);
-        let mut best = StageTimes {
-            workers,
-            collect: f64::INFINITY,
-            classify: f64::INFINITY,
-            collect_faulted: f64::INFINITY,
-            classify_faulted: f64::INFINITY,
-            coverage: f64::INFINITY,
-            purity: f64::INFINITY,
-            proportionality: f64::INFINITY,
-            timing: f64::INFINITY,
+        let best = match profile::bench_stages(&world, scenario, workers, reps) {
+            Ok(row) => row,
+            Err(e) => {
+                eprintln!("bench failed at {workers} workers: {e}");
+                std::process::exit(1);
+            }
         };
-        for _ in 0..reps {
-            let t0 = Instant::now();
-            let feeds = taster::feeds::collect_all_with(&world, &scenario.feeds, &par);
-            best.collect = best.collect.min(t0.elapsed().as_secs_f64());
-            let t0 = Instant::now();
-            let classified = taster::analysis::Classified::build_with(
-                &world.truth,
-                &feeds,
-                scenario.classify,
-                &par,
-            );
-            best.classify = best.classify.min(t0.elapsed().as_secs_f64());
-
-            let t0 = Instant::now();
-            let faulted_feeds =
-                match taster::feeds::try_collect_all_faulted(&world, &scenario.feeds, &lossy, &par)
-                {
-                    Ok(f) => f,
-                    Err(e) => {
-                        eprintln!("faulted collection failed: {e}");
-                        std::process::exit(1);
-                    }
-                };
-            best.collect_faulted = best.collect_faulted.min(t0.elapsed().as_secs_f64());
-            let t0 = Instant::now();
-            std::hint::black_box(taster::analysis::Classified::build_faulted(
-                &world.truth,
-                &faulted_feeds,
-                scenario.classify,
-                &flaky,
-                &par,
-            ));
-            best.classify_faulted = best.classify_faulted.min(t0.elapsed().as_secs_f64());
-
-            let t0 = Instant::now();
-            std::hint::black_box(coverage_table_par(&classified, &par));
-            for cat in [Category::All, Category::Live, Category::Tagged] {
-                std::hint::black_box(pairwise_overlap_par(&classified, cat, &par));
-            }
-            std::hint::black_box(exclusive_share_par(&classified, Category::Live, &par));
-            best.coverage = best.coverage.min(t0.elapsed().as_secs_f64());
-
-            let t0 = Instant::now();
-            std::hint::black_box(purity_par(&feeds, &classified, &par));
-            best.purity = best.purity.min(t0.elapsed().as_secs_f64());
-
-            let t0 = Instant::now();
-            std::hint::black_box(variation_matrix_par(&feeds, &classified, oracle, &par));
-            std::hint::black_box(kendall_matrix_par(&feeds, &classified, oracle, &par));
-            best.proportionality = best.proportionality.min(t0.elapsed().as_secs_f64());
-
-            let t0 = Instant::now();
-            for refs in [&FIG9_FEEDS[..], &HONEYPOT_FEEDS[..]] {
-                std::hint::black_box(first_appearance_par(&feeds, &classified, refs, refs, &par));
-            }
-            std::hint::black_box(last_appearance_par(
-                &feeds,
-                &classified,
-                &HONEYPOT_FEEDS,
-                &HONEYPOT_FEEDS,
-                &par,
-            ));
-            std::hint::black_box(duration_error_par(
-                &feeds,
-                &classified,
-                &HONEYPOT_FEEDS,
-                &HONEYPOT_FEEDS,
-                &par,
-            ));
-            best.timing = best.timing.min(t0.elapsed().as_secs_f64());
-        }
         eprintln!(
             "workers {workers}: collect {:.3}s classify {:.3}s \
              faulted collect {:.3}s classify {:.3}s analyze {:.4}s \
@@ -451,54 +457,7 @@ fn bench_json(scenario: &Scenario, path: &str) {
         );
         rows.push(best);
     }
-
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let base = rows[0];
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"pipeline_scaling\",");
-    let _ = writeln!(json, "  \"scenario\": \"{}\",", scenario.name);
-    let _ = writeln!(json, "  \"seed\": {},", scenario.seed);
-    let _ = writeln!(json, "  \"available_cores\": {cores},");
-    let _ = writeln!(json, "  \"reps\": {reps},");
-    json.push_str("  \"runs\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"workers\": {}, \
-             \"collect_secs\": {:.6}, \
-             \"collect_speedup\": {:.3}, \
-             \"classify_secs\": {:.6}, \
-             \"classify_speedup\": {:.3}, \
-             \"collect_faulted_secs\": {:.6}, \
-             \"classify_faulted_secs\": {:.6}, \
-             \"fault_overhead\": {:.3}, \
-             \"coverage_secs\": {:.6}, \
-             \"purity_secs\": {:.6}, \
-             \"proportionality_secs\": {:.6}, \
-             \"timing_secs\": {:.6}, \
-             \"analyze_secs\": {:.6}, \
-             \"analyze_speedup\": {:.3}}}{comma}",
-            row.workers,
-            row.collect,
-            base.collect / row.collect,
-            row.classify,
-            base.classify / row.classify,
-            row.collect_faulted,
-            row.classify_faulted,
-            (row.collect_faulted + row.classify_faulted) / (row.collect + row.classify),
-            row.coverage,
-            row.purity,
-            row.proportionality,
-            row.timing,
-            row.analyze(),
-            base.analyze() / row.analyze(),
-        );
-    }
-    json.push_str("  ]\n}\n");
+    let json = profile::bench_json_string(scenario, reps, &rows);
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);

@@ -1,0 +1,148 @@
+//! Golden-report regression harness.
+//!
+//! Every user-visible rendering — the full analyze report (with the
+//! metrics section), the degradation sweep, and the deterministic
+//! profile view — is snapshotted under `tests/golden/` for two seeds
+//! and three fault profiles. The pipeline is a pure function of
+//! `(scenario, seed)`, so these bytes must never drift by accident.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```text
+//! TASTER_BLESS=1 cargo test --test golden_reports
+//! ```
+//!
+//! On mismatch the failure message names the first divergent line of
+//! actual vs. expected, so a drifted table is locatable without a
+//! manual diff.
+
+use taster::core::{degradation, profile, Experiment, Scenario};
+use taster::sim::{FaultProfile, Obs};
+
+const SEEDS: [u64; 2] = [11, 424_242];
+const SCALE: f64 = 0.02;
+
+/// `(suffix, profile)` per golden fault variant.
+fn fault_variants() -> Vec<(&'static str, FaultProfile)> {
+    vec![
+        ("clean", FaultProfile::off()),
+        ("flaky", FaultProfile::flaky_crawler()),
+        ("blackout", FaultProfile::blackout()),
+    ]
+}
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::default_paper()
+        .with_scale(SCALE)
+        .with_seed(seed)
+        .with_threads(2)
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the checked-in snapshot `name`, or
+/// rewrites the snapshot when `TASTER_BLESS=1`. Failures report the
+/// first divergent line.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("TASTER_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {name} ({e}); run `TASTER_BLESS=1 cargo test --test golden_reports` \
+             to create it"
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        if a != e {
+            panic!(
+                "golden {name} diverges at line {}:\n  expected: {e}\n  actual:   {a}",
+                i + 1
+            );
+        }
+    }
+    panic!(
+        "golden {name} diverges in length: expected {} lines, got {}",
+        expected.lines().count(),
+        actual.lines().count()
+    );
+}
+
+#[test]
+fn analyze_reports_match_goldens() {
+    for seed in SEEDS {
+        for (suffix, profile) in fault_variants() {
+            let s = scenario(seed).with_faults(profile);
+            let exp =
+                Experiment::try_run_observed(&s, Obs::with(true, false)).expect("scenario runs");
+            check_golden(
+                &format!("analyze_s{seed}_{suffix}.txt"),
+                &exp.report().full_report(),
+            );
+        }
+    }
+}
+
+#[test]
+fn degradation_sweeps_match_goldens() {
+    // The sweep runs every canonical profile itself, so one golden per
+    // seed covers the whole fault matrix.
+    for seed in SEEDS {
+        let s = scenario(seed);
+        let sweep = degradation::degradation_sweep(&s).expect("sweep runs");
+        check_golden(
+            &format!("degradation_s{seed}.txt"),
+            &degradation::render_degradation(&s.name, &sweep),
+        );
+    }
+}
+
+#[test]
+fn profile_views_match_goldens() {
+    for seed in SEEDS {
+        for (suffix, fault) in fault_variants() {
+            let s = scenario(seed).with_faults(fault);
+            let exp = profile::profile_scenario(&s).expect("profile runs");
+            check_golden(
+                &format!("profile_s{seed}_{suffix}.txt"),
+                &profile::deterministic_profile(&exp),
+            );
+        }
+    }
+}
+
+/// Every canonical stage key that appears in the report's metrics
+/// section must appear as `<stage>_secs` in `BENCH_pipeline.json` —
+/// both are sourced from the same registry, and this pins the
+/// contract that the bench JSON can never silently lose a stage.
+#[test]
+fn report_stage_keys_all_reach_bench_json() {
+    let exp = profile::profile_scenario(&scenario(SEEDS[0])).expect("profile runs");
+    let metrics = exp.report().metrics_section();
+    let row = profile::StageBench::from_registry(&exp.obs, 2);
+    let json = profile::bench_json_string(&exp.scenario, 1, &[row]);
+    for stage in taster::sim::metrics::STAGE_KEYS {
+        assert!(
+            metrics.contains(&format!("{stage}/")),
+            "stage {stage} has no counter in the report metrics section:\n{metrics}"
+        );
+        assert!(
+            exp.obs.metrics.timing(stage).is_some(),
+            "stage {stage} has no registry timing"
+        );
+        assert!(
+            json.contains(&format!("\"{stage}_secs\"")),
+            "stage {stage} missing from bench JSON:\n{json}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! The observability layer must not weaken the determinism contract:
+//! with tracing and metrics on, the *deterministic* views — the span
+//! tree (no wall times) and the metrics render — are byte-identical
+//! at 1, 2 and 8 workers, for clean and faulted runs alike. Worker
+//! shards merge in event-range order and every aggregate is
+//! order-free, so the worker count can change only wall-clock.
+
+use taster::core::{profile, Experiment, Scenario};
+use taster::sim::{FaultProfile, Obs};
+
+const SEED: u64 = 424_242;
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+fn scenario(workers: usize) -> Scenario {
+    Scenario::default_paper()
+        .with_scale(0.02)
+        .with_seed(SEED)
+        .with_threads(workers)
+}
+
+#[test]
+fn deterministic_trace_and_metrics_are_worker_count_invariant() {
+    let serial = profile::profile_scenario(&scenario(1)).expect("serial profile");
+    let serial_view = profile::deterministic_profile(&serial);
+    let serial_metrics = serial.obs.metrics.render();
+    assert!(!serial_metrics.is_empty(), "metrics recorded");
+    for workers in WORKERS {
+        let parallel = profile::profile_scenario(&scenario(workers)).expect("parallel profile");
+        assert_eq!(
+            serial_view,
+            profile::deterministic_profile(&parallel),
+            "deterministic profile differs at {workers} workers"
+        );
+        assert_eq!(
+            serial_metrics,
+            parallel.obs.metrics.render(),
+            "metrics render differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn faulted_trace_and_metrics_are_worker_count_invariant() {
+    // Fault-decision counters (drops, duplicates, outage skips) come
+    // from per-worker shards; this pins that their totals — and the
+    // gap events in the trace — cannot depend on sharding.
+    let faulted = |w: usize| scenario(w).with_faults(FaultProfile::lossy_feeds());
+    let serial = profile::profile_scenario(&faulted(1)).expect("serial profile");
+    let serial_view = profile::deterministic_profile(&serial);
+    assert!(
+        serial.obs.metrics.counter("collect/fault/dropped") > 0,
+        "lossy-feeds drops records"
+    );
+    for workers in WORKERS {
+        let parallel = profile::profile_scenario(&faulted(workers)).expect("parallel profile");
+        assert_eq!(
+            serial_view,
+            profile::deterministic_profile(&parallel),
+            "faulted deterministic profile differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn metrics_report_section_is_worker_count_invariant() {
+    // The user-facing surface: `report --metrics` bytes, including the
+    // appended metrics section, cannot depend on `--threads`.
+    let run = |workers: usize| {
+        let exp = Experiment::try_run_observed(&scenario(workers), Obs::with(true, false))
+            .expect("observed run");
+        exp.report().full_report()
+    };
+    let serial = run(1);
+    assert!(serial.contains("== Pipeline metrics"), "section present");
+    for workers in WORKERS {
+        assert_eq!(
+            serial,
+            run(workers),
+            "observed report differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn trace_jsonl_differs_only_in_wall_times() {
+    // The JSONL log keeps wall_ns (by design non-deterministic); with
+    // wall_ns stripped, two runs at different worker counts agree.
+    let strip = |jsonl: &str| -> String {
+        jsonl
+            .lines()
+            .map(|line| match line.find(",\"wall_ns\":") {
+                Some(i) => format!("{}}}", &line[..i]),
+                None => line.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = profile::profile_scenario(&scenario(1)).expect("profile");
+    let b = profile::profile_scenario(&scenario(8)).expect("profile");
+    assert_eq!(
+        strip(&a.obs.trace.to_jsonl()),
+        strip(&b.obs.trace.to_jsonl())
+    );
+}
