@@ -118,7 +118,7 @@ mod tests {
     fn setup() -> (MailWorld, Classified) {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 101).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
         (world, c)
@@ -130,7 +130,7 @@ mod tests {
         // affiliate set — every bar must be exactly zero, never NaN.
         use taster_feeds::Feed;
         let truth = GroundTruth::generate(&EcosystemConfig::default().with_scale(0.01), 5).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.01));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.01)).unwrap();
         let feeds =
             taster_feeds::FeedSet::new(FeedId::ALL.iter().map(|&id| Feed::new(id, true)).collect());
         let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());

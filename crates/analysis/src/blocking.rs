@@ -136,7 +136,7 @@ mod tests {
     fn setup() -> (MailWorld, FeedSet, Classified) {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 131).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
         (world, feeds, c)

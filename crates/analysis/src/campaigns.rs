@@ -116,7 +116,7 @@ mod tests {
     fn setup() -> (MailWorld, FeedSet) {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 139).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         (world, feeds)
     }

@@ -260,7 +260,7 @@ mod tests {
     fn classified(restrict: bool) -> (MailWorld, FeedSet, Classified) {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 71).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let c = Classified::build(
             &world.truth,
@@ -306,7 +306,7 @@ mod tests {
     fn parallel_build_matches_serial() {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 71).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let serial = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
         for workers in [2, 8] {

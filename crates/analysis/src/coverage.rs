@@ -157,7 +157,7 @@ mod tests {
     fn classified() -> Classified {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 83).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         Classified::build(&world.truth, &feeds, ClassifyOptions::default())
     }

@@ -196,7 +196,7 @@ mod tests {
     fn world() -> MailWorld {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 83).unwrap();
-        MailWorld::build(truth, MailConfig::default().with_scale(0.03))
+        MailWorld::build(truth, MailConfig::default().with_scale(0.03)).unwrap()
     }
 
     fn run(world: &MailWorld, profile: FaultProfile) -> RunSnapshot {

@@ -59,7 +59,7 @@ mod tests {
     fn rows() -> Vec<GranularityRow> {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 149).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         granularity_study(&feeds)
     }

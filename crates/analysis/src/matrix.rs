@@ -72,6 +72,7 @@ impl<T: Copy> PairwiseMatrix<T> {
     pub fn get(&self, row: FeedId, col: FeedId) -> T {
         match self.try_get(row, col) {
             Ok(v) => v,
+            // lint:allow(no-panic) -- documented panicking accessor; the fallible path is try_get
             Err(e) => panic!("{e}"),
         }
     }
@@ -87,6 +88,7 @@ impl<T: Copy> PairwiseMatrix<T> {
     pub fn get_extra(&self, row: FeedId) -> T {
         match self.try_get_extra(row) {
             Ok(v) => v,
+            // lint:allow(no-panic) -- documented panicking accessor; the fallible path is try_get_extra
             Err(e) => panic!("{e}"),
         }
     }

@@ -17,7 +17,7 @@
 
 use crate::classify::{Category, Classified};
 use crate::matrix::PairwiseMatrix;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use taster_domain::DomainId;
 use taster_feeds::{FeedId, FeedSet};
 use taster_sim::Parallelism;
@@ -30,7 +30,7 @@ pub fn tagged_distribution(
     classified: &Classified,
     feed: FeedId,
 ) -> EmpiricalDist {
-    let tagged_union: HashSet<u32> = classified
+    let tagged_union: BTreeSet<u32> = classified
         .union(&FeedId::ALL, Category::Tagged)
         .iter()
         .map(|d| d.0)
@@ -43,7 +43,7 @@ pub fn tagged_distribution(
 
 /// The oracle's distribution over the same tagged-domain universe.
 pub fn mail_distribution(classified: &Classified, oracle: &EmpiricalDist) -> EmpiricalDist {
-    let tagged_union: HashSet<u32> = classified
+    let tagged_union: BTreeSet<u32> = classified
         .union(&FeedId::ALL, Category::Tagged)
         .iter()
         .map(|d| d.0)
@@ -92,6 +92,7 @@ impl TaggedColumns {
         FeedId::WITH_VOLUME
             .iter()
             .position(|&f| f == id)
+            // lint:allow(no-panic) -- documented contract: callers only pass members of WITH_VOLUME
             .unwrap_or_else(|| panic!("{id} reports no volume"))
     }
 
@@ -209,7 +210,7 @@ mod tests {
     fn setup() -> (MailWorld, FeedSet, Classified) {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 103).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
         (world, feeds, c)

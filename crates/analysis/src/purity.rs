@@ -69,7 +69,7 @@ mod tests {
     fn rows() -> Vec<PurityRow> {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 79).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
         purity(&feeds, &c)
@@ -124,7 +124,7 @@ mod tests {
     fn parallel_purity_matches_serial() {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 79).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
         let serial = purity(&feeds, &c);

@@ -145,7 +145,7 @@ mod tests {
     fn classified() -> Classified {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 137).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.05)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         Classified::build(&world.truth, &feeds, ClassifyOptions::default())
     }

@@ -55,7 +55,7 @@ mod tests {
     fn summary_has_ten_rows_in_order() {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 73).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let rows = feed_summary(&feeds);
         assert_eq!(rows.len(), 10);

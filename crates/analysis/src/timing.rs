@@ -236,7 +236,7 @@ mod tests {
     fn setup() -> (FeedSet, Classified) {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.15), 107).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.15));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.15)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
         (feeds, c)

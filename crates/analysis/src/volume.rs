@@ -71,7 +71,7 @@ mod tests {
     fn setup() -> (MailWorld, Classified) {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 89).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.03)).unwrap();
         let feeds = collect_all(&world, &FeedsConfig::default());
         let c = Classified::build(&world.truth, &feeds, ClassifyOptions::default());
         (world, c)

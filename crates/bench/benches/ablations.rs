@@ -2,6 +2,9 @@
 //! DESIGN.md calls out. Each target runs a pair of scenarios
 //! differing in one mechanism.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use taster_bench::bench_scenario;

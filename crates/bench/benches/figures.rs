@@ -1,5 +1,8 @@
 //! Benchmarks regenerating every figure of the paper's evaluation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use taster_analysis::classify::Category;

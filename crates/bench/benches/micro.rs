@@ -1,6 +1,9 @@
 //! Micro-benchmarks of the toolkit's hot paths: statistics kernels,
 //! domain parsing/interning, URL extraction and message rendering.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::RngExt;
 use std::hint::black_box;

@@ -2,6 +2,9 @@
 //! mail layer, feed collection, crawling/classification, and the full
 //! experiment.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use taster_analysis::classify::{Classified, ClassifyOptions};
@@ -22,14 +25,14 @@ fn mail_world_build(c: &mut Criterion) {
     let s = bench_scenario();
     let truth = GroundTruth::generate(&s.ecosystem, s.seed).unwrap();
     c.bench_function("pipeline/mail_world", |b| {
-        b.iter(|| black_box(MailWorld::build(truth.clone(), s.mail.clone())))
+        b.iter(|| black_box(MailWorld::build(truth.clone(), s.mail.clone()).unwrap()))
     });
 }
 
 fn feed_collection(c: &mut Criterion) {
     let s = bench_scenario();
     let truth = GroundTruth::generate(&s.ecosystem, s.seed).unwrap();
-    let world = MailWorld::build(truth, s.mail.clone());
+    let world = MailWorld::build(truth, s.mail.clone()).unwrap();
     c.bench_function("pipeline/collect_feeds", |b| {
         b.iter(|| black_box(collect_all(&world, &s.feeds)))
     });
@@ -38,7 +41,7 @@ fn feed_collection(c: &mut Criterion) {
 fn classification(c: &mut Criterion) {
     let s = bench_scenario();
     let truth = GroundTruth::generate(&s.ecosystem, s.seed).unwrap();
-    let world = MailWorld::build(truth, s.mail.clone());
+    let world = MailWorld::build(truth, s.mail.clone()).unwrap();
     let feeds = collect_all(&world, &s.feeds);
     c.bench_function("pipeline/crawl_classify", |b| {
         b.iter(|| {

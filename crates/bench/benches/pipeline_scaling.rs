@@ -8,6 +8,9 @@
 //! `available_parallelism`. The `taster bench-json` CLI command writes
 //! the same measurements to `BENCH_pipeline.json`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use taster_analysis::classify::Classified;
@@ -22,7 +25,7 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 fn collect_scaling(c: &mut Criterion) {
     let s = bench_scenario();
     let truth = GroundTruth::generate(&s.ecosystem, s.seed).unwrap();
-    let world = MailWorld::build(truth, s.mail.clone());
+    let world = MailWorld::build(truth, s.mail.clone()).unwrap();
     let mut group = c.benchmark_group("pipeline_scaling/collect_feeds");
     group.sample_size(10);
     for workers in WORKER_COUNTS {
@@ -37,7 +40,7 @@ fn collect_scaling(c: &mut Criterion) {
 fn classify_scaling(c: &mut Criterion) {
     let s = bench_scenario();
     let truth = GroundTruth::generate(&s.ecosystem, s.seed).unwrap();
-    let world = MailWorld::build(truth, s.mail.clone());
+    let world = MailWorld::build(truth, s.mail.clone()).unwrap();
     let feeds = collect_all_with(&world, &s.feeds, &Parallelism::serial());
     let mut group = c.benchmark_group("pipeline_scaling/crawl_classify");
     group.sample_size(10);

@@ -3,6 +3,9 @@
 //! feed-sized id sets (the pairwise coverage matrix computes exactly
 //! these intersections/differences for every ordered feed pair).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::RngExt;
 use std::collections::HashSet;

@@ -3,6 +3,9 @@
 //! Each bench prints the rendered artifact once, then times the
 //! underlying computation over the shared experiment.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use taster_bench::shared_experiment;

@@ -11,6 +11,8 @@
 //! The shared scenario scale defaults to 0.05 and can be overridden
 //! with the `TASTER_BENCH_SCALE` environment variable.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 use std::sync::OnceLock;
 use taster_core::{Experiment, Scenario};
 

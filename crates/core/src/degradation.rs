@@ -23,7 +23,8 @@ pub fn degradation_sweep(scenario: &Scenario) -> Result<Vec<ProfileDegradation>,
         .map_err(PipelineError::InvalidScenario)?;
     let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed)
         .map_err(PipelineError::Generation)?;
-    let world = MailWorld::build(truth, scenario.mail.clone());
+    let world =
+        MailWorld::build(truth, scenario.mail.clone()).map_err(PipelineError::InvalidScenario)?;
     let clean = run_profile(&world, scenario, FaultProfile::off())?;
     FaultProfile::canonical()
         .into_iter()

@@ -60,6 +60,7 @@ impl Experiment {
     pub fn run(scenario: &Scenario) -> Experiment {
         match Self::try_run(scenario) {
             Ok(e) => e,
+            // lint:allow(no-panic) -- documented panicking wrapper; the fallible path is try_run
             Err(e) => panic!("invalid scenario: {e}"),
         }
     }
@@ -90,6 +91,7 @@ impl Experiment {
         let world = {
             let _span = obs.span("mail_world");
             MailWorld::build(truth, scenario.mail.clone())
+                .map_err(PipelineError::InvalidScenario)?
         };
         let plan = scenario.fault_plan();
         let feeds = obs.stage(STAGE_COLLECT, || {

@@ -14,6 +14,7 @@
 //! println!("{}", experiment.report().fig9_first_appearance());
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -285,7 +285,7 @@ pub fn bench_json_string(scenario: &Scenario, reps: usize, rows: &[StageBench]) 
 /// differs (a disabled [`Obs`] vs. a metrics-recording one). The CI
 /// overhead gate fails when `on / off - 1` exceeds its threshold.
 pub fn collect_overhead(scenario: &Scenario, reps: usize) -> Result<(f64, f64), PipelineError> {
-    let world = crate::sweep::build_world(scenario);
+    let world = crate::sweep::build_world(scenario).map_err(PipelineError::InvalidScenario)?;
     let par = scenario.parallelism;
     let plan = scenario.fault_plan();
     let off_clock = Obs::with(true, false);
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn bench_rows_and_json_cover_all_stages() {
         let scenario = small();
-        let world = crate::sweep::build_world(&scenario);
+        let world = crate::sweep::build_world(&scenario).unwrap();
         let row = bench_stages(&world, &scenario, 2, 1).expect("bench runs");
         assert!(row.collect > 0.0 && row.classify > 0.0);
         let json = bench_json_string(&scenario, 1, &[row]);

@@ -43,10 +43,11 @@ fn measure(world: &MailWorld, feed: &Feed, label: String) -> SweepPoint {
     }
 }
 
-/// Builds the world for a scenario (shared by both sweeps).
-pub fn build_world(scenario: &Scenario) -> MailWorld {
-    scenario.validate().expect("valid scenario");
-    let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed).expect("valid ecosystem");
+/// Builds the world for a scenario (shared by both sweeps). Fails
+/// only when the scenario is invalid.
+pub fn build_world(scenario: &Scenario) -> Result<MailWorld, String> {
+    scenario.validate()?;
+    let truth = GroundTruth::generate(&scenario.ecosystem, scenario.seed)?;
     MailWorld::build(truth, scenario.mail.clone())
 }
 
@@ -94,7 +95,7 @@ mod tests {
 
     fn setup() -> (Scenario, MailWorld) {
         let s = Scenario::default_paper().with_scale(0.05).with_seed(19);
-        let w = build_world(&s);
+        let w = build_world(&s).unwrap();
         (s, w)
     }
 

@@ -7,7 +7,7 @@
 //! Matching operates on rendered HTML text, not on ground-truth
 //! records, so the pipeline is honest end-to-end.
 
-use std::collections::HashMap;
+use taster_domain::fx::FxHashMap;
 use taster_ecosystem::ids::{AffiliateId, ProgramId};
 use taster_ecosystem::program::ProgramRoster;
 
@@ -16,7 +16,7 @@ use taster_ecosystem::program::ProgramRoster;
 pub struct SignatureSet {
     /// Signature text → program. Signatures key on the program's page
     /// branding (its `generator` meta content).
-    by_marker: HashMap<String, ProgramId>,
+    by_marker: FxHashMap<String, ProgramId>,
 }
 
 impl SignatureSet {

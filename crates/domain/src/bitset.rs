@@ -106,8 +106,26 @@ impl DomainBitset {
         })
     }
 
+    /// Debug-build invariant: the cached cardinality always equals the
+    /// popcount of the backing words. Binary kernels check both
+    /// operands on entry so a corrupted set fails at the first use,
+    /// not at a distant read.
+    #[inline]
+    fn debug_check(&self) {
+        debug_assert_eq!(
+            self.len,
+            self.bits
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>(),
+            "DomainBitset cardinality out of sync with its words"
+        );
+    }
+
     /// `|self ∩ other|`.
     pub fn intersection_len(&self, other: &DomainBitset) -> usize {
+        self.debug_check();
+        other.debug_check();
         self.bits
             .iter()
             .zip(&other.bits)
@@ -117,6 +135,8 @@ impl DomainBitset {
 
     /// `|self ∪ other|`.
     pub fn union_len(&self, other: &DomainBitset) -> usize {
+        self.debug_check();
+        other.debug_check();
         let (long, short) = if self.bits.len() >= other.bits.len() {
             (&self.bits, &other.bits)
         } else {
@@ -132,6 +152,8 @@ impl DomainBitset {
 
     /// `|self \ other|` — the andnot kernel, no allocation.
     pub fn difference_len(&self, other: &DomainBitset) -> usize {
+        self.debug_check();
+        other.debug_check();
         self.bits
             .iter()
             .enumerate()
@@ -141,6 +163,7 @@ impl DomainBitset {
 
     /// In-place union.
     pub fn union_with(&mut self, other: &DomainBitset) {
+        other.debug_check();
         if other.bits.len() > self.bits.len() {
             self.bits.resize(other.bits.len(), 0);
         }
@@ -148,22 +171,27 @@ impl DomainBitset {
             self.bits[i] |= w;
         }
         self.recount();
+        self.debug_check();
     }
 
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &DomainBitset) {
+        other.debug_check();
         for (i, w) in self.bits.iter_mut().enumerate() {
             *w &= other.bits.get(i).copied().unwrap_or(0);
         }
         self.recount();
+        self.debug_check();
     }
 
     /// In-place difference (`self \ other`).
     pub fn subtract(&mut self, other: &DomainBitset) {
+        other.debug_check();
         for (i, w) in self.bits.iter_mut().enumerate() {
             *w &= !other.bits.get(i).copied().unwrap_or(0);
         }
         self.recount();
+        self.debug_check();
     }
 
     /// `self ∩ other` as a new set, sized to `self`.
@@ -225,6 +253,10 @@ impl RankIndex {
             prefix.push(acc);
             acc += w.count_ones();
         }
+        // Prefix sums are monotone by construction and must account
+        // for every member exactly once.
+        debug_assert!(prefix.windows(2).all(|p| p[0] <= p[1]));
+        debug_assert_eq!(acc as usize, set.len(), "rank prefix misses members");
         RankIndex { prefix }
     }
 
@@ -233,6 +265,13 @@ impl RankIndex {
     /// Must be called with the same (unmodified) bitset it was built
     /// from; otherwise the answer is meaningless.
     pub fn rank(&self, set: &DomainBitset, id: DomainId) -> Option<usize> {
+        // Catches the documented misuse (a grown or different bitset)
+        // in debug builds before the stale prefix is consulted.
+        debug_assert_eq!(
+            self.prefix.len(),
+            set.words().len(),
+            "RankIndex queried against a bitset it was not built from"
+        );
         let (w, b) = (id.index() / 64, id.index() % 64);
         let word = *set.words().get(w)?;
         let mask = 1u64 << b;

@@ -36,7 +36,11 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+            // chunks_exact(8) only yields 8-byte windows, so the
+            // conversion cannot fail; the fallback is unreachable.
+            if let Ok(word) = chunk.try_into() {
+                self.add(u64::from_le_bytes(word));
+            }
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {

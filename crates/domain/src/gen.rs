@@ -52,7 +52,10 @@ pub fn pick_tld<R: Rng>(rng: &mut R, pool: &[(&'static str, u32)]) -> &'static s
         }
         roll -= w;
     }
-    pool.last().expect("non-empty pool").0
+    // The roll is bounded by the total weight, so a non-empty pool
+    // always returns inside the loop; fall back to the final entry
+    // (or `com` for an empty pool) rather than panic.
+    pool.last().map_or("com", |&(tld, _)| tld)
 }
 
 /// Generator for pronounceable, store-like registrant labels.
@@ -115,7 +118,11 @@ impl BrandableGen {
             let unicode: String = (0..len)
                 .map(|_| CYRILLIC[rng.random_range(0..CYRILLIC.len())])
                 .collect();
-            return crate::punycode::to_ascii_label(&unicode).expect("generated label encodes");
+            // Pure-Cyrillic labels always encode; on the impossible
+            // failure fall through to the ASCII syllable generator.
+            if let Ok(ace) = crate::punycode::to_ascii_label(&unicode) {
+                return ace;
+            }
         }
         let mut s = String::new();
         if rng.random_bool(self.prefix_prob) {

@@ -52,7 +52,11 @@ impl DomainTable {
         if let Some(&id) = self.by_text.get(text) {
             return id;
         }
-        let id = DomainId(u32::try_from(self.by_id.len()).expect("fewer than 2^32 domains"));
+        let Ok(raw) = u32::try_from(self.by_id.len()) else {
+            // lint:allow(no-panic) -- id aliasing past u32::MAX would silently corrupt every downstream table; abort loudly instead
+            panic!("domain interner exhausted: more than u32::MAX distinct domains");
+        };
+        let id = DomainId(raw);
         self.by_text.insert(text.to_string(), id);
         self.by_id.push(text.to_string());
         id

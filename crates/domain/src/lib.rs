@@ -44,6 +44,7 @@
 //! assert_eq!(reg.as_str(), "cheap-pills.co.uk");
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

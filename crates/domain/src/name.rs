@@ -86,7 +86,9 @@ impl DomainName {
 
     /// The rightmost label (the top-level domain).
     pub fn tld(&self) -> &str {
-        self.text.rsplit('.').next().expect("non-empty name")
+        // rsplit always yields at least one piece, so the fallback
+        // (the whole dotless name) is unreachable.
+        self.text.rsplit('.').next().unwrap_or(&self.text)
     }
 
     /// True when the name consists of exactly one label above the root

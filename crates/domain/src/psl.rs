@@ -11,8 +11,8 @@
 //! each feed) plus common country-code second-level registries so that
 //! multi-level suffixes are exercised.
 
+use crate::fx::FxHashMap;
 use crate::name::DomainName;
-use std::collections::HashMap;
 
 /// A registered domain: the public suffix plus exactly one label.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -82,7 +82,7 @@ enum RuleKind {
 #[derive(Debug, Clone)]
 pub struct SuffixList {
     /// Map from rule text (without `*.`/`!` markers) to kind.
-    rules: HashMap<String, RuleKind>,
+    rules: FxHashMap<String, RuleKind>,
     /// Longest rule length in labels, bounds the scan.
     max_labels: usize,
 }
@@ -163,13 +163,17 @@ co.kr
 impl SuffixList {
     /// The embedded rule set used throughout the toolkit.
     pub fn builtin() -> Self {
-        Self::parse(BUILTIN_RULES).expect("builtin rules are valid")
+        match Self::parse(BUILTIN_RULES) {
+            Ok(list) => list,
+            // lint:allow(no-panic) -- the builtin table is a compile-time constant covered by tests; failing to parse it is a build defect
+            Err(e) => panic!("builtin PSL rules invalid: {e}"),
+        }
     }
 
     /// Parses PSL-format rules: one rule per line, `//` comments and
     /// blank lines ignored, `*.` wildcard and `!` exception markers.
     pub fn parse(text: &str) -> Result<Self, SuffixListError> {
-        let mut rules = HashMap::new();
+        let mut rules = FxHashMap::default();
         let mut max_labels = 0usize;
         for line in text.lines() {
             let line = line.trim();
@@ -220,7 +224,9 @@ impl SuffixList {
         let mut best: Option<usize> = None;
         // Examine candidate suffixes from longest rule size down.
         for n in (1..=self.max_labels.min(total)).rev() {
-            let cand = name.suffix(n).expect("n <= total");
+            // `n <= total`, so the suffix always exists; skip the
+            // candidate defensively rather than panic.
+            let Some(cand) = name.suffix(n) else { continue };
             match self.rules.get(cand) {
                 Some(RuleKind::Exception) => {
                     // Exception rule: the matched name itself is
@@ -264,10 +270,9 @@ impl SuffixList {
         if total <= suffix_labels {
             return None;
         }
-        let text = name
-            .suffix(suffix_labels + 1)
-            .expect("suffix_labels + 1 <= total")
-            .to_string();
+        // The early return above guarantees `suffix_labels + 1 <=
+        // total`, so the suffix always exists.
+        let text = name.suffix(suffix_labels + 1)?.to_string();
         Some(RegisteredDomain {
             text,
             suffix_labels: suffix_labels as u8,

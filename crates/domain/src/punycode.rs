@@ -78,7 +78,9 @@ pub fn encode(input: &str) -> Result<String, PunycodeError> {
     let mut output = String::new();
     let basic: Vec<u32> = chars.iter().copied().filter(|&c| c < 0x80).collect();
     for &c in &basic {
-        output.push(char::from_u32(c).expect("ascii"));
+        // `basic` holds code points below 0x80, so the conversion to
+        // u8 (and then char) is exact.
+        output.push(char::from(c as u8));
     }
     let b = basic.len() as u32;
     let mut h = b;
@@ -90,12 +92,11 @@ pub fn encode(input: &str) -> Result<String, PunycodeError> {
     let mut bias = INITIAL_BIAS;
     let total = chars.len() as u32;
     while h < total {
-        let m = chars
-            .iter()
-            .copied()
-            .filter(|&c| c >= n)
-            .min()
-            .expect("h < total implies a remaining code point");
+        // `h < total` guarantees a code point >= n remains; leave the
+        // (unreachable) exhausted state rather than panic.
+        let Some(m) = chars.iter().copied().filter(|&c| c >= n).min() else {
+            break;
+        };
         delta = delta
             .checked_add((m - n).checked_mul(h + 1).ok_or(PunycodeError::Overflow)?)
             .ok_or(PunycodeError::Overflow)?;

@@ -1,5 +1,7 @@
 //! Property-based tests for the domain layer.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use taster_domain::interner::{DomainSet, DomainTable};
 use taster_domain::psl::SuffixList;

@@ -18,7 +18,7 @@ use crate::domains::DomainUniverse;
 use crate::ids::{AffiliateId, BotnetId, CampaignId, ProgramId};
 use crate::program::ProgramRoster;
 use rand::{Rng, RngExt};
-use std::collections::HashMap;
+use taster_domain::fx::{FxHashMap, FxHashSet};
 use taster_domain::DomainId;
 use taster_sim::{SimTime, TimeWindow, DAY};
 use taster_stats::sample::{exponential, poisson, BoundedPareto};
@@ -101,15 +101,19 @@ fn pick_bit<R: Rng>(mask: u8, rng: &mut R) -> u8 {
     debug_assert!(mask != 0);
     let n = mask.count_ones();
     let mut k = rng.random_range(0..n);
+    let mut last = 0;
     for bit in 0..8u8 {
         if mask & (1 << bit) != 0 {
             if k == 0 {
                 return bit;
             }
             k -= 1;
+            last = bit;
         }
     }
-    unreachable!("mask verified non-zero")
+    // `k < count_ones(mask)`, so the loop always returns; the highest
+    // set bit is an unreachable fallback.
+    last
 }
 
 /// One rotated domain of a campaign.
@@ -193,7 +197,7 @@ pub fn plan_campaigns<R: Rng>(
     rng: &mut R,
 ) -> Vec<Campaign> {
     let mut campaigns = Vec::new();
-    let operator_of: HashMap<AffiliateId, BotnetId> = botnets
+    let operator_of: FxHashMap<AffiliateId, BotnetId> = botnets
         .iter()
         .flat_map(|b| b.operator_affiliates.iter().map(move |&a| (a, b.id)))
         .collect();
@@ -216,7 +220,7 @@ pub fn plan_campaigns<R: Rng>(
     // Every program has a flagship: its top-earning affiliate, who
     // blasts (this is why honeypot feeds cover most *programs* while
     // seeing very few distinct *affiliates* — Fig 4 vs Fig 5).
-    let flagships: std::collections::HashSet<AffiliateId> = roster
+    let flagships: FxHashSet<AffiliateId> = roster
         .programs
         .iter()
         .filter_map(|p| {
@@ -425,13 +429,16 @@ fn plan_one<R: Rng>(
     }
     // Campaign-level phases: the first slot's warm-up is the campaign
     // trickle; everything after it is blast.
+    // The slot loop always pushes at least one plan; the fallbacks
+    // keep an (unreachable) empty campaign well-formed.
     let campaign_end = domains
         .iter()
         .map(|p| p.window.end)
         .max()
-        .expect("at least one slot");
-    let trickle = TimeWindow::new(campaign_start, domains[0].warmup_end);
-    let blast = TimeWindow::new(domains[0].warmup_end, campaign_end);
+        .unwrap_or(campaign_start);
+    let warmup_end = domains.first().map_or(campaign_start, |p| p.warmup_end);
+    let trickle = TimeWindow::new(campaign_start, warmup_end);
+    let blast = TimeWindow::new(warmup_end, campaign_end);
 
     Campaign {
         id,

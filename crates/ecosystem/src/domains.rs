@@ -18,7 +18,7 @@
 use crate::config::EcosystemConfig;
 use crate::ids::{AffiliateId, ProgramId};
 use rand::{Rng, RngExt};
-use std::collections::HashMap;
+use taster_domain::fx::FxHashMap;
 use taster_domain::gen::{pick_tld, BrandableGen, DgaGen, BENIGN_TLD_POOL, SPAM_TLD_POOL};
 use taster_domain::{DomainId, DomainTable};
 use taster_stats::sample::Zipf;
@@ -70,7 +70,7 @@ pub struct DomainUniverse {
     /// Interner for registered-domain text; ids index `records`.
     pub table: DomainTable,
     records: Vec<DomainRecord>,
-    redirects: HashMap<DomainId, DomainId>,
+    redirects: FxHashMap<DomainId, DomainId>,
     benign_by_rank: Vec<DomainId>,
     benign_zipf: Zipf,
     storefront_gen: BrandableGen,
@@ -105,7 +105,7 @@ impl DomainUniverse {
         DomainUniverse {
             table,
             records,
-            redirects: HashMap::new(),
+            redirects: FxHashMap::default(),
             benign_by_rank,
             benign_zipf: Zipf::new(config.benign_domains.max(1), config.benign_zipf_s),
             storefront_gen: BrandableGen::default(),
@@ -316,6 +316,7 @@ fn intern_fresh<F: FnMut() -> String>(table: &mut DomainTable, mut gen: F) -> Do
             return table.intern_str(&name);
         }
     }
+    // lint:allow(no-panic) -- 1000 straight collisions means the configured namespace cannot hold the universe; abort loudly instead of looping forever
     panic!("domain namespace exhausted: 1000 consecutive collisions");
 }
 

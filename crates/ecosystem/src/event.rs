@@ -103,10 +103,14 @@ pub fn generate_poison_events<R: Rng>(
     let fresh_prob = (1.0 / poison.copies_per_domain).clamp(0.0, 1.0);
     let mut current: Option<DomainId> = None;
     for _ in 0..poison.volume {
-        if current.is_none() || rng.random_bool(fresh_prob) {
-            current = Some(universe.register_poison(poison.registered_prob, rng));
-        }
-        let advertised = current.expect("just set");
+        let advertised = match current {
+            Some(d) if !rng.random_bool(fresh_prob) => d,
+            _ => {
+                let d = universe.register_poison(poison.registered_prob, rng);
+                current = Some(d);
+                d
+            }
+        };
         let u: f64 = rng.random();
         let target = if u < 0.75 {
             TargetClass::BruteForce

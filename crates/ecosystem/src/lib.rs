@@ -33,6 +33,7 @@
 //! * [`ground_truth`] — ties it together: [`ground_truth::GroundTruth`]
 //!   is a pure function of ([`config::EcosystemConfig`], seed).
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -141,7 +141,7 @@ mod tests {
     fn world() -> MailWorld {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 61).unwrap();
-        MailWorld::build(truth, MailConfig::default().with_scale(0.03))
+        MailWorld::build(truth, MailConfig::default().with_scale(0.03)).unwrap()
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub fn collect_bot(world: &MailWorld, config: &BotConfig) -> Feed {
         &Obs::off(),
     )
     .pop()
+    // lint:allow(no-panic) -- the engine yields exactly one feed per member; losing it must fail loudly rather than fabricate an empty feed
     .unwrap_or_else(|| unreachable!("engine yields one feed per member"))
 }
 
@@ -42,7 +43,7 @@ mod tests {
     fn world() -> MailWorld {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.03), 47).unwrap();
-        MailWorld::build(truth, MailConfig::default().with_scale(0.03))
+        MailWorld::build(truth, MailConfig::default().with_scale(0.03)).unwrap()
     }
 
     #[test]

@@ -589,7 +589,7 @@ mod tests {
     fn world() -> MailWorld {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 71).unwrap();
-        MailWorld::build(truth, MailConfig::default().with_scale(0.02))
+        MailWorld::build(truth, MailConfig::default().with_scale(0.02)).unwrap()
     }
 
     fn all_members(cfg: &FeedsConfig) -> Vec<MemberSpec> {

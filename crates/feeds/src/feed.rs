@@ -105,6 +105,7 @@ impl Feed {
     /// Panics once the feed has been sealed — collection is over.
     pub fn record(&mut self, domain: DomainId, time: SimTime) {
         let Store::Building(domains) = &mut self.store else {
+            // lint:allow(no-panic) -- documented sealed-state contract; recording into a sealed feed is a caller bug
             panic!("cannot record into a sealed feed");
         };
         match domains.entry(domain) {
@@ -141,6 +142,7 @@ impl Feed {
     pub fn columns(&self) -> &FeedColumns {
         match &self.store {
             Store::Sealed(cols) => cols,
+            // lint:allow(no-panic) -- documented contract: columns() requires a sealed feed
             Store::Building(_) => panic!("feed {} has not been sealed", self.id),
         }
     }
@@ -207,6 +209,7 @@ impl Feed {
         assert_eq!(self.reports_volume, other.reports_volume);
         let (Store::Building(ours), Store::Building(theirs)) = (&mut self.store, other.store)
         else {
+            // lint:allow(no-panic) -- documented contract: only building shards merge
             panic!("cannot merge sealed feeds");
         };
         self.samples = match (self.samples, other.samples) {

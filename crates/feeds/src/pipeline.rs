@@ -30,6 +30,7 @@ pub fn collect_all(world: &MailWorld, config: &FeedsConfig) -> FeedSet {
 pub fn collect_all_with(world: &MailWorld, config: &FeedsConfig, par: &Parallelism) -> FeedSet {
     match try_collect_all_faulted(world, config, &FaultPlan::off(world.truth.seed), par) {
         Ok(set) => set,
+        // lint:allow(no-panic) -- documented panicking wrapper; the fallible path is try_collect_all_faulted
         Err(e) => panic!("feed collection failed: {e}"),
     }
 }
@@ -156,7 +157,7 @@ mod tests {
     fn all_ten_feeds_collect() {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 67).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02)).unwrap();
         let set = collect_all(&world, &FeedsConfig::default());
         for id in FeedId::ALL {
             let feed = set.get(id);
@@ -180,7 +181,7 @@ mod tests {
     fn worker_count_does_not_change_the_set() {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 67).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02)).unwrap();
         let cfg = FeedsConfig::default();
         let serial = collect_all_with(&world, &cfg, &taster_sim::Parallelism::serial());
         for workers in [2, 8] {

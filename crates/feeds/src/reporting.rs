@@ -47,7 +47,7 @@ impl ReportingPolicy {
 /// Tracks per-domain record emission under a policy.
 #[derive(Debug, Clone, Default)]
 pub struct PolicyState {
-    last_record: std::collections::HashMap<taster_domain::DomainId, SimTime>,
+    last_record: taster_domain::fx::FxHashMap<taster_domain::DomainId, SimTime>,
 }
 
 impl PolicyState {

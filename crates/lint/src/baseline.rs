@@ -1,0 +1,131 @@
+//! Grandfathered-findings baseline.
+//!
+//! The baseline file lets the CI gate land before every legacy
+//! violation is fixed: findings listed in it are reported as
+//! "baselined" instead of failing the run. Entries key on
+//! `(rule, path, hash-of-trimmed-line)` rather than line numbers so
+//! unrelated edits above a site do not invalidate them. The repo's
+//! checked-in baseline is **empty by policy** — fix violations or
+//! suppress them inline with a reason; the mechanism exists for
+//! incremental adoption on large diffs.
+
+use crate::rules::Diagnostic;
+use std::collections::BTreeSet;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// FNV-1a of the trimmed source line, hex.
+    pub line_hash: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<BaselineEntry>,
+}
+
+/// FNV-1a over the trimmed line text; stable across reformats of
+/// surrounding code.
+pub fn line_hash(snippet: &str) -> String {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in snippet.trim().as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
+impl Baseline {
+    /// Parses the `rule<TAB>path<TAB>hash` line format. `#` lines and
+    /// blanks are comments. Malformed lines are reported, not ignored.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeSet::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(hash), None) => {
+                    entries.insert(BaselineEntry {
+                        rule: rule.to_string(),
+                        path: path.to_string(),
+                        line_hash: hash.to_string(),
+                    });
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected rule<TAB>path<TAB>hash, got {line:?}",
+                        n + 1
+                    ))
+                }
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes back to the line format (round-trips with `parse`).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# taster-lint baseline: grandfathered findings, keyed rule<TAB>path<TAB>line-hash.\n\
+             # Policy: keep this file empty — fix the violation or lint:allow it with a reason.\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!("{}\t{}\t{}\n", e.rule, e.path, e.line_hash));
+        }
+        out
+    }
+
+    /// Builds a baseline covering `diagnostics` (for `--write-baseline`).
+    pub fn from_diagnostics(diagnostics: &[Diagnostic]) -> Baseline {
+        let entries = diagnostics
+            .iter()
+            .map(|d| BaselineEntry {
+                rule: d.rule.to_string(),
+                path: d.path.clone(),
+                line_hash: line_hash(&d.snippet),
+            })
+            .collect();
+        Baseline { entries }
+    }
+
+    /// True when `d` is grandfathered.
+    pub fn covers(&self, d: &Diagnostic) -> bool {
+        self.entries.contains(&BaselineEntry {
+            rule: d.rule.to_string(),
+            path: d.path.clone(),
+            line_hash: line_hash(&d.snippet),
+        })
+    }
+
+    /// Entries that matched no finding this run — stale, should be
+    /// pruned so the baseline only shrinks.
+    pub fn stale(&self, matched: &BTreeSet<BaselineEntry>) -> Vec<BaselineEntry> {
+        self.entries.difference(matched).cloned().collect()
+    }
+
+    /// Entry corresponding to a diagnostic (for stale accounting).
+    pub fn entry_for(d: &Diagnostic) -> BaselineEntry {
+        BaselineEntry {
+            rule: d.rule.to_string(),
+            path: d.path.clone(),
+            line_hash: line_hash(&d.snippet),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

@@ -1,0 +1,274 @@
+//! # taster-lint
+//!
+//! Workspace determinism & panic-safety static analysis, run as
+//! `taster lint` and gated in CI.
+//!
+//! The reproduction's headline guarantee — bit-identical reports at
+//! any worker count, under any fault profile — rests on a handful of
+//! source-level conventions: randomness flows only through keyed
+//! [`RngStream`](../taster_sim/rng) constructors, wall-clock reads are
+//! quarantined in the trace/metrics timing layers, hash containers use
+//! deterministic seeding, fan-out goes through `sim::par`, and library
+//! code neither panics nor prints. Runtime tests catch violations
+//! after the fact; this crate catches them at build time.
+//!
+//! The engine is a zero-dependency token-pattern analyzer: a small
+//! hand-rolled lexer ([`lexer`]) feeds a rule catalog ([`rules`])
+//! over every `.rs` file in the workspace ([`source`] classifies
+//! files and tracks `#[cfg(test)]` regions). Findings can be
+//! suppressed inline (`// lint:allow(<rule>) -- <reason>`, reason
+//! mandatory) or grandfathered in a checked-in [`baseline`] (kept
+//! empty by policy). `--self-test` ([`selftest`]) injects one
+//! violation per rule into a synthetic workspace and asserts each
+//! fires, so a rule can never silently stop matching.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod selftest;
+pub mod source;
+
+use baseline::{Baseline, BaselineEntry};
+use rules::Diagnostic;
+use source::SourceFile;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Also run advisory (`strict_only`) rules.
+    pub strict: bool,
+    /// Baseline file to load, if any.
+    pub baseline: Option<PathBuf>,
+}
+
+/// Engine failure (I/O or malformed baseline) — distinct from
+/// findings, which are data, not errors.
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem problem reading the workspace or baseline.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// OS error text.
+        message: String,
+    },
+    /// Baseline file did not parse.
+    Baseline(String),
+}
+
+impl LintError {
+    pub(crate) fn io(path: &Path, err: &std::io::Error) -> LintError {
+        LintError::Io {
+            path: path.display().to_string(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, message } => write!(f, "lint: {path}: {message}"),
+            LintError::Baseline(msg) => write!(f, "lint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Result of one engine run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survived suppression and baseline filtering,
+    /// sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings silenced by well-formed inline suppressions.
+    pub suppressed: usize,
+    /// Findings silenced by the baseline.
+    pub baselined: usize,
+    /// Baseline entries that matched nothing (should be pruned).
+    pub stale_baseline: Vec<String>,
+}
+
+impl LintReport {
+    /// True when the run should gate green.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable rendering, deterministic.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    {}\n",
+                d.path, d.line, d.rule, d.message, d.snippet
+            ));
+        }
+        for stale in &self.stale_baseline {
+            out.push_str(&format!("stale baseline entry (prune it): {stale}\n"));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} finding(s), {} suppressed, {} baselined\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.suppressed,
+            self.baselined
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (`--format json`), deterministic.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \
+                 \"snippet\": {}}}",
+                json_str(d.rule),
+                json_str(&d.path),
+                d.line,
+                json_str(&d.message),
+                json_str(&d.snippet)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!("  \"baselined\": {},\n", self.baselined));
+        out.push_str("  \"stale_baseline\": [");
+        for (i, s) in self.stale_baseline.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(s));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string escaping (the subset our content needs).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Walks the workspace and runs the rule catalog over every `.rs`
+/// file, applying suppressions and the baseline.
+pub fn run(config: &LintConfig) -> Result<LintReport, LintError> {
+    let baseline = match &config.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| LintError::io(path, &e))?;
+            Baseline::parse(&text).map_err(LintError::Baseline)?
+        }
+        None => Baseline::default(),
+    };
+    let mut files = Vec::new();
+    collect_rs_files(&config.root, &config.root, &mut files)?;
+    files.sort();
+
+    let mut report = LintReport::default();
+    let mut matched_baseline: BTreeSet<BaselineEntry> = BTreeSet::new();
+    for rel in files {
+        let abs = config.root.join(&rel);
+        let src = std::fs::read_to_string(&abs).map_err(|e| LintError::io(&abs, &e))?;
+        let file = SourceFile::parse(&rel, &src);
+        report.files_scanned += 1;
+        for d in rules::check_file(&file, config.strict) {
+            if file.is_suppressed(d.rule, d.line) {
+                report.suppressed += 1;
+            } else if baseline.covers(&d) {
+                report.baselined += 1;
+                matched_baseline.insert(Baseline::entry_for(&d));
+            } else {
+                report.diagnostics.push(d);
+            }
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report.stale_baseline = baseline
+        .stale(&matched_baseline)
+        .into_iter()
+        .map(|e| format!("{}\t{}\t{}", e.rule, e.path, e.line_hash))
+        .collect();
+    Ok(report)
+}
+
+/// Lints a single source string — the unit-test entry point.
+pub fn lint_source(rel_path: &str, src: &str, strict: bool) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel_path, src);
+    rules::check_file(&file, strict)
+        .into_iter()
+        .filter(|d| !file.is_suppressed(d.rule, d.line))
+        .collect()
+}
+
+/// Recursively gathers workspace-relative `.rs` paths, skipping build
+/// output and VCS internals.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::io(dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::io(dir, &e))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | ".claude" | "node_modules"
+            ) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks up from `start` to the first directory that looks like the
+/// workspace root (has both `Cargo.toml` and `crates/`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

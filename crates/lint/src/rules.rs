@@ -1,0 +1,428 @@
+//! The rule catalog.
+//!
+//! Each rule encodes one repo invariant; the catalog is the executable
+//! form of the determinism contract described in DESIGN.md. Rules are
+//! token-pattern checks over [`SourceFile`]s — no type information, so
+//! every rule is written to be cheap, deterministic and conservative.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::{Context, SourceFile};
+
+/// A single finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`no-panic`, `wall-clock`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Trimmed source line, for context in reports.
+    pub snippet: String,
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier used in suppressions and baselines.
+    pub id: &'static str,
+    /// One-line description for `--format json` and the docs.
+    pub summary: &'static str,
+    /// Advisory tier: only checked under `--strict`.
+    pub strict_only: bool,
+}
+
+/// Every rule the engine knows, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        summary: "no Instant/SystemTime wall-clock reads outside sim::trace, sim::metrics and \
+                  core::profile — wall time must stay quarantined in the timing map",
+        strict_only: false,
+    },
+    Rule {
+        id: "std-hash",
+        summary: "no std::collections::HashMap/HashSet (RandomState iteration order is \
+                  per-process); deterministic paths must use domain::fx or an ordered map",
+        strict_only: false,
+    },
+    Rule {
+        id: "thread-spawn",
+        summary: "no thread::spawn/scope/Builder outside sim::par — all fan-out goes through \
+                  the deterministic ordered-merge pool",
+        strict_only: false,
+    },
+    Rule {
+        id: "no-panic",
+        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library or \
+                  binary code — convert to typed errors or infallible rewrites",
+        strict_only: false,
+    },
+    Rule {
+        id: "no-print",
+        summary: "no println!/print!/eprintln!/eprint!/dbg! in library crates — output goes \
+                  through the report/trace layers",
+        strict_only: false,
+    },
+    Rule {
+        id: "rand-bypass",
+        summary: "no direct rand-shim sampling (SmallRng/SeedableRng/seed_from_u64/from_seed) \
+                  outside sim::rng — randomness comes from keyed RngStream constructors",
+        strict_only: false,
+    },
+    Rule {
+        id: "no-unsafe",
+        summary: "no unsafe blocks anywhere in the workspace, vendored shims included",
+        strict_only: false,
+    },
+    Rule {
+        id: "bad-suppression",
+        summary: "lint:allow comments must name known rules and carry a reason: \
+                  `// lint:allow(<rule>) -- <reason>`",
+        strict_only: false,
+    },
+    Rule {
+        id: "indexing",
+        summary: "advisory (--strict): bracket indexing in library code without a justifying \
+                  comment on or above the line — prefer get()/first()/last() or a comment \
+                  stating why the index is in bounds",
+        strict_only: true,
+    },
+];
+
+/// Looks a rule up by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Files where a rule is allowed by design (the quarantine sites the
+/// rule's invariant routes through).
+fn exempt(rule: &str, path: &str) -> bool {
+    match rule {
+        "wall-clock" => matches!(
+            path,
+            "crates/sim/src/trace.rs" | "crates/sim/src/metrics.rs" | "crates/core/src/profile.rs"
+        ),
+        "std-hash" => path == "crates/domain/src/fx.rs",
+        "thread-spawn" => path == "crates/sim/src/par.rs",
+        "rand-bypass" => path == "crates/sim/src/rng.rs",
+        _ => false,
+    }
+}
+
+/// Runs every applicable rule over `file`. Suppressions are *not*
+/// applied here — the engine filters them so it can count and validate
+/// them centrally.
+pub fn check_file(file: &SourceFile, strict: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_unsafe(file, &mut out);
+    check_bad_suppressions(file, &mut out);
+    if file.context == Context::Vendor {
+        return out;
+    }
+    let lib_or_bin = matches!(file.context, Context::Lib | Context::Bin);
+    if lib_or_bin {
+        check_wall_clock(file, &mut out);
+        check_std_hash(file, &mut out);
+        check_thread_spawn(file, &mut out);
+        check_no_panic(file, &mut out);
+        check_rand_bypass(file, &mut out);
+    }
+    if file.context == Context::Lib {
+        check_no_print(file, &mut out);
+        if strict {
+            check_indexing(file, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+fn diag(file: &SourceFile, rule: &'static str, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+    }
+}
+
+/// True when tokens `i..` start with path separator `::`.
+fn is_path_sep(t: &[Token], i: usize) -> bool {
+    i + 1 < t.len() && t[i].is_punct(':') && t[i + 1].is_punct(':')
+}
+
+fn check_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if exempt("wall-clock", &file.path) {
+        return;
+    }
+    for tok in &file.lexed.tokens {
+        if (tok.is_ident("Instant") || tok.is_ident("SystemTime") || tok.is_ident("UNIX_EPOCH"))
+            && !file.is_test_line(tok.line)
+        {
+            out.push(diag(
+                file,
+                "wall-clock",
+                tok.line,
+                format!(
+                    "wall-clock read `{}` outside sim::trace/sim::metrics/core::profile; \
+                     record wall time through the Obs timing map instead",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_std_hash(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if exempt("std-hash", &file.path) {
+        return;
+    }
+    let t = &file.lexed.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        // `std :: collections :: …`
+        let is_std_collections = t[i].is_ident("std")
+            && is_path_sep(t, i + 1)
+            && t.get(i + 3).is_some_and(|x| x.is_ident("collections"))
+            && is_path_sep(t, i + 4);
+        if !is_std_collections {
+            // `hash_map::RandomState` smuggles default hashing in
+            // without naming HashMap.
+            if t[i].is_ident("RandomState") && !file.is_test_line(t[i].line) {
+                out.push(diag(
+                    file,
+                    "std-hash",
+                    t[i].line,
+                    "RandomState (per-process hash seeding) in a deterministic path; \
+                     use domain::fx hashing"
+                        .to_string(),
+                ));
+            }
+            i += 1;
+            continue;
+        }
+        let mut j = i + 6;
+        // Walk the rest of the path / use-group and flag the hash
+        // containers named in it.
+        let mut depth = 0usize;
+        while j < t.len() {
+            let tok = &t[j];
+            if tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct('}') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if tok.is_punct(';') || tok.is_punct('=') {
+                break;
+            } else if (tok.is_ident("HashMap") || tok.is_ident("HashSet"))
+                && !file.is_test_line(tok.line)
+            {
+                out.push(diag(
+                    file,
+                    "std-hash",
+                    tok.line,
+                    format!(
+                        "std::collections::{} uses RandomState (per-process iteration \
+                         order); use domain::fx::Fx{} or an ordered map",
+                        tok.text, tok.text
+                    ),
+                ));
+            } else if depth == 0
+                && tok.kind == TokenKind::Ident
+                && !is_path_sep(t, j + 1)
+                && !tok.is_ident("collections")
+            {
+                // Path ended on a non-hash item (e.g. BTreeMap): fine.
+                break;
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+}
+
+fn check_thread_spawn(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if exempt("thread-spawn", &file.path) {
+        return;
+    }
+    let t = &file.lexed.tokens;
+    for i in 3..t.len() {
+        let callee = &t[i];
+        let named =
+            callee.is_ident("spawn") || callee.is_ident("scope") || callee.is_ident("Builder");
+        if named
+            && t[i - 3].is_ident("thread")
+            && is_path_sep(t, i - 2)
+            && !file.is_test_line(callee.line)
+        {
+            out.push(diag(
+                file,
+                "thread-spawn",
+                callee.line,
+                format!(
+                    "thread::{} outside sim::par; all parallelism goes through \
+                     Parallelism::par_map's deterministic ordered merge",
+                    callee.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &file.lexed.tokens;
+    for i in 0..t.len() {
+        let tok = &t[i];
+        if tok.kind != TokenKind::Ident || file.is_test_line(tok.line) {
+            continue;
+        }
+        let method_call = i > 0
+            && t[i - 1].is_punct('.')
+            && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && (tok.text == "unwrap" || tok.text == "expect");
+        let panic_macro = t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && matches!(
+                tok.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            );
+        if method_call || panic_macro {
+            out.push(diag(
+                file,
+                "no-panic",
+                tok.line,
+                format!(
+                    "`{}` can abort the pipeline; return a typed error or restructure \
+                     so the failure case is unrepresentable",
+                    if method_call {
+                        format!(".{}()", tok.text)
+                    } else {
+                        format!("{}!", tok.text)
+                    }
+                ),
+            ));
+        }
+    }
+}
+
+fn check_no_print(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &file.lexed.tokens;
+    for i in 0..t.len() {
+        let tok = &t[i];
+        if tok.kind != TokenKind::Ident || file.is_test_line(tok.line) {
+            continue;
+        }
+        let is_print = matches!(
+            tok.text.as_str(),
+            "println" | "print" | "eprintln" | "eprint" | "dbg"
+        ) && t.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if is_print {
+            out.push(diag(
+                file,
+                "no-print",
+                tok.line,
+                format!(
+                    "`{}!` writes to the process streams from a library crate; route \
+                     output through the report/trace layers",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_rand_bypass(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if exempt("rand-bypass", &file.path) {
+        return;
+    }
+    for tok in &file.lexed.tokens {
+        let named = matches!(
+            tok.text.as_str(),
+            "SmallRng"
+                | "SeedableRng"
+                | "seed_from_u64"
+                | "from_seed"
+                | "thread_rng"
+                | "from_entropy"
+                | "StdRng"
+        );
+        if tok.kind == TokenKind::Ident && named && !file.is_test_line(tok.line) {
+            out.push(diag(
+                file,
+                "rand-bypass",
+                tok.line,
+                format!(
+                    "`{}` bypasses the keyed-stream constructors; derive randomness \
+                     from RngStream::new/child so draws stay keyed by (seed, stream)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for tok in &file.lexed.tokens {
+        if tok.is_ident("unsafe") {
+            out.push(diag(
+                file,
+                "no-unsafe",
+                tok.line,
+                "`unsafe` is banned workspace-wide (every crate also carries \
+                 #![forbid(unsafe_code)])"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn check_bad_suppressions(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for s in &file.suppressions {
+        if let Some(problem) = &s.malformed {
+            out.push(diag(
+                file,
+                "bad-suppression",
+                s.comment_line,
+                problem.clone(),
+            ));
+            continue;
+        }
+        for r in &s.rules {
+            if rule_by_id(r).is_none() {
+                out.push(diag(
+                    file,
+                    "bad-suppression",
+                    s.comment_line,
+                    format!("lint:allow names unknown rule `{r}`"),
+                ));
+            }
+        }
+    }
+}
+
+fn check_indexing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &file.lexed.tokens;
+    for i in 1..t.len() {
+        if !t[i].is_punct('[') {
+            continue;
+        }
+        let prev = &t[i - 1];
+        let indexable = prev.kind == TokenKind::Ident || prev.is_punct(')') || prev.is_punct(']');
+        if !indexable || file.is_test_line(t[i].line) || file.has_comment_near(t[i].line) {
+            continue;
+        }
+        out.push(diag(
+            file,
+            "indexing",
+            t[i].line,
+            "bracket indexing without a justifying comment; use get()/first()/last() \
+             or state why the index is in bounds"
+                .to_string(),
+        ));
+    }
+}

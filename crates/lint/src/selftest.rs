@@ -1,0 +1,134 @@
+//! `taster lint --self-test`: prove every rule can fire.
+//!
+//! A linter whose rules silently stop matching is worse than none —
+//! CI would go green while the invariants rot. The self-test writes a
+//! tiny synthetic workspace into a temp directory with exactly one
+//! violation per rule, runs the engine over it, and asserts each rule
+//! produced its diagnostic (and that a correctly-suppressed violation
+//! stays silent).
+
+use crate::{run, LintConfig, LintError};
+use std::path::{Path, PathBuf};
+
+/// Outcome for one rule's injected fixture.
+#[derive(Debug, Clone)]
+pub struct SelfTestResult {
+    /// Rule under test.
+    pub rule: &'static str,
+    /// True when the injected violation produced the diagnostic.
+    pub fired: bool,
+}
+
+/// Per-rule fixture sources. Each is written as a library file in the
+/// synthetic workspace; the violation must be the *only* finding the
+/// rule reports for it.
+fn fixtures() -> Vec<(&'static str, &'static str, String)> {
+    vec![
+        (
+            "wall-clock",
+            "crates/fixture/src/wall_clock.rs",
+            "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n".to_string(),
+        ),
+        (
+            "std-hash",
+            "crates/fixture/src/std_hash.rs",
+            "use std::collections::HashMap;\npub type T = HashMap<u32, u32>;\n".to_string(),
+        ),
+        (
+            "thread-spawn",
+            "crates/fixture/src/thread_spawn.rs",
+            "pub fn go() { std::thread::spawn(|| {}); }\n".to_string(),
+        ),
+        (
+            "no-panic",
+            "crates/fixture/src/no_panic.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n".to_string(),
+        ),
+        (
+            "no-print",
+            "crates/fixture/src/no_print.rs",
+            "pub fn shout() { println!(\"loud\"); }\n".to_string(),
+        ),
+        (
+            "rand-bypass",
+            "crates/fixture/src/rand_bypass.rs",
+            "pub fn r() { let _ = SmallRng::seed_from_u64(1); }\n".to_string(),
+        ),
+        (
+            "no-unsafe",
+            "crates/fixture/src/no_unsafe.rs",
+            "pub fn u(p: *const u8) -> u8 { unsafe { *p } }\n".to_string(),
+        ),
+        (
+            "bad-suppression",
+            "crates/fixture/src/bad_suppression.rs",
+            // Reason missing: the suppression is malformed AND inert.
+            "// lint:allow(no-panic)\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n".to_string(),
+        ),
+        (
+            "indexing",
+            "crates/fixture/src/indexing.rs",
+            "pub fn first(xs: &[u8]) -> u8 { xs[0] }\n".to_string(),
+        ),
+    ]
+}
+
+/// A violation carrying a well-formed suppression; must stay silent.
+const SUPPRESSED_FIXTURE: &str =
+    "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint:allow(no-panic) -- self-test fixture\n}\n";
+
+/// Runs the self-test. Returns per-rule outcomes; `Err` only on I/O
+/// failure creating the synthetic workspace.
+pub fn self_test() -> Result<Vec<SelfTestResult>, LintError> {
+    let root = scratch_root();
+    // Stale directory from a crashed run: clear it first.
+    if root.exists() {
+        std::fs::remove_dir_all(&root).map_err(|e| LintError::io(&root, &e))?;
+    }
+    let result = run_fixtures(&root);
+    let _ = std::fs::remove_dir_all(&root);
+    result
+}
+
+fn run_fixtures(root: &Path) -> Result<Vec<SelfTestResult>, LintError> {
+    let src_dir = root.join("crates/fixture/src");
+    std::fs::create_dir_all(&src_dir).map_err(|e| LintError::io(&src_dir, &e))?;
+    for (_, rel, source) in fixtures() {
+        let path = root.join(rel);
+        std::fs::write(&path, source).map_err(|e| LintError::io(&path, &e))?;
+    }
+    let suppressed = src_dir.join("suppressed.rs");
+    std::fs::write(&suppressed, SUPPRESSED_FIXTURE).map_err(|e| LintError::io(&suppressed, &e))?;
+
+    let report = run(&LintConfig {
+        root: root.to_path_buf(),
+        strict: true,
+        baseline: None,
+    })?;
+
+    let mut out = Vec::new();
+    for (rule, rel, _) in fixtures() {
+        let fired = report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == rule && d.path == rel);
+        out.push(SelfTestResult { rule, fired });
+    }
+    // The well-formed suppression must have been honoured: no finding
+    // in suppressed.rs, and exactly one suppression counted there.
+    let silent = !report
+        .diagnostics
+        .iter()
+        .any(|d| d.path == "crates/fixture/src/suppressed.rs");
+    out.push(SelfTestResult {
+        rule: "suppression-honoured",
+        fired: silent && report.suppressed > 0,
+    });
+    Ok(out)
+}
+
+/// Scratch directory namespaced by pid so concurrent invocations
+/// cannot collide.
+fn scratch_root() -> PathBuf {
+    std::env::temp_dir().join(format!("taster-lint-selftest-{}", std::process::id()))
+}

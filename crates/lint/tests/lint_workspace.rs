@@ -1,0 +1,53 @@
+//! The linter run against the real workspace: the tree must be clean
+//! (no baseline entries by the end of this change), and the self-test
+//! must prove every rule can still fire.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+use taster_lint::{find_workspace_root, run, selftest, LintConfig};
+
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(manifest).expect("lint crate lives inside the workspace")
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let report = run(&LintConfig {
+        root: workspace_root(),
+        strict: false,
+        baseline: None,
+    })
+    .expect("lint run succeeds");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 100, "scan looks truncated");
+}
+
+#[test]
+fn the_checked_in_baseline_is_empty() {
+    let baseline = workspace_root().join("lint.baseline");
+    let text = std::fs::read_to_string(&baseline).expect("lint.baseline is checked in");
+    let live: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert!(
+        live.is_empty(),
+        "baseline should carry no entries: {live:?}"
+    );
+}
+
+#[test]
+fn self_test_fires_every_rule() {
+    let results = selftest::self_test().expect("self-test harness runs");
+    assert!(!results.is_empty());
+    for r in &results {
+        assert!(r.fired, "rule {} did not fire on its fixture", r.rule);
+    }
+}

@@ -1,0 +1,297 @@
+//! Fixture-based tests: one true-positive and one false-positive
+//! fixture per rule, plus suppression and baseline semantics.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use taster_lint::baseline::{line_hash, Baseline};
+use taster_lint::lint_source;
+use taster_lint::rules::Diagnostic;
+
+const LIB: &str = "crates/demo/src/lib.rs";
+
+fn rules_hit(path: &str, src: &str) -> Vec<String> {
+    rules_hit_strict(path, src, false)
+}
+
+fn rules_hit_strict(path: &str, src: &str, strict: bool) -> Vec<String> {
+    let mut ids: Vec<String> = lint_source(path, src, strict)
+        .into_iter()
+        .map(|d| d.rule.to_string())
+        .collect();
+    ids.sort();
+    ids.dedup();
+    ids
+}
+
+// ---------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_fires_in_lib_code() {
+    let src = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert_eq!(rules_hit(LIB, src), ["wall-clock"]);
+    let sys = "pub fn s() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+    assert_eq!(rules_hit(LIB, sys), ["wall-clock"]);
+}
+
+#[test]
+fn wall_clock_exempt_in_observability_modules() {
+    let src = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert!(rules_hit("crates/sim/src/trace.rs", src).is_empty());
+    assert!(rules_hit("crates/sim/src/metrics.rs", src).is_empty());
+    assert!(rules_hit("crates/core/src/profile.rs", src).is_empty());
+}
+
+#[test]
+fn wall_clock_ignores_unrelated_idents() {
+    let src = "pub struct InstantNoodles;\npub fn f() -> InstantNoodles { InstantNoodles }\n";
+    assert!(rules_hit(LIB, src).is_empty());
+}
+
+// ------------------------------------------------------------ std-hash
+
+#[test]
+fn std_hash_fires_on_default_collections() {
+    let m = "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+    assert_eq!(rules_hit(LIB, m), ["std-hash"]);
+    let s = "pub fn f() -> std::collections::HashSet<u32> { std::collections::HashSet::new() }\n";
+    assert_eq!(rules_hit(LIB, s), ["std-hash"]);
+    let grouped = "use std::collections::{BTreeMap, HashSet};\n";
+    assert_eq!(rules_hit(LIB, grouped), ["std-hash"]);
+}
+
+#[test]
+fn std_hash_allows_ordered_and_keyed_maps() {
+    let src =
+        "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n";
+    assert!(rules_hit(LIB, src).is_empty());
+    let fx = "use taster_domain::fx::FxHashMap;\npub fn f() -> FxHashMap<u32, u32> { FxHashMap::default() }\n";
+    assert!(rules_hit(LIB, fx).is_empty());
+}
+
+#[test]
+fn std_hash_exempt_in_fx_module_itself() {
+    let src = "use std::collections::{HashMap, HashSet};\npub type M = HashMap<u32, u32>;\n";
+    assert!(rules_hit("crates/domain/src/fx.rs", src).is_empty());
+}
+
+// -------------------------------------------------------- thread-spawn
+
+#[test]
+fn thread_spawn_fires_outside_the_pool() {
+    let src = "pub fn go() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(rules_hit(LIB, src), ["thread-spawn"]);
+    let scoped = "pub fn go() { std::thread::scope(|_| {}); }\n";
+    assert_eq!(rules_hit(LIB, scoped), ["thread-spawn"]);
+}
+
+#[test]
+fn thread_spawn_exempt_in_par_module() {
+    let src = "pub fn go() { std::thread::scope(|_| {}); }\n";
+    assert!(rules_hit("crates/sim/src/par.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------ no-panic
+
+#[test]
+fn no_panic_fires_on_each_macro_and_method() {
+    for src in [
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        "pub fn f(x: Option<u8>) -> u8 { x.expect(\"set\") }\n",
+        "pub fn f() { panic!(\"boom\"); }\n",
+        "pub fn f() { unreachable!(); }\n",
+        "pub fn f() { todo!(); }\n",
+        "pub fn f() { unimplemented!(); }\n",
+    ] {
+        assert_eq!(rules_hit(LIB, src), ["no-panic"], "missed: {src}");
+    }
+}
+
+#[test]
+fn no_panic_skips_test_code() {
+    // Integration-test path.
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(rules_hit("crates/demo/tests/it.rs", src).is_empty());
+    // cfg(test) module inside a lib file.
+    let lib = "pub fn ok() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1u8).unwrap(); }\n}\n";
+    assert!(rules_hit(LIB, lib).is_empty());
+}
+
+#[test]
+fn no_panic_still_fires_before_a_cfg_test_module() {
+    let lib = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\n#[cfg(test)]\nmod tests {}\n";
+    assert_eq!(rules_hit(LIB, lib), ["no-panic"]);
+}
+
+#[test]
+fn no_panic_allows_debug_assert_and_assert() {
+    let src = "pub fn f(a: usize) { assert!(a < 10); debug_assert_eq!(a, a); }\n";
+    assert!(rules_hit(LIB, src).is_empty());
+}
+
+// ------------------------------------------------------------ no-print
+
+#[test]
+fn no_print_fires_in_lib_but_not_bin() {
+    let src = "pub fn shout() { println!(\"x\"); eprintln!(\"y\"); }\n";
+    assert_eq!(rules_hit(LIB, src), ["no-print"]);
+    assert!(rules_hit("src/bin/taster.rs", src).is_empty());
+}
+
+#[test]
+fn no_print_ignores_writeln_and_format() {
+    let src = "use std::fmt::Write;\npub fn f(out: &mut String) { let _ = writeln!(out, \"{}\", format!(\"x\")); }\n";
+    assert!(rules_hit(LIB, src).is_empty());
+}
+
+// --------------------------------------------------------- rand-bypass
+
+#[test]
+fn rand_bypass_fires_on_direct_seeding() {
+    let src = "use rand::{RngExt, SeedableRng, SmallRng};\npub fn r() -> SmallRng { SmallRng::seed_from_u64(1) }\n";
+    assert_eq!(rules_hit(LIB, src), ["rand-bypass"]);
+}
+
+#[test]
+fn rand_bypass_exempt_in_rng_shim() {
+    let src = "pub fn r() { let _ = SmallRng::seed_from_u64(1); }\n";
+    assert!(rules_hit("crates/sim/src/rng.rs", src).is_empty());
+}
+
+// ----------------------------------------------------------- no-unsafe
+
+#[test]
+fn no_unsafe_fires_everywhere_even_tests() {
+    let src = "pub fn u(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert_eq!(rules_hit(LIB, src), ["no-unsafe"]);
+    assert_eq!(
+        rules_hit("crates/demo/tests/it.rs", src),
+        ["no-unsafe"],
+        "unsafe must be denied in test code too"
+    );
+}
+
+#[test]
+fn no_unsafe_ignores_the_word_in_strings_and_comments() {
+    let src = "// unsafe is discussed here\npub const DOC: &str = \"unsafe\";\n";
+    assert!(rules_hit(LIB, src).is_empty());
+}
+
+// ------------------------------------------------------------ indexing
+
+#[test]
+fn indexing_is_strict_only() {
+    let src = "pub fn first(xs: &[u8]) -> u8 { xs[0] }\n";
+    assert!(
+        rules_hit(LIB, src).is_empty(),
+        "advisory rule off by default"
+    );
+    assert_eq!(rules_hit_strict(LIB, src, true), ["indexing"]);
+}
+
+#[test]
+fn indexing_silenced_by_a_nearby_comment() {
+    let src = "pub fn first(xs: &[u8]) -> u8 {\n    // xs is never empty: built from a non-empty roster\n    xs[0]\n}\n";
+    assert!(rules_hit_strict(LIB, src, true).is_empty());
+}
+
+// -------------------------------------------------------- suppressions
+
+#[test]
+fn trailing_suppression_silences_the_same_line() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-panic) -- contract\n";
+    assert!(rules_hit(LIB, src).is_empty());
+}
+
+#[test]
+fn standalone_suppression_silences_the_next_code_line() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic) -- caller guarantees Some\n    x.unwrap()\n}\n";
+    assert!(rules_hit(LIB, src).is_empty());
+}
+
+#[test]
+fn suppression_only_covers_the_named_rule() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-print) -- wrong rule named\n    x.unwrap()\n}\n";
+    assert_eq!(rules_hit(LIB, src), ["no-panic"]);
+}
+
+#[test]
+fn suppression_without_reason_is_malformed_and_inert() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic)\n    x.unwrap()\n}\n";
+    let ids = rules_hit(LIB, src);
+    assert!(ids.contains(&"bad-suppression".to_string()), "{ids:?}");
+    assert!(
+        ids.contains(&"no-panic".to_string()),
+        "malformed must not suppress: {ids:?}"
+    );
+}
+
+#[test]
+fn suppression_with_unknown_rule_is_flagged() {
+    let src = "pub fn f() {} // lint:allow(made-up-rule) -- hmm\n";
+    assert_eq!(rules_hit(LIB, src), ["bad-suppression"]);
+}
+
+// ------------------------------------------------------------ baseline
+
+fn diag(rule: &'static str, path: &str, line: usize, snippet: &str) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: path.to_string(),
+        line,
+        message: String::new(),
+        snippet: snippet.to_string(),
+    }
+}
+
+#[test]
+fn baseline_round_trips_and_covers() {
+    let d = diag("no-panic", "crates/demo/src/lib.rs", 7, "    x.unwrap()");
+    let b = Baseline::from_diagnostics(std::slice::from_ref(&d));
+    assert_eq!(b.len(), 1);
+    let rendered = b.render();
+    let parsed = Baseline::parse(&rendered).unwrap();
+    assert!(parsed.covers(&d));
+
+    // The key hashes the trimmed line, so the entry survives both a
+    // line move and an indentation change...
+    let moved = diag("no-panic", "crates/demo/src/lib.rs", 99, "  x.unwrap()");
+    assert!(parsed.covers(&moved));
+    // ...but not an edit to the code itself or a different rule.
+    let edited = diag("no-panic", "crates/demo/src/lib.rs", 7, "    y.unwrap()");
+    assert!(!parsed.covers(&edited));
+    let other_rule = diag("no-print", "crates/demo/src/lib.rs", 7, "    x.unwrap()");
+    assert!(!parsed.covers(&other_rule));
+}
+
+#[test]
+fn baseline_parse_accepts_comments_and_rejects_garbage() {
+    let ok = "# a comment\n\nno-panic\tcrates/demo/src/lib.rs\t00c0ffee\n";
+    assert_eq!(Baseline::parse(ok).unwrap().len(), 1);
+    assert!(Baseline::parse("not a baseline line\n").is_err());
+}
+
+#[test]
+fn line_hash_is_stable_and_trims() {
+    assert_eq!(line_hash("  x.unwrap()  "), line_hash("x.unwrap()"));
+    assert_ne!(line_hash("x.unwrap()"), line_hash("y.unwrap()"));
+}
+
+// ----------------------------------------------------------- contexts
+
+#[test]
+fn vendor_code_only_answers_for_unsafe() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { println!(\"{x:?}\"); x.unwrap() }\n";
+    assert!(rules_hit("vendor/rand/src/lib.rs", src).is_empty());
+    let unsafe_src = "pub fn u(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert_eq!(
+        rules_hit("vendor/rand/src/lib.rs", unsafe_src),
+        ["no-unsafe"]
+    );
+}
+
+#[test]
+fn benches_and_examples_skip_lib_rules() {
+    let src = "fn main() { println!(\"{}\", Some(1u8).unwrap()); }\n";
+    assert!(rules_hit("crates/bench/benches/micro.rs", src).is_empty());
+    assert!(rules_hit("examples/quickstart.rs", src).is_empty());
+}

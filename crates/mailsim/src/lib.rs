@@ -23,6 +23,7 @@
 //! * [`world`] — [`world::MailWorld`]: ground truth plus all derived
 //!   mail-layer streams, the single input the feed layer consumes.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -15,7 +15,7 @@
 
 use crate::config::MailConfig;
 use rand::RngExt;
-use std::collections::HashMap;
+use taster_domain::fx::FxHashMap;
 use taster_domain::DomainId;
 use taster_ecosystem::campaign::{CampaignStyle, TargetClass};
 use taster_ecosystem::GroundTruth;
@@ -49,9 +49,10 @@ pub struct ProviderOutputs {
 /// Runs the provider model over the ground-truth event stream.
 ///
 /// Deterministic in `(truth.seed, config)`; spam reports and the
-/// oracle draw from dedicated RNG streams.
-pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> ProviderOutputs {
-    config.validate().expect("valid mail config");
+/// oracle draw from dedicated RNG streams. Fails only when `config`
+/// is invalid.
+pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> Result<ProviderOutputs, String> {
+    config.validate()?;
     let mut rng = RngStream::new(truth.seed, "mailsim/provider");
     let mut reports: Vec<UserReport> = Vec::new();
 
@@ -62,10 +63,10 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> ProviderOutputs
     let mut oracle = EmpiricalDist::new();
 
     // Reports-per-domain so far (drives the filtering feedback loop).
-    let mut report_counts: HashMap<DomainId, u32> = HashMap::new();
+    let mut report_counts: FxHashMap<DomainId, u32> = FxHashMap::default();
     // Copies-per-domain seen at the incoming servers (drives filter
     // learning: fresh domains inbox freely).
-    let mut seen_counts: HashMap<DomainId, u64> = HashMap::new();
+    let mut seen_counts: FxHashMap<DomainId, u64> = FxHashMap::default();
     // Copies-per-campaign (content learning: a campaign that rotates
     // throwaway domains — the poisoning — is still one content
     // signature).
@@ -169,11 +170,11 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> ProviderOutputs
     }
 
     reports.sort_by_key(|r| r.time);
-    ProviderOutputs {
+    Ok(ProviderOutputs {
         reports,
         oracle,
         oracle_window,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +186,7 @@ mod tests {
     fn outputs() -> (GroundTruth, ProviderOutputs) {
         let truth =
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.05), 17).unwrap();
-        let out = run_provider(&truth, &MailConfig::default().with_scale(0.05));
+        let out = run_provider(&truth, &MailConfig::default().with_scale(0.05)).unwrap();
         (truth, out)
     }
 
@@ -202,7 +203,7 @@ mod tests {
         let (truth, out) = outputs();
         let cfg = MailConfig::default();
         // Count spam reports per advertised (first) domain.
-        let mut per_domain: HashMap<DomainId, u32> = HashMap::new();
+        let mut per_domain: FxHashMap<DomainId, u32> = FxHashMap::default();
         for r in out.reports.iter().filter(|r| r.spam) {
             *per_domain.entry(r.domains[0]).or_insert(0) += 1;
         }
@@ -270,8 +271,8 @@ mod tests {
     #[test]
     fn deterministic() {
         let truth = GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 5).unwrap();
-        let a = run_provider(&truth, &MailConfig::default());
-        let b = run_provider(&truth, &MailConfig::default());
+        let a = run_provider(&truth, &MailConfig::default()).unwrap();
+        let b = run_provider(&truth, &MailConfig::default()).unwrap();
         assert_eq!(a.reports.len(), b.reports.len());
         assert_eq!(a.oracle.total(), b.oracle.total());
     }

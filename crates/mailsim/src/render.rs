@@ -91,11 +91,11 @@ pub fn render_spam_into<R: Rng>(
     text.push('@');
     text.push_str(truth.universe.table.text(truth.universe.sample_chaff(rng)));
     let from_end = text.len();
-    write!(
+    // Writing to a String cannot fail; ignore the Infallible result.
+    let _ = write!(
         text,
         "\nTo: undisclosed-recipients:;\nSubject: {subject}\nDate: {time}\nMIME-Version: 1.0\n\n"
-    )
-    .expect("writing to a String cannot fail");
+    );
     text.push_str("Dear customer,\n\n");
     text.push_str("We have a special offer selected for you today.\n");
     text.push_str("Order here: ");
@@ -192,7 +192,8 @@ impl UrlParts {
         out.push_str(truth.universe.table.text(domain));
         out.push_str(self.path);
         if let Some(tail) = self.tail {
-            write!(out, "{tail:x}").expect("writing to a String cannot fail");
+            // Writing to a String cannot fail; ignore the result.
+            let _ = write!(out, "{tail:x}");
         }
     }
 }
@@ -220,7 +221,8 @@ fn push_sender_localpart<R: Rng>(out: &mut String, rng: &mut R) {
     use std::fmt::Write;
     const NAMES: &[&str] = &["info", "sales", "noreply", "news", "offers", "support"];
     out.push_str(NAMES[rng.random_range(0..NAMES.len())]);
-    write!(out, "{}", rng.random_range(0..100u8)).expect("writing to a String cannot fail");
+    // Writing to a String cannot fail; ignore the result.
+    let _ = write!(out, "{}", rng.random_range(0..100u8));
 }
 
 #[cfg(test)]

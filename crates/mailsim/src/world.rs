@@ -27,17 +27,18 @@ pub struct MailWorld {
 
 impl MailWorld {
     /// Builds the world: benign traffic first (extends the universe),
-    /// then the provider model.
-    pub fn build(mut truth: GroundTruth, mail_config: MailConfig) -> MailWorld {
-        mail_config.validate().expect("valid mail config");
+    /// then the provider model. Fails only when `mail_config` is
+    /// invalid.
+    pub fn build(mut truth: GroundTruth, mail_config: MailConfig) -> Result<MailWorld, String> {
+        mail_config.validate()?;
         let benign_mail = generate_benign_traffic(&mut truth, &mail_config, &MX_SIZE_FACTORS);
-        let provider = run_provider(&truth, &mail_config);
-        MailWorld {
+        let provider = run_provider(&truth, &mail_config)?;
+        Ok(MailWorld {
             truth,
             mail_config,
             benign_mail,
             provider,
-        }
+        })
     }
 }
 
@@ -49,7 +50,7 @@ mod tests {
     #[test]
     fn build_produces_all_streams() {
         let truth = GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 3).unwrap();
-        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02));
+        let world = MailWorld::build(truth, MailConfig::default().with_scale(0.02)).unwrap();
         assert!(!world.benign_mail.is_empty());
         assert!(!world.provider.reports.is_empty());
         assert!(world.provider.oracle.total() > 0);

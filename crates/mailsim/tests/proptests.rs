@@ -1,5 +1,7 @@
 //! Property tests for the mail layer's corpus format.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use taster_mailsim::mbox::{parse_mbox, write_mbox, MboxMessage};
 use taster_sim::SimTime;

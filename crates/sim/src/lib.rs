@@ -31,6 +31,7 @@
 //!   ([`trace::Tracer`]), bundled into one [`obs::Obs`] handle whose
 //!   deterministic views are bit-identical at any worker count.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

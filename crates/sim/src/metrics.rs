@@ -256,7 +256,12 @@ impl MetricsRegistry {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
-        self.inner.lock().expect("metrics registry mutex poisoned")
+        // A poisoned lock means a worker panicked mid-update; the
+        // counters are still structurally sound, so recover the inner
+        // data rather than compounding the panic.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Adds `delta` to counter `name` (saturating; no-op when off).
@@ -308,6 +313,18 @@ impl MetricsRegistry {
         if secs < *slot {
             *slot = secs;
         }
+    }
+
+    /// Runs `f` and records its wall time under `stage` (best-of
+    /// across repeats). This is the registry's only clock: keeping the
+    /// `Instant` read here preserves the wall-clock quarantine — the
+    /// `taster lint` wall-clock rule allows `Instant` only in this
+    /// module, `trace`, and `core::profile`.
+    pub fn time_stage<T>(&self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let started = std::time::Instant::now();
+        let out = f();
+        self.record_timing(stage, started.elapsed().as_secs_f64());
+        out
     }
 
     /// The recorded wall time for `stage`, if any.

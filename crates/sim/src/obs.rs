@@ -64,11 +64,7 @@ impl Obs {
     /// `BENCH_pipeline.json`, so the two can never disagree.
     pub fn stage<T>(&self, stage: &str, f: impl FnOnce() -> T) -> T {
         let _span = self.trace.span(stage);
-        let started = std::time::Instant::now();
-        let out = f();
-        self.metrics
-            .record_timing(stage, started.elapsed().as_secs_f64());
-        out
+        self.metrics.time_stage(stage, f)
     }
 }
 

@@ -121,25 +121,25 @@ impl Parallelism {
                     if i >= n {
                         break;
                     }
-                    let item = tasks[i]
+                    // The atomic cursor hands each index to exactly one
+                    // worker, so the slot always still holds its input;
+                    // skip defensively rather than panic if it does not.
+                    let Some(item) = tasks[i]
                         .lock()
-                        .expect("task mutex poisoned")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .take()
-                        .expect("task claimed twice");
+                    else {
+                        continue;
+                    };
                     let out = f(i, item);
-                    *slots[i].lock().expect("slot mutex poisoned") = Some(out);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
                 });
             }
         });
 
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot mutex poisoned")
-                    .expect("worker completed every claimed task")
-            })
-            .collect()
+        slots.into_iter().map(take_slot).collect()
     }
 
     /// Runs heterogeneous tasks concurrently, returning their results
@@ -153,6 +153,19 @@ impl Parallelism {
     {
         self.par_map(tasks, |task| task())
     }
+}
+
+/// Unwraps one completed result slot. `scope()` propagates worker
+/// panics before `par_map` reaches this point, so an empty slot means
+/// results were lost; returning a shortened vector would silently
+/// corrupt the ordered merge, so this is the one place the pool
+/// prefers a loud abort.
+#[allow(clippy::expect_used)]
+fn take_slot<U>(slot: Mutex<Option<U>>) -> U {
+    slot.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        // lint:allow(no-panic) -- scope() propagates worker panics; an empty slot means lost results and must abort rather than silently corrupt the ordered merge
+        .expect("worker completed every claimed task")
 }
 
 #[cfg(test)]

@@ -87,7 +87,12 @@ impl Tracer {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, TracerInner> {
-        self.inner.lock().expect("tracer mutex poisoned")
+        // Spans only record on the driver thread; a poisoned lock can
+        // only come from a panicking span guard mid-drop, and the span
+        // tree is still structurally sound — recover it.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Opens a span named `name`, nested under the currently open span

@@ -4,6 +4,8 @@
 //! and decisions for distinct keys come from independent streams, so
 //! the order in which workers ask is irrelevant.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use taster_sim::{FaultPlan, FaultProfile, RecordFault};
 

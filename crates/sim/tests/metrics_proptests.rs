@@ -3,6 +3,8 @@
 //! associate (the precondition for worker-count-invariant totals), and
 //! counters saturate instead of wrapping near `u64::MAX`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use taster_sim::{Histogram, MetricsShard};
 

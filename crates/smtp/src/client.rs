@@ -65,7 +65,12 @@ pub fn deliver<'s>(
         }
     }
     send(".".to_string())?;
-    Ok(server.stored().last().expect("message just stored"))
+    // The accepted final dot always stores the message; treat a
+    // missing copy as the server having refused the transaction.
+    server.stored().last().ok_or_else(|| DeliveryError {
+        at: ".".to_string(),
+        reply: Reply::bad_sequence(),
+    })
 }
 
 #[cfg(test)]

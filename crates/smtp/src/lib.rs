@@ -20,6 +20,7 @@
 //! `SIZE` negotiation), since a quiescent-domain honeypot advertises
 //! none of them.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -2,6 +2,8 @@
 //! line sequence yields valid replies and never panics — and delivery
 //! must round-trip arbitrary bodies.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use taster_smtp::{deliver, Command, HoneypotServer, SessionState};
 

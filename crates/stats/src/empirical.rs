@@ -6,13 +6,13 @@
 //! `u32` so this plugs directly into `taster_domain::DomainId`
 //! indices without a dependency edge.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A multiset of observations over dense `u32` keys, normalisable to an
 /// empirical probability distribution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EmpiricalDist {
-    counts: HashMap<u32, u64>,
+    counts: BTreeMap<u32, u64>,
     total: u64,
 }
 
@@ -108,7 +108,7 @@ impl EmpiricalDist {
     /// Restricts this distribution to `keys`, dropping everything else.
     /// Used when the paper restricts comparisons to tagged domains
     /// appearing in at least one spam feed.
-    pub fn restricted_to(&self, keys: &std::collections::HashSet<u32>) -> EmpiricalDist {
+    pub fn restricted_to(&self, keys: &BTreeSet<u32>) -> EmpiricalDist {
         EmpiricalDist::from_counts(
             self.counts
                 .iter()
@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn restriction() {
         let a = EmpiricalDist::from_counts([(1, 5), (2, 5)]);
-        let keep: std::collections::HashSet<u32> = [2].into_iter().collect();
+        let keep: BTreeSet<u32> = [2].into_iter().collect();
         let r = a.restricted_to(&keep);
         assert_eq!(r.total(), 5);
         assert_eq!(r.count(1), 0);

@@ -24,6 +24,7 @@
 //!   shares for the heavy-tail statements the paper makes in prose.
 //! * [`summary`] — means, standard deviations and counting helpers.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -47,8 +47,11 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        // Guard against floating error at the top end.
-        *cdf.last_mut().expect("n > 0") = 1.0;
+        // Guard against floating error at the top end (no-op only
+        // for the degenerate empty table).
+        if let Some(top) = cdf.last_mut() {
+            *top = 1.0;
+        }
         Zipf { cdf }
     }
 

@@ -3,6 +3,8 @@
 //! and single-domain feeds that fault injection (outages, blackouts)
 //! makes routine.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use taster_stats::kendall::{kendall_tau_b, kendall_tau_b_counts, kendall_tau_b_reference};
 use taster_stats::quantile::{quantile, Boxplot};
 use taster_stats::summary::{fraction, mean, std_dev};

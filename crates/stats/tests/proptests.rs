@@ -1,5 +1,7 @@
 //! Property-based tests for the statistics layer.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use taster_stats::kendall::{kendall_tau_b, kendall_tau_b_reference};
 use taster_stats::quantile::{quantile, Boxplot};
@@ -110,7 +112,8 @@ proptest! {
     }
 
     #[test]
-    fn restriction_never_grows(pairs in dist_pairs(), keep in proptest::collection::hash_set(0u32..40, 0..20)) {
+    fn restriction_never_grows(pairs in dist_pairs(), keep_raw in proptest::collection::vec(0u32..40, 0..20)) {
+        let keep: std::collections::BTreeSet<u32> = keep_raw.into_iter().collect();
         let d = EmpiricalDist::from_counts(pairs);
         let r = d.restricted_to(&keep);
         prop_assert!(r.total() <= d.total());

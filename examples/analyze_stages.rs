@@ -6,6 +6,9 @@
 //! cargo run --release --example analyze_stages [scale] [seed] [reps]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::time::Instant;
 use taster::analysis::classify::Category;
 use taster::analysis::coverage::{coverage_table_par, exclusive_share_par, pairwise_overlap_par};

@@ -11,6 +11,9 @@
 //! cargo run --release --example blacklist_latency [scale]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::collections::HashMap;
 use taster::analysis::classify::Category;
 use taster::core::{Experiment, Scenario};

@@ -7,6 +7,9 @@
 //! cargo run --release --example export_corpus [scale] [out.mbox]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use rand::RngExt;
 use taster::ecosystem::campaign::TargetClass;
 use taster::ecosystem::{EcosystemConfig, GroundTruth};
@@ -26,7 +29,11 @@ fn main() {
 
     eprintln!("generating world at scale {scale}…");
     let truth = GroundTruth::generate(&EcosystemConfig::default().with_scale(scale), 77).unwrap();
-    let world = MailWorld::build(truth, MailConfig::default().with_scale(scale));
+    let world =
+        MailWorld::build(truth, MailConfig::default().with_scale(scale)).unwrap_or_else(|e| {
+            eprintln!("invalid mail config: {e}");
+            std::process::exit(2);
+        });
 
     // Run a fresh MX honeypot over the brute-force stream and keep the
     // stored messages (the collectors drain them; a corpus exporter

@@ -10,6 +10,9 @@
 //! cargo run --release --example feed_shootout [scale]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use taster::analysis::classify::Category;
 use taster::core::{Experiment, Scenario};
 use taster::feeds::FeedId;

@@ -9,6 +9,9 @@
 //! cargo run --release --example poisoning_forensics [scale]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use taster::core::ablation;
 use taster::core::{Experiment, Scenario};
 use taster::ecosystem::domains::DomainKind;

@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart [scale] [seed]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use taster::core::{Experiment, Scenario};
 
 fn main() {

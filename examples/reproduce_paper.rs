@@ -8,6 +8,9 @@
 //! cargo run --release --example reproduce_paper 1.0 42     # other seed
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use taster::core::{Experiment, Scenario};
 
 fn main() {

@@ -57,7 +57,9 @@
 //! With `--metrics` and `--trace` both absent, every command's output
 //! is byte-identical to a build without the observability layer.
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// The CLI is the one target that talks to stdout/stderr by design;
+// unwrap/expect stay denied via the workspace lint table.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use taster::analysis::classify::Category;
 use taster::core::{ablation, degradation, profile, sweep, Experiment, Scenario};
@@ -76,6 +78,10 @@ struct Args {
     metrics: bool,
     trace: Option<String>,
     overhead_gate: Option<f64>,
+    self_test: bool,
+    strict: bool,
+    baseline: Option<String>,
+    write_baseline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,6 +100,10 @@ fn parse_args() -> Result<Args, String> {
         metrics: false,
         trace: None,
         overhead_gate: None,
+        self_test: false,
+        strict: false,
+        baseline: None,
+        write_baseline: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -135,6 +145,12 @@ fn parse_args() -> Result<Args, String> {
                 out.out = args.next().ok_or("--out needs a value")?;
             }
             "--metrics" => out.metrics = true,
+            "--self-test" => out.self_test = true,
+            "--strict" => out.strict = true,
+            "--baseline" => {
+                out.baseline = Some(args.next().ok_or("--baseline needs a path")?);
+            }
+            "--write-baseline" => out.write_baseline = true,
             "--trace" => {
                 out.trace = Some(args.next().ok_or("--trace needs a path")?);
             }
@@ -157,9 +173,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile> \
+    "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile|lint> \
      [--scale S] [--seed N] [--threads N] [--section NAME] [--faults PROFILE] [--out PATH] \
-     [--metrics] [--trace PATH] [--overhead-gate FRAC]"
+     [--metrics] [--trace PATH] [--overhead-gate FRAC]\n       \
+     taster lint [--format json] [--strict] [--self-test] [--baseline PATH] [--write-baseline]"
         .to_string()
 }
 
@@ -171,6 +188,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.command == "lint" {
+        lint_cmd(&args);
+        return;
+    }
     let mut scenario = Scenario::default_paper()
         .with_scale(args.scale)
         .with_seed(args.seed);
@@ -199,6 +220,100 @@ fn main() {
             eprintln!("unknown command {other}\n{}", usage());
             std::process::exit(2);
         }
+    }
+}
+
+/// `taster lint`: run the workspace determinism/panic-safety static
+/// analysis. Exit codes: 0 clean, 1 findings (or failed self-test),
+/// 2 setup problems.
+fn lint_cmd(args: &Args) {
+    use taster::lint::{self, LintConfig};
+
+    if args.self_test {
+        let results = match lint::selftest::self_test() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lint --self-test could not build its fixture workspace: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut failed = false;
+        for r in &results {
+            println!(
+                "{:.<24} {}",
+                r.rule,
+                if r.fired { "fires" } else { "DID NOT FIRE" }
+            );
+            failed |= !r.fired;
+        }
+        if failed {
+            eprintln!("lint self-test FAILED: at least one rule no longer matches");
+            std::process::exit(1);
+        }
+        eprintln!("lint self-test passed: every rule fires on its injected violation");
+        return;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read current directory: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(root) = lint::find_workspace_root(&cwd) else {
+        eprintln!("cannot find the workspace root (Cargo.toml + crates/) above {cwd:?}");
+        std::process::exit(2);
+    };
+    let baseline = args
+        .baseline
+        .clone()
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            let default = root.join("lint.baseline");
+            default.is_file().then_some(default)
+        });
+    let config = LintConfig {
+        root: root.clone(),
+        strict: args.strict,
+        baseline: if args.write_baseline {
+            None
+        } else {
+            baseline.clone()
+        },
+    };
+    let report = match lint::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if args.write_baseline {
+        let path = args
+            .baseline
+            .clone()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| root.join("lint.baseline"));
+        let text = lint::baseline::Baseline::from_diagnostics(&report.diagnostics).render();
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write baseline {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {} entry(ies) to {}",
+            report.diagnostics.len(),
+            path.display()
+        );
+        return;
+    }
+    if args.format == "json" {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
     }
 }
 
@@ -398,7 +513,10 @@ fn ablate(scenario: &Scenario) {
 }
 
 fn do_sweep(scenario: &Scenario, which: Option<&str>) {
-    let world = sweep::build_world(scenario);
+    let world = sweep::build_world(scenario).unwrap_or_else(|e| {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(2);
+    });
     let points = match which {
         Some("seeding") => sweep::seeding_sweep(scenario, &world),
         Some("mx-size") => {
@@ -430,7 +548,10 @@ fn do_sweep(scenario: &Scenario, which: Option<&str>) {
 /// produces bit-identical output, only wall-clock varies.
 fn bench_json(scenario: &Scenario, path: &str) {
     eprintln!("building world for {}", scenario.name);
-    let world = sweep::build_world(scenario);
+    let world = sweep::build_world(scenario).unwrap_or_else(|e| {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(2);
+    });
     let reps = 3usize;
     let mut rows: Vec<profile::StageBench> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
@@ -466,7 +587,10 @@ fn bench_json(scenario: &Scenario, path: &str) {
 }
 
 fn summary(scenario: &Scenario) {
-    let world = sweep::build_world(scenario);
+    let world = sweep::build_world(scenario).unwrap_or_else(|e| {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(2);
+    });
     let t = &world.truth;
     println!("scenario ........ {}", scenario.name);
     println!("seed ............ {}", t.seed);

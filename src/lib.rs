@@ -19,6 +19,7 @@
 //! * [`feeds`] — the ten feed collectors and feed records.
 //! * [`analysis`] — purity, coverage, proportionality and timing metrics.
 //! * [`core`] — scenarios, the experiment driver, and report rendering.
+//! * [`lint`] — the `taster lint` determinism/panic-safety analyzer.
 //!
 //! ## Quick start
 //!
@@ -30,12 +31,15 @@
 //! println!("{}", experiment.report().table1_feed_summary());
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub use taster_analysis as analysis;
 pub use taster_core as core;
 pub use taster_crawler as crawler;
 pub use taster_domain as domain;
 pub use taster_ecosystem as ecosystem;
 pub use taster_feeds as feeds;
+pub use taster_lint as lint;
 pub use taster_mailsim as mailsim;
 pub use taster_sim as sim;
 pub use taster_smtp as smtp;

@@ -2,6 +2,8 @@
 //! `(Scenario, seed)`, and independent observation layers do not
 //! perturb each other.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use taster::core::{Experiment, Scenario};
 use taster::ecosystem::{EcosystemConfig, GroundTruth};
 use taster::feeds::FeedId;

@@ -5,6 +5,8 @@
 //! extreme (a 100 %-outage blackout) must complete without panicking,
 //! rendering an annotated report over ten empty feeds.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use taster::core::{Experiment, Scenario};
 use taster::feeds::FeedId;
 use taster::sim::FaultProfile;

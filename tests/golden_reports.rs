@@ -16,6 +16,8 @@
 //! actual vs. expected, so a drifted table is locatable without a
 //! manual diff.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use taster::core::{degradation, profile, Experiment, Scenario};
 use taster::sim::{FaultProfile, Obs};
 

@@ -5,6 +5,8 @@
 //! identical feed sets. This is the contract that lets `--threads`
 //! change only wall-clock, never results.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use taster::core::{Experiment, Scenario};
 use taster::feeds::{FeedId, FeedSet};
 

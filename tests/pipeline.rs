@@ -2,6 +2,8 @@
 //! ever see what ground truth emitted, classification must agree with
 //! the crawler, and the analyses must agree with the raw feeds.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashSet;
 use std::sync::OnceLock;
 use taster::analysis::classify::Category;

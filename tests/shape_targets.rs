@@ -6,6 +6,8 @@
 //! assert each finding with tolerant bounds; EXPERIMENTS.md records
 //! the full-scale numbers.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::OnceLock;
 use taster::analysis::classify::Category;
 use taster::core::{Experiment, Scenario};

@@ -5,6 +5,8 @@
 //! shards merge in event-range order and every aggregate is
 //! order-free, so the worker count can change only wall-clock.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use taster::core::{profile, Experiment, Scenario};
 use taster::sim::{FaultProfile, Obs};
 
