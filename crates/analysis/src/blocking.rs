@@ -67,61 +67,101 @@ fn ratio(n: u64, d: u64) -> f64 {
     }
 }
 
-/// Evaluates one feed as a filter over the whole scenario.
-pub fn evaluate_feed(world: &MailWorld, feed: &Feed) -> BlockingResult {
-    let blocked_at = |d: taster_domain::DomainId, t: taster_sim::SimTime| -> bool {
+/// Evaluates a set of feeds in one streaming pass over the event
+/// replay. The spam counters are stateless per event, so a single
+/// generation-order pass scores every feed at once — the event stream
+/// is replayed exactly once however many feeds are under test.
+fn evaluate_feeds(world: &MailWorld, under_test: &[&Feed]) -> Vec<BlockingResult> {
+    let blocked_at = |feed: &Feed, d: taster_domain::DomainId, t: taster_sim::SimTime| -> bool {
         feed.stats(d).is_some_and(|s| s.first_seen < t)
     };
-    let mut spam_total = 0u64;
-    let mut spam_blocked = 0u64;
-    let mut spam_eventually = 0u64;
-    for ev in &world.truth.events {
-        spam_total += 1;
-        let domains = [Some(ev.advertised), ev.chaff];
-        if domains.iter().flatten().any(|&d| blocked_at(d, ev.time)) {
-            spam_blocked += 1;
+    let nf = under_test.len();
+    // Dense (domain × feed) first-seen matrix, row-major per domain so
+    // one event's lookups for all feeds share a cache line or two.
+    // `u64::MAX` marks "never listed" — real first-seen times are
+    // horizon-bounded seconds, far below the sentinel — and makes both
+    // predicates branch-free: blocked ⇔ `first < t`, eventually ⇔
+    // `first != MAX`. The replay loop runs millions of events × every
+    // feed; hash lookups here used to dominate the whole study.
+    let mut first_seen = vec![u64::MAX; world.truth.universe.len() * nf];
+    for (k, feed) in under_test.iter().enumerate() {
+        for d in feed.domain_ids() {
+            if let Some(s) = feed.stats(d) {
+                first_seen[d.index() * nf + k] = s.first_seen.0;
+            }
         }
-        if domains.iter().flatten().any(|&d| feed.contains(d)) {
-            spam_eventually += 1;
+    }
+    let mut spam_total = 0u64;
+    let mut spam_blocked = vec![0u64; nf];
+    let mut spam_eventually = vec![0u64; nf];
+    for ev in world.truth.events() {
+        spam_total += 1;
+        let t = ev.time.0;
+        let adv_row = ev.advertised.index() * nf;
+        let chaff_row = ev.chaff.map(|c| c.index() * nf);
+        for k in 0..nf {
+            let fa = first_seen[adv_row + k];
+            let fc = chaff_row.map_or(u64::MAX, |row| first_seen[row + k]);
+            if fa < t || fc < t {
+                spam_blocked[k] += 1;
+            }
+            if fa != u64::MAX || fc != u64::MAX {
+                spam_eventually[k] += 1;
+            }
         }
     }
 
     let mut ham_total = 0u64;
-    let mut ham_blocked = 0u64;
+    let mut ham_blocked = vec![0u64; under_test.len()];
     for mail in &world.benign_mail {
         ham_total += 1;
-        if mail.domains.iter().any(|&d| blocked_at(d, mail.time)) {
-            ham_blocked += 1;
+        for (k, feed) in under_test.iter().enumerate() {
+            if mail.domains.iter().any(|&d| blocked_at(feed, d, mail.time)) {
+                ham_blocked[k] += 1;
+            }
         }
     }
     // Reported-but-legitimate newsletters are also ham traffic.
     for report in world.provider.reports.iter().filter(|r| !r.spam) {
         ham_total += 1;
-        if report.domains.iter().any(|&d| blocked_at(d, report.time)) {
-            ham_blocked += 1;
+        for (k, feed) in under_test.iter().enumerate() {
+            if report
+                .domains
+                .iter()
+                .any(|&d| blocked_at(feed, d, report.time))
+            {
+                ham_blocked[k] += 1;
+            }
         }
     }
 
-    BlockingResult {
-        feed: feed.id,
-        spam_total,
-        spam_blocked,
-        spam_blocked_eventually: spam_eventually,
-        ham_total,
-        ham_blocked,
-    }
+    under_test
+        .iter()
+        .enumerate()
+        .map(|(k, feed)| BlockingResult {
+            feed: feed.id,
+            spam_total,
+            spam_blocked: spam_blocked[k],
+            spam_blocked_eventually: spam_eventually[k],
+            ham_total,
+            ham_blocked: ham_blocked[k],
+        })
+        .collect()
 }
 
-/// Evaluates every feed.
+/// Evaluates one feed as a filter over the whole scenario.
+pub fn evaluate_feed(world: &MailWorld, feed: &Feed) -> BlockingResult {
+    evaluate_feeds(world, &[feed])[0]
+}
+
+/// Evaluates every feed in a single pass over the event stream.
 pub fn blocking_study(
     world: &MailWorld,
     feeds: &FeedSet,
     _classified: &Classified,
 ) -> Vec<BlockingResult> {
-    FeedId::ALL
-        .iter()
-        .map(|&id| evaluate_feed(world, feeds.get(id)))
-        .collect()
+    let all: Vec<&Feed> = FeedId::ALL.iter().map(|&id| feeds.get(id)).collect();
+    evaluate_feeds(world, &all)
 }
 
 #[cfg(test)]

@@ -27,8 +27,10 @@ use taster_analysis::timing::{
     duration_error_par, first_appearance_par, last_appearance_par, FIG9_FEEDS, HONEYPOT_FEEDS,
 };
 use taster_analysis::Classified;
+use taster_ecosystem::buffer::EventBuffer;
 use taster_feeds::PipelineError;
 use taster_feeds::{collect_all_with, try_collect_all_faulted, try_collect_all_observed};
+use taster_mailsim::provider::PROVIDER_BUCKET;
 use taster_mailsim::MailWorld;
 use taster_sim::metrics::{
     STAGE_CLASSIFY, STAGE_COLLECT, STAGE_COVERAGE, STAGE_PROPORTIONALITY, STAGE_PURITY,
@@ -208,72 +210,163 @@ pub fn bench_stages(
     Ok(StageBench::from_registry(&obs, workers))
 }
 
-/// Renders the `BENCH_pipeline.json` document. Every canonical stage
-/// key ([`STAGE_KEYS`](taster_sim::metrics::STAGE_KEYS)) appears as a
+/// One scale point of the pipeline bench: the world's event count,
+/// the chunk size collection streamed at, a peak streaming-memory
+/// estimate, and the per-worker-count stage rows.
+#[derive(Debug, Clone)]
+pub struct ScaleBench {
+    /// Scale factor the scenario ran at.
+    pub scale: f64,
+    /// Full scenario name (seed and scale included).
+    pub scenario_name: String,
+    /// Ground-truth event count at this scale.
+    pub events: u64,
+    /// Event-chunk rows per collection pass.
+    pub chunk_size: usize,
+    /// Peak bytes the streaming buffers can hold at once
+    /// ([`stream_peak_bytes`]).
+    pub stream_peak_bytes: u64,
+    /// Stage timings, one row per worker count.
+    pub rows: Vec<StageBench>,
+}
+
+impl ScaleBench {
+    /// Assembles one scale entry, deriving the memory estimate from
+    /// `(events, chunk_size)`.
+    pub fn new(
+        scale: f64,
+        scenario_name: &str,
+        events: u64,
+        chunk_size: usize,
+        rows: Vec<StageBench>,
+    ) -> ScaleBench {
+        ScaleBench {
+            scale,
+            scenario_name: scenario_name.to_string(),
+            events,
+            chunk_size,
+            stream_peak_bytes: stream_peak_bytes(events, chunk_size),
+            rows,
+        }
+    }
+
+    /// Best collect-stage throughput across the worker rows, events
+    /// per second (the CI perf-smoke floor reads this).
+    pub fn best_events_per_sec(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| events_per_sec(self.events, r.collect))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Estimates peak bytes resident in the streaming event buffers: the
+/// larger of one collection chunk and one provider sorting bucket
+/// (struct-of-arrays rows), plus the always-resident `u32` rank
+/// permutation. Deliberately excludes the feeds themselves — their
+/// size depends on capture probabilities, not on the streaming core.
+pub fn stream_peak_bytes(events: u64, chunk_size: usize) -> u64 {
+    let row = EventBuffer::bytes_per_event() as u64;
+    let chunk_rows = (chunk_size as u64).min(events);
+    let bucket_rows = (PROVIDER_BUCKET as u64).min(events);
+    chunk_rows.max(bucket_rows) * row + 4 * events
+}
+
+/// Collect-stage throughput in events per second (0 when the stage
+/// recorded no time).
+pub fn events_per_sec(events: u64, collect_secs: f64) -> f64 {
+    if collect_secs > 0.0 {
+        events as f64 / collect_secs
+    } else {
+        0.0
+    }
+}
+
+/// Renders the `BENCH_pipeline.json` document: one entry per scale,
+/// each with its event count, chunk size, memory estimate, and
+/// per-worker-count stage rows. Every canonical stage key
+/// ([`STAGE_KEYS`](taster_sim::metrics::STAGE_KEYS)) appears as a
 /// `<stage>_secs` field in each run row; speedups are relative to the
-/// first row.
-pub fn bench_json_string(scenario: &Scenario, reps: usize, rows: &[StageBench]) -> String {
+/// scale's first row.
+pub fn bench_json_string(seed: u64, reps: usize, scales: &[ScaleBench]) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let base = rows.first().copied().unwrap_or(StageBench {
-        workers: 1,
-        collect: 1.0,
-        classify: 1.0,
-        collect_faulted: 0.0,
-        classify_faulted: 0.0,
-        coverage: 1.0,
-        purity: 0.0,
-        proportionality: 0.0,
-        timing: 0.0,
-    });
     let speedup = |base: f64, now: f64| if now > 0.0 { base / now } else { 0.0 };
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"pipeline_scaling\",");
-    let _ = writeln!(json, "  \"scenario\": \"{}\",", scenario.name);
-    let _ = writeln!(json, "  \"seed\": {},", scenario.seed);
+    let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"available_cores\": {cores},");
     let _ = writeln!(json, "  \"reps\": {reps},");
-    json.push_str("  \"runs\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let fault_overhead = if row.collect + row.classify > 0.0 {
-            (row.collect_faulted + row.classify_faulted) / (row.collect + row.classify)
-        } else {
-            0.0
-        };
+    json.push_str("  \"scales\": [\n");
+    for (s, entry) in scales.iter().enumerate() {
+        let outer_comma = if s + 1 < scales.len() { "," } else { "" };
+        let base = entry.rows.first().copied().unwrap_or(StageBench {
+            workers: 1,
+            collect: 1.0,
+            classify: 1.0,
+            collect_faulted: 0.0,
+            classify_faulted: 0.0,
+            coverage: 1.0,
+            purity: 0.0,
+            proportionality: 0.0,
+            timing: 0.0,
+        });
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"scenario\": \"{}\",", entry.scenario_name);
+        let _ = writeln!(json, "      \"scale\": {},", entry.scale);
+        let _ = writeln!(json, "      \"events\": {},", entry.events);
+        let _ = writeln!(json, "      \"chunk_size\": {},", entry.chunk_size);
         let _ = writeln!(
             json,
-            "    {{\"workers\": {}, \
-             \"collect_secs\": {:.6}, \
-             \"collect_speedup\": {:.3}, \
-             \"classify_secs\": {:.6}, \
-             \"classify_speedup\": {:.3}, \
-             \"collect_faulted_secs\": {:.6}, \
-             \"classify_faulted_secs\": {:.6}, \
-             \"fault_overhead\": {:.3}, \
-             \"coverage_secs\": {:.6}, \
-             \"purity_secs\": {:.6}, \
-             \"proportionality_secs\": {:.6}, \
-             \"timing_secs\": {:.6}, \
-             \"analyze_secs\": {:.6}, \
-             \"analyze_speedup\": {:.3}}}{comma}",
-            row.workers,
-            row.collect,
-            speedup(base.collect, row.collect),
-            row.classify,
-            speedup(base.classify, row.classify),
-            row.collect_faulted,
-            row.classify_faulted,
-            fault_overhead,
-            row.coverage,
-            row.purity,
-            row.proportionality,
-            row.timing,
-            row.analyze(),
-            speedup(base.analyze(), row.analyze()),
+            "      \"stream_peak_bytes\": {},",
+            entry.stream_peak_bytes
         );
+        json.push_str("      \"runs\": [\n");
+        for (i, row) in entry.rows.iter().enumerate() {
+            let comma = if i + 1 < entry.rows.len() { "," } else { "" };
+            let fault_overhead = if row.collect + row.classify > 0.0 {
+                (row.collect_faulted + row.classify_faulted) / (row.collect + row.classify)
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                json,
+                "        {{\"workers\": {}, \
+                 \"collect_secs\": {:.6}, \
+                 \"collect_speedup\": {:.3}, \
+                 \"events_per_sec\": {:.1}, \
+                 \"classify_secs\": {:.6}, \
+                 \"classify_speedup\": {:.3}, \
+                 \"collect_faulted_secs\": {:.6}, \
+                 \"classify_faulted_secs\": {:.6}, \
+                 \"fault_overhead\": {:.3}, \
+                 \"coverage_secs\": {:.6}, \
+                 \"purity_secs\": {:.6}, \
+                 \"proportionality_secs\": {:.6}, \
+                 \"timing_secs\": {:.6}, \
+                 \"analyze_secs\": {:.6}, \
+                 \"analyze_speedup\": {:.3}}}{comma}",
+                row.workers,
+                row.collect,
+                speedup(base.collect, row.collect),
+                events_per_sec(entry.events, row.collect),
+                row.classify,
+                speedup(base.classify, row.classify),
+                row.collect_faulted,
+                row.classify_faulted,
+                fault_overhead,
+                row.coverage,
+                row.purity,
+                row.proportionality,
+                row.timing,
+                row.analyze(),
+                speedup(base.analyze(), row.analyze()),
+            );
+        }
+        json.push_str("      ]\n");
+        let _ = writeln!(json, "    }}{outer_comma}");
     }
     json.push_str("  ]\n}\n");
     json
@@ -336,7 +429,10 @@ mod tests {
         let world = crate::sweep::build_world(&scenario).unwrap();
         let row = bench_stages(&world, &scenario, 2, 1).expect("bench runs");
         assert!(row.collect > 0.0 && row.classify > 0.0);
-        let json = bench_json_string(&scenario, 1, &[row]);
+        let events = world.truth.log.len as u64;
+        let entry = ScaleBench::new(0.02, &scenario.name, events, 64, vec![row]);
+        assert!(entry.best_events_per_sec() > 0.0);
+        let json = bench_json_string(scenario.seed, 1, &[entry]);
         for stage in taster_sim::metrics::STAGE_KEYS {
             assert!(
                 json.contains(&format!("\"{stage}_secs\"")),
@@ -344,6 +440,28 @@ mod tests {
             );
         }
         assert!(json.contains("\"collect_faulted_secs\""));
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"scale\": 0.02"));
+        assert!(json.contains(&format!("\"events\": {events}")));
+        assert!(json.contains("\"chunk_size\": 64"));
+        assert!(json.contains("\"stream_peak_bytes\""));
+    }
+
+    #[test]
+    fn stream_peak_estimate_tracks_chunk_and_bucket() {
+        let row = EventBuffer::bytes_per_event() as u64;
+        // Tiny log: both buffers clamp to the event count.
+        assert_eq!(stream_peak_bytes(10, 1 << 20), 10 * row + 40);
+        // Paper-scale log: the provider bucket dominates a small chunk.
+        let events = 4_000_000u64;
+        let expect = (PROVIDER_BUCKET as u64) * row + 4 * events;
+        assert_eq!(stream_peak_bytes(events, 1024), expect);
+        // A chunk wider than the bucket dominates instead, clamped to
+        // the log length.
+        let wide = 1 << 22;
+        assert_eq!(stream_peak_bytes(events, wide), events * row + 4 * events);
+        assert_eq!(events_per_sec(100, 0.0), 0.0);
+        assert!((events_per_sec(100, 2.0) - 50.0).abs() < 1e-9);
     }
 
     #[test]

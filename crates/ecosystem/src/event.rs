@@ -1,4 +1,4 @@
-//! Per-delivered-copy spam events.
+//! Per-delivered-copy spam events, generated as a stream.
 //!
 //! The unit of simulation is one *delivered copy*: a message as it
 //! crosses the SMTP boundary towards one recipient class. All feed
@@ -6,6 +6,16 @@
 //! stream. (Real 2010 spam volumes were ~10⁵× larger; the stream is a
 //! proportional sample, which preserves every relative quantity the
 //! paper measures.)
+//!
+//! Since the streaming rework the event log is never materialised:
+//! generation is a pure function of `(config, campaigns, seed)`, so
+//! consumers replay it on demand through [`EventStream`] instead of
+//! reading a stored vector. The draw sequence is pinned — one
+//! sequential `ecosystem/events` stream across all campaigns, then the
+//! `ecosystem/poison` stream — and both the registering first pass
+//! (inside `GroundTruth::generate`) and every replay consume exactly
+//! the same draws in the same order, so a replayed event `g` is
+//! bit-identical to the one the first pass produced at position `g`.
 
 use crate::campaign::{Campaign, DeliveryVector, TargetClass};
 use crate::config::{EcosystemConfig, PoisonConfig};
@@ -13,7 +23,7 @@ use crate::domains::DomainUniverse;
 use crate::ids::CampaignId;
 use rand::{Rng, RngExt};
 use taster_domain::DomainId;
-use taster_sim::{SimTime, TimeWindow};
+use taster_sim::{RngStream, SimTime, TimeWindow};
 
 /// One delivered spam copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +43,108 @@ pub struct SpamEvent {
     pub delivery: DeliveryVector,
 }
 
+/// Per-plan copy split: how many warm-up and blast copies one
+/// [`DomainPlan`](crate::campaign::DomainPlan) emits. Shared between
+/// the first pass and replay so the two can never disagree.
+fn plan_copies(config: &EcosystemConfig, campaign: &Campaign, plan_idx: usize) -> (u64, u64) {
+    let total_secs = campaign
+        .domains
+        .iter()
+        .map(|p| p.window.len_secs())
+        .sum::<u64>()
+        .max(1) as f64;
+    let plan = &campaign.domains[plan_idx];
+    let share = plan.window.len_secs() as f64 / total_secs;
+    let copies = ((campaign.volume as f64) * share).round() as u64;
+    let warmup = (((copies as f64) * config.trickle_volume_fraction).round() as u64).max(2);
+    let blast = copies.saturating_sub(warmup);
+    (warmup, blast)
+}
+
+/// Draws one campaign event. The draw order (advertised → time →
+/// chaff → target) is part of the reproducibility contract.
+fn draw_campaign_event<R: Rng>(
+    config: &EcosystemConfig,
+    campaign: &Campaign,
+    universe: &DomainUniverse,
+    plan_idx: usize,
+    warmup: bool,
+    rng: &mut R,
+) -> SpamEvent {
+    let plan = &campaign.domains[plan_idx];
+    let advertised = advertised_domain(config, plan, rng);
+    let (window, mix) = if warmup {
+        (plan.warmup(), &campaign.trickle_mix)
+    } else {
+        (plan.blast(), &campaign.mix)
+    };
+    SpamEvent {
+        time: uniform_in(window, rng),
+        campaign: campaign.id,
+        advertised,
+        chaff: sample_chaff(config, universe, rng),
+        target: mix.sample(campaign.harvest_mask, rng),
+        delivery: campaign.delivery,
+    }
+}
+
+/// Draws one poison event given the freshly-decided advertised domain
+/// (the registration/replay split lives in the caller).
+fn draw_poison_tail<R: Rng>(
+    window: TimeWindow,
+    campaign_id: CampaignId,
+    delivery: DeliveryVector,
+    advertised: DomainId,
+    rng: &mut R,
+) -> SpamEvent {
+    let u: f64 = rng.random();
+    let target = if u < 0.75 {
+        TargetClass::BruteForce
+    } else if u < 0.90 {
+        TargetClass::Purchased
+    } else {
+        TargetClass::Social
+    };
+    SpamEvent {
+        time: uniform_in(window, rng),
+        campaign: campaign_id,
+        advertised,
+        chaff: None,
+        target,
+        delivery,
+    }
+}
+
+/// Generates all events of one planned campaign into `sink`, in
+/// generation order. Volume splits across rotation slots proportional
+/// to slot length (slots may run in parallel lanes); within a slot, a
+/// small warm-up share goes to real users only (deliverability
+/// testing) before the blast.
+pub fn stream_campaign_events<R: Rng, F: FnMut(SpamEvent)>(
+    config: &EcosystemConfig,
+    campaign: &Campaign,
+    universe: &DomainUniverse,
+    rng: &mut R,
+    mut sink: F,
+) {
+    debug_assert!(!campaign.poison, "poison events use the poison stream");
+    for plan_idx in 0..campaign.domains.len() {
+        let (warmup_copies, blast_copies) = plan_copies(config, campaign, plan_idx);
+        for _ in 0..warmup_copies {
+            sink(draw_campaign_event(
+                config, campaign, universe, plan_idx, true, rng,
+            ));
+        }
+        for _ in 0..blast_copies {
+            sink(draw_campaign_event(
+                config, campaign, universe, plan_idx, false, rng,
+            ));
+        }
+    }
+}
+
 /// Generates all events of one planned campaign, appending to `out`.
+/// Prefer [`stream_campaign_events`] when the log should not be held.
 pub fn generate_campaign_events<R: Rng>(
     config: &EcosystemConfig,
     campaign: &Campaign,
@@ -41,65 +152,25 @@ pub fn generate_campaign_events<R: Rng>(
     rng: &mut R,
     out: &mut Vec<SpamEvent>,
 ) {
-    debug_assert!(!campaign.poison, "poison events use generate_poison_events");
-    // Volume splits across rotation slots proportional to slot length
-    // (slots may run in parallel lanes); within a slot, a small
-    // warm-up share goes to real users only (deliverability testing)
-    // before the blast.
-    let total_secs = campaign
-        .domains
-        .iter()
-        .map(|p| p.window.len_secs())
-        .sum::<u64>()
-        .max(1) as f64;
-    for plan in &campaign.domains {
-        let share = plan.window.len_secs() as f64 / total_secs;
-        let copies = ((campaign.volume as f64) * share).round() as u64;
-        let warmup_copies =
-            (((copies as f64) * config.trickle_volume_fraction).round() as u64).max(2);
-        let blast_copies = copies.saturating_sub(warmup_copies);
-        for _ in 0..warmup_copies {
-            let advertised = advertised_domain(config, plan, rng);
-            out.push(SpamEvent {
-                time: uniform_in(plan.warmup(), rng),
-                campaign: campaign.id,
-                advertised,
-                chaff: sample_chaff(config, universe, rng),
-                target: campaign.trickle_mix.sample(campaign.harvest_mask, rng),
-                delivery: campaign.delivery,
-            });
-        }
-        for _ in 0..blast_copies {
-            let advertised = advertised_domain(config, plan, rng);
-            out.push(SpamEvent {
-                time: uniform_in(plan.blast(), rng),
-                campaign: campaign.id,
-                advertised,
-                chaff: sample_chaff(config, universe, rng),
-                target: campaign.mix.sample(campaign.harvest_mask, rng),
-                delivery: campaign.delivery,
-            });
-        }
-    }
+    stream_campaign_events(config, campaign, universe, rng, |e| out.push(e));
 }
 
-/// Generates the Rustock-style poisoning stream: `poison.volume`
-/// copies, each advertising a randomly-generated domain that is fresh
-/// with probability `1 / copies_per_domain` (so the mean copies per
-/// unique domain matches the config), targeted mostly at brute-force
-/// lists plus real users.
-pub fn generate_poison_events<R: Rng>(
+/// Generates the Rustock-style poisoning stream into `sink`:
+/// `poison.volume` copies, each advertising a randomly-generated
+/// domain that is fresh with probability `1 / copies_per_domain` (so
+/// the mean copies per unique domain matches the config), targeted
+/// mostly at brute-force lists plus real users. Registers the poison
+/// domains into `universe` as it goes (the *first pass*; replay uses
+/// [`EventStream`]).
+pub fn stream_poison_events<R: Rng, F: FnMut(SpamEvent)>(
     poison: &PoisonConfig,
     campaign_id: CampaignId,
     delivery: DeliveryVector,
     universe: &mut DomainUniverse,
     rng: &mut R,
-    out: &mut Vec<SpamEvent>,
+    mut sink: F,
 ) {
-    let window = TimeWindow::new(
-        SimTime::from_days(poison.start_day),
-        SimTime::from_days(poison.start_day + poison.days),
-    );
+    let window = poison_window(poison);
     let fresh_prob = (1.0 / poison.copies_per_domain).clamp(0.0, 1.0);
     let mut current: Option<DomainId> = None;
     for _ in 0..poison.volume {
@@ -111,22 +182,200 @@ pub fn generate_poison_events<R: Rng>(
                 d
             }
         };
-        let u: f64 = rng.random();
-        let target = if u < 0.75 {
-            TargetClass::BruteForce
-        } else if u < 0.90 {
-            TargetClass::Purchased
-        } else {
-            TargetClass::Social
-        };
-        out.push(SpamEvent {
-            time: uniform_in(window, rng),
-            campaign: campaign_id,
-            advertised,
-            chaff: None,
-            target,
+        sink(draw_poison_tail(
+            window,
+            campaign_id,
             delivery,
-        });
+            advertised,
+            rng,
+        ));
+    }
+}
+
+/// [`stream_poison_events`] into a vector.
+pub fn generate_poison_events<R: Rng>(
+    poison: &PoisonConfig,
+    campaign_id: CampaignId,
+    delivery: DeliveryVector,
+    universe: &mut DomainUniverse,
+    rng: &mut R,
+    out: &mut Vec<SpamEvent>,
+) {
+    stream_poison_events(poison, campaign_id, delivery, universe, rng, |e| {
+        out.push(e)
+    });
+}
+
+fn poison_window(poison: &PoisonConfig) -> TimeWindow {
+    TimeWindow::new(
+        SimTime::from_days(poison.start_day),
+        SimTime::from_days(poison.start_day + poison.days),
+    )
+}
+
+/// Replays the generation-order event stream of a fully-generated
+/// world without mutating anything: campaign events first (one
+/// sequential `ecosystem/events` stream across campaigns in order),
+/// then the poisoning stream (`ecosystem/poison`), whose domain
+/// registrations are replayed against the final universe via
+/// [`DomainUniverse::replay_poison`].
+///
+/// Event `g` of the stream is bit-identical to entry `g` of the log
+/// the first pass produced; `GroundTruth::rank` maps `g` to the
+/// event's position in time-sorted order.
+pub struct EventStream<'a> {
+    config: &'a EcosystemConfig,
+    campaigns: &'a [Campaign],
+    universe: &'a DomainUniverse,
+    event_rng: RngStream,
+    // Campaign-phase cursor: campaign index, plan index, phase and
+    // copies left in the current phase.
+    ci: usize,
+    pi: usize,
+    warmup: bool,
+    remaining: u64,
+    primed: bool,
+    // Poison-phase cursor.
+    poison_rng: RngStream,
+    poison_left: u64,
+    poison_current: Option<DomainId>,
+    poison_next_id: u32,
+}
+
+impl<'a> EventStream<'a> {
+    /// Opens a replay over an already-generated world. `poison_base`
+    /// is the dense [`DomainId`] the first poison registration
+    /// received in the first pass.
+    pub(crate) fn new(
+        config: &'a EcosystemConfig,
+        campaigns: &'a [Campaign],
+        universe: &'a DomainUniverse,
+        seed: u64,
+        poison_base: u32,
+    ) -> EventStream<'a> {
+        let poison_left = match (&config.poison, campaigns.last()) {
+            (Some(p), Some(c)) if c.poison => p.volume,
+            _ => 0,
+        };
+        EventStream {
+            config,
+            campaigns,
+            universe,
+            event_rng: RngStream::new(seed, "ecosystem/events"),
+            ci: 0,
+            pi: 0,
+            warmup: true,
+            remaining: 0,
+            primed: false,
+            poison_rng: RngStream::new(seed, "ecosystem/poison"),
+            poison_left,
+            poison_current: None,
+            poison_next_id: poison_base,
+        }
+    }
+
+    /// Advances the campaign cursor to the next non-empty phase,
+    /// returning false once all campaigns are exhausted.
+    fn advance_campaign_cursor(&mut self) -> bool {
+        loop {
+            let Some(campaign) = self.campaigns.get(self.ci) else {
+                return false;
+            };
+            if campaign.poison {
+                // The poison pseudo-campaign is generated from its own
+                // stream below, never from the campaign phase.
+                self.ci += 1;
+                continue;
+            }
+            if !self.primed {
+                // Entering a (campaign, plan) pair: compute its split.
+                if self.pi >= campaign.domains.len() {
+                    self.ci += 1;
+                    self.pi = 0;
+                    continue;
+                }
+                let (w, b) = plan_copies(self.config, campaign, self.pi);
+                self.warmup = true;
+                self.remaining = w;
+                self.primed = true;
+                // Fall through to the emptiness check (warmup ≥ 2 by
+                // construction, but stay defensive).
+                if self.remaining == 0 {
+                    self.warmup = false;
+                    self.remaining = b;
+                }
+                if self.remaining == 0 {
+                    self.primed = false;
+                    self.pi += 1;
+                    continue;
+                }
+                return true;
+            }
+            if self.remaining > 0 {
+                return true;
+            }
+            if self.warmup {
+                let (_, b) = plan_copies(self.config, campaign, self.pi);
+                self.warmup = false;
+                self.remaining = b;
+                if self.remaining > 0 {
+                    return true;
+                }
+            }
+            // Phase pair exhausted: move to the next plan.
+            self.primed = false;
+            self.pi += 1;
+        }
+    }
+}
+
+impl Iterator for EventStream<'_> {
+    type Item = SpamEvent;
+
+    fn next(&mut self) -> Option<SpamEvent> {
+        if self.advance_campaign_cursor() {
+            let campaign = &self.campaigns[self.ci];
+            self.remaining -= 1;
+            return Some(draw_campaign_event(
+                self.config,
+                campaign,
+                self.universe,
+                self.pi,
+                self.warmup,
+                &mut self.event_rng,
+            ));
+        }
+        if self.poison_left == 0 {
+            return None;
+        }
+        self.poison_left -= 1;
+        // poison_left > 0 implies both exist (see `new`); an
+        // inconsistent cursor ends the stream rather than panicking.
+        let (Some(poison), Some(campaign)) = (self.config.poison.as_ref(), self.campaigns.last())
+        else {
+            self.poison_left = 0;
+            return None;
+        };
+        let fresh_prob = (1.0 / poison.copies_per_domain).clamp(0.0, 1.0);
+        let rng = &mut self.poison_rng;
+        let advertised = match self.poison_current {
+            Some(d) if !rng.random_bool(fresh_prob) => d,
+            _ => {
+                let d =
+                    self.universe
+                        .replay_poison(poison.registered_prob, self.poison_next_id, rng);
+                self.poison_next_id += 1;
+                self.poison_current = Some(d);
+                d
+            }
+        };
+        Some(draw_poison_tail(
+            poison_window(poison),
+            campaign.id,
+            campaign.delivery,
+            advertised,
+            rng,
+        ))
     }
 }
 
@@ -227,6 +476,29 @@ mod tests {
         let with_chaff = events.iter().filter(|e| e.chaff.is_some()).count();
         let frac = with_chaff as f64 / events.len() as f64;
         assert!((frac - cfg.chaff_prob).abs() < 0.05, "chaff frac {frac}");
+    }
+
+    #[test]
+    fn streaming_matches_vector_generation() {
+        // The sink-based generator and the appending wrapper must draw
+        // identically: one fresh rng each, same campaign set.
+        let cfg = EcosystemConfig::default().with_scale(0.02);
+        let mut rng = RngStream::new(33, "event-sink-test");
+        let roster = ProgramRoster::generate(&cfg, &mut rng);
+        let botnets = generate_botnets(&cfg, &roster, &mut rng);
+        let mut universe = DomainUniverse::new(&cfg, &mut rng);
+        let campaigns = plan_campaigns(&cfg, &roster, &botnets, &mut universe, &mut rng);
+        let mut via_vec = Vec::new();
+        let mut a = RngStream::new(1, "events");
+        for c in &campaigns {
+            generate_campaign_events(&cfg, c, &universe, &mut a, &mut via_vec);
+        }
+        let mut via_sink = Vec::new();
+        let mut b = RngStream::new(1, "events");
+        for c in &campaigns {
+            stream_campaign_events(&cfg, c, &universe, &mut b, |e| via_sink.push(e));
+        }
+        assert_eq!(via_vec, via_sink);
     }
 
     #[test]

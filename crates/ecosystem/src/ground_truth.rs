@@ -2,19 +2,43 @@
 //!
 //! [`GroundTruth::generate`] is the single entry point: a pure function
 //! of `(EcosystemConfig, seed)` producing the program roster, botnets,
-//! campaigns, domain registry and the time-sorted event stream. Each
+//! campaigns, domain registry and the event-stream spine. Each
 //! generation stage draws from its own named RNG stream, so the ground
 //! truth is bit-stable regardless of what the observation layers do.
+//!
+//! The event log itself is *not* stored: the first pass keeps only the
+//! per-event times, reduced to [`EventLog`] — the log length, the
+//! generation-order → time-sorted-order permutation (`rank`) and the
+//! poison replay anchor. Consumers re-derive the events on demand via
+//! [`GroundTruth::events`], which replays the exact generation draws
+//! in O(1) memory.
 
 use crate::botnet::{generate_botnets, Botnet};
 use crate::campaign::{plan_campaigns, Campaign, CampaignStyle, DeliveryVector, TargetingMix};
 use crate::config::{EcosystemConfig, TargetMixConfig};
 use crate::domains::{DomainKind, DomainUniverse};
-use crate::event::{generate_campaign_events, generate_poison_events, SpamEvent};
+use crate::event::{stream_campaign_events, stream_poison_events, EventStream, SpamEvent};
 use crate::ids::{CampaignId, ProgramId};
 use crate::program::ProgramRoster;
 use taster_domain::DomainId;
 use taster_sim::{RngStream, SimTime, TimeWindow};
+
+/// Compact spine of the event stream. The full log is never held;
+/// this is everything needed to replay it and to address events by
+/// their time-sorted position.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    /// Number of delivered copies.
+    pub len: usize,
+    /// `rank[g]` is the time-sorted position of the event generated
+    /// at index `g` (stable: ties keep generation order). This is the
+    /// index every keyed per-event RNG/fault stream uses, so chunking
+    /// and worker count cannot change any draw.
+    pub rank: Vec<u32>,
+    /// Dense [`DomainId`] of the first poison registration — the
+    /// anchor [`DomainUniverse::replay_poison`] replays against.
+    pub poison_base: u32,
+}
 
 /// The fully-generated spam ecosystem.
 #[derive(Debug, Clone)]
@@ -32,8 +56,8 @@ pub struct GroundTruth {
     /// All campaigns (the poisoning pseudo-campaign, when enabled, is
     /// the last entry and has `poison == true` and an empty plan).
     pub campaigns: Vec<Campaign>,
-    /// All delivered copies, sorted by time (ties in generation order).
-    pub events: Vec<SpamEvent>,
+    /// Event-stream spine (length, sort permutation, replay anchor).
+    pub log: EventLog,
     /// Web-spam (non-e-mail) domain sightings: `(first seen, domain)`,
     /// time-sorted. Consumed only by the hybrid feed's non-mail source.
     pub webspam: Vec<(SimTime, DomainId)>,
@@ -56,13 +80,16 @@ impl GroundTruth {
         let mut campaigns =
             plan_campaigns(config, &roster, &botnets, &mut universe, &mut campaign_rng);
 
+        // First pass: run the full generation draws, but keep only the
+        // per-event times. Replays re-derive everything else.
         let mut event_rng = RngStream::new(seed, "ecosystem/events");
-        let mut events = Vec::new();
+        let mut times: Vec<SimTime> = Vec::new();
         for c in &campaigns {
-            generate_campaign_events(config, c, &universe, &mut event_rng, &mut events);
+            stream_campaign_events(config, c, &universe, &mut event_rng, |e| times.push(e.time));
         }
 
         // The poisoning pseudo-campaign.
+        let mut poison_base = universe.len() as u32;
         if let Some(poison) = &config.poison {
             if let Some(rustock) = botnets.iter().find(|b| b.poisons) {
                 let id = CampaignId(campaigns.len() as u32);
@@ -102,20 +129,42 @@ impl GroundTruth {
                     domains: Vec::new(),
                     poison: true,
                 });
+                // The first poison registration gets the next dense id;
+                // record it as the replay anchor.
+                poison_base = universe.len() as u32;
                 let mut poison_rng = RngStream::new(seed, "ecosystem/poison");
-                generate_poison_events(
-                    poison,
-                    id,
-                    delivery,
-                    &mut universe,
-                    &mut poison_rng,
-                    &mut events,
-                );
+                stream_poison_events(poison, id, delivery, &mut universe, &mut poison_rng, |e| {
+                    times.push(e.time)
+                });
             }
         }
 
-        // Time-sort; stable sort keeps generation order on ties.
-        events.sort_by_key(|e| e.time);
+        // Stable argsort of the times gives the generation→sorted
+        // permutation. Times are seconds bounded by the simulation
+        // horizon (a few million), so a counting sort over that range
+        // beats a comparison sort at millions of events — and assigning
+        // positions in generation order makes it stable by
+        // construction, matching the old `sort_by_key(time)` tie
+        // behaviour exactly.
+        let max_t = times.iter().map(|t| t.0).max().unwrap_or(0) as usize;
+        let mut starts = vec![0u32; max_t + 2];
+        for t in &times {
+            starts[t.0 as usize + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut rank = vec![0u32; times.len()];
+        for (g, t) in times.iter().enumerate() {
+            let slot = &mut starts[t.0 as usize];
+            rank[g] = *slot;
+            *slot += 1;
+        }
+        let log = EventLog {
+            len: times.len(),
+            rank,
+            poison_base,
+        };
 
         // The web-spam corpus: live storefronts advertised outside
         // e-mail (forum spam, search-redirection). Mostly untagged
@@ -162,9 +211,33 @@ impl GroundTruth {
             roster,
             botnets,
             campaigns,
-            events,
+            log,
             webspam,
         })
+    }
+
+    /// Replays the event stream in *generation* order. Event `g` of
+    /// this iterator sits at time-sorted position `self.log.rank[g]`.
+    pub fn events(&self) -> EventStream<'_> {
+        EventStream::new(
+            &self.config,
+            &self.campaigns,
+            &self.universe,
+            self.seed,
+            self.log.poison_base,
+        )
+    }
+
+    /// Materialises the full time-sorted event log (ties in generation
+    /// order) — O(n) memory; meant for tests, examples and small
+    /// one-off analyses, not the streaming pipeline.
+    pub fn sorted_events(&self) -> Vec<SpamEvent> {
+        let gen_events: Vec<SpamEvent> = self.events().collect();
+        let mut out = gen_events.clone();
+        for (g, e) in gen_events.into_iter().enumerate() {
+            out[self.log.rank[g] as usize] = e;
+        }
+        out
     }
 
     /// Campaign lookup.
@@ -179,7 +252,7 @@ impl GroundTruth {
 
     /// Total delivered copies.
     pub fn total_volume(&self) -> u64 {
-        self.events.len() as u64
+        self.log.len as u64
     }
 
     /// The program whose storefront ultimately sits behind `domain`
@@ -204,6 +277,7 @@ impl GroundTruth {
 mod tests {
     use super::*;
     use crate::campaign::TargetClass;
+    use crate::event::{generate_campaign_events, generate_poison_events};
 
     fn world(scale: f64, seed: u64) -> GroundTruth {
         GroundTruth::generate(&EcosystemConfig::default().with_scale(scale), seed).unwrap()
@@ -213,8 +287,9 @@ mod tests {
     fn generation_is_deterministic() {
         let a = world(0.02, 7);
         let b = world(0.02, 7);
-        assert_eq!(a.events.len(), b.events.len());
-        assert_eq!(a.events, b.events);
+        assert_eq!(a.log.len, b.log.len);
+        assert_eq!(a.log.rank, b.log.rank);
+        assert!(a.events().eq(b.events()));
         assert_eq!(a.universe.len(), b.universe.len());
     }
 
@@ -222,13 +297,72 @@ mod tests {
     fn different_seeds_differ() {
         let a = world(0.02, 7);
         let b = world(0.02, 8);
-        assert_ne!(a.events, b.events);
+        assert!(!a.events().eq(b.events()));
     }
 
     #[test]
-    fn events_are_time_sorted() {
+    fn sorted_events_are_time_sorted_and_rank_is_permutation() {
         let g = world(0.02, 1);
-        assert!(g.events.windows(2).all(|w| w[0].time <= w[1].time));
+        let sorted = g.sorted_events();
+        assert_eq!(sorted.len(), g.log.len);
+        assert!(sorted.windows(2).all(|w| w[0].time <= w[1].time));
+        let mut seen = vec![false; g.log.len];
+        for &r in &g.log.rank {
+            assert!(!seen[r as usize]);
+            seen[r as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Ties keep generation order (stable sort contract).
+        for w in g.log.rank.windows(2) {
+            if sorted[w[0] as usize].time == sorted[w[1] as usize].time {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    /// The replay stream must be draw-for-draw identical to the old
+    /// register-mode generation. Rebuild the world's first pass by
+    /// hand (same named streams, same order) and compare.
+    #[test]
+    fn replay_matches_register_mode_generation() {
+        let config = EcosystemConfig::default().with_scale(0.02);
+        let seed = 7;
+        let g = GroundTruth::generate(&config, seed).unwrap();
+
+        // Re-run the pre-streaming first pass: same stream names, same
+        // order, but materialising events and registering poison
+        // domains into a throwaway universe.
+        let mut roster_rng = RngStream::new(seed, "ecosystem/roster");
+        let roster = ProgramRoster::generate(&config, &mut roster_rng);
+        let mut botnet_rng = RngStream::new(seed, "ecosystem/botnets");
+        let botnets = generate_botnets(&config, &roster, &mut botnet_rng);
+        let mut universe_rng = RngStream::new(seed, "ecosystem/universe");
+        let mut universe = DomainUniverse::new(&config, &mut universe_rng);
+        let mut campaign_rng = RngStream::new(seed, "ecosystem/campaigns");
+        let campaigns =
+            plan_campaigns(&config, &roster, &botnets, &mut universe, &mut campaign_rng);
+        let mut event_rng = RngStream::new(seed, "ecosystem/events");
+        let mut events = Vec::new();
+        for c in &campaigns {
+            generate_campaign_events(&config, c, &universe, &mut event_rng, &mut events);
+        }
+        if let Some(poison) = &config.poison {
+            if let Some(rustock) = botnets.iter().find(|b| b.poisons) {
+                let id = CampaignId(campaigns.len() as u32);
+                let mut poison_rng = RngStream::new(seed, "ecosystem/poison");
+                generate_poison_events(
+                    poison,
+                    id,
+                    DeliveryVector::Botnet(rustock.id),
+                    &mut universe,
+                    &mut poison_rng,
+                    &mut events,
+                );
+            }
+        }
+        let replayed: Vec<SpamEvent> = g.events().collect();
+        assert_eq!(replayed.len(), events.len());
+        assert_eq!(replayed, events);
     }
 
     #[test]
@@ -240,7 +374,7 @@ mod tests {
         // Poison events exist and advertise Poison-kind domains.
         let pid = poison[0].id;
         let mut n = 0;
-        for e in g.events.iter().filter(|e| e.campaign == pid) {
+        for e in g.events().filter(|e| e.campaign == pid) {
             assert_eq!(g.universe.record(e.advertised).kind, DomainKind::Poison);
             n += 1;
         }
@@ -288,11 +422,10 @@ mod tests {
     fn brute_force_volume_is_substantial() {
         let g = world(0.02, 2);
         let brute = g
-            .events
-            .iter()
+            .events()
             .filter(|e| e.target == TargetClass::BruteForce)
             .count();
-        let frac = brute as f64 / g.events.len() as f64;
+        let frac = brute as f64 / g.log.len as f64;
         assert!(frac > 0.2 && frac < 0.8, "brute fraction {frac}");
     }
 
@@ -300,6 +433,6 @@ mod tests {
     fn events_fit_in_window_with_slack() {
         let g = world(0.02, 2);
         let limit = g.window().end.plus(15 * taster_sim::DAY);
-        assert!(g.events.iter().all(|e| e.time < limit));
+        assert!(g.events().all(|e| e.time < limit));
     }
 }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod botnet;
+pub mod buffer;
 pub mod campaign;
 pub mod config;
 pub mod domains;

@@ -6,7 +6,7 @@
 //! Ac2 sits on a narrow vector set, which is what makes it the outlier
 //! of the proportionality analysis (Figs 7–8).
 
-use crate::config::AcConfig;
+use crate::config::{AcConfig, DEFAULT_CHUNK_SIZE};
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
@@ -29,6 +29,7 @@ pub fn collect_ac(world: &MailWorld, config: &AcConfig, index: u8) -> Feed {
         &FaultPlan::off(world.truth.seed),
         &Parallelism::serial(),
         &Obs::off(),
+        DEFAULT_CHUNK_SIZE,
     )
     .pop()
     // lint:allow(no-panic) -- the engine yields exactly one feed per member; losing it must fail loudly rather than fabricate an empty feed
@@ -75,7 +76,7 @@ mod tests {
         // harvest mask includes vector 4 (benign pollution aside).
         use taster_ecosystem::campaign::TargetClass;
         let mut eligible = std::collections::HashSet::new();
-        for e in &w.truth.events {
+        for e in w.truth.events() {
             if matches!(e.target, TargetClass::Harvested(4)) {
                 eligible.insert(e.advertised);
                 if let Some(c) = e.chaff {

@@ -6,7 +6,7 @@
 //! every campaign of the unmonitored botnets. During the poisoning
 //! window the stream is dominated by random non-domains (§4.1.1).
 
-use crate::config::BotConfig;
+use crate::config::{BotConfig, DEFAULT_CHUNK_SIZE};
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
@@ -25,6 +25,7 @@ pub fn collect_bot(world: &MailWorld, config: &BotConfig) -> Feed {
         &FaultPlan::off(world.truth.seed),
         &Parallelism::serial(),
         &Obs::off(),
+        DEFAULT_CHUNK_SIZE,
     )
     .pop()
     // lint:allow(no-panic) -- the engine yields exactly one feed per member; losing it must fail loudly rather than fabricate an empty feed
@@ -71,7 +72,7 @@ mod tests {
         let feed = collect_bot(&w, &FeedsConfig::default().bot);
         // Build the set of domains deliverable by monitored botnets.
         let mut allowed = std::collections::HashSet::new();
-        for e in &w.truth.events {
+        for e in w.truth.events() {
             if let DeliveryVector::Botnet(b) = e.delivery {
                 if w.truth.botnets[b.index()].monitored {
                     allowed.insert(e.advertised);

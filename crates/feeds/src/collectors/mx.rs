@@ -6,13 +6,13 @@
 //! portfolio: stale lists cover the abandoned-domain honeypots (mx1,
 //! mx2); only fresh zone-derived lists — favoured by botnets — cover
 //! the newly-registered mx3. Capture probability scales with the
-//! portfolio size. The collector runs a real accept-everything SMTP
-//! session (`taster-smtp`): every captured copy is delivered through
-//! the protocol state machine, and domains are recovered by parsing
-//! the *stored* message — the pipeline a real MX sink runs.
+//! portfolio size. The collector parses the payload an
+//! accept-everything SMTP sink would store — the message body as it
+//! leaves the DATA state machine, without its terminating newline —
+//! so domains are recovered exactly as a real MX sink recovers them.
 //! It also receives the doppelganger/sign-up pollution stream.
 
-use crate::config::MxConfig;
+use crate::config::{MxConfig, DEFAULT_CHUNK_SIZE};
 use crate::engine::{collect_content, MemberSpec};
 use crate::feed::Feed;
 use taster_mailsim::MailWorld;
@@ -35,6 +35,7 @@ pub fn collect_mx(world: &MailWorld, config: &MxConfig, index: u8) -> Feed {
         &FaultPlan::off(world.truth.seed),
         &Parallelism::serial(),
         &Obs::off(),
+        DEFAULT_CHUNK_SIZE,
     )
     .pop()
     // lint:allow(no-panic) -- the engine yields exactly one feed per member; losing it must fail loudly rather than fabricate an empty feed

@@ -1,56 +1,62 @@
-//! Fused, sharded execution of the content collectors.
+//! Fused, streaming, sharded execution of the content collectors.
 //!
 //! Seven of the ten feeds (mx1–3, Ac1–2, Bot, Hyb's trap/harvest
 //! sources) are *content* collectors: they walk the delivery event
-//! log, decide per event whether they captured the copy, render the
-//! message, and parse registered domains back out of the text. Run
-//! naively that is seven full passes, each rendering its own copy of
-//! every captured message.
+//! stream, decide per event whether they captured the copy, and reduce
+//! the message content to registered domains. Run naively that is
+//! seven full passes over a materialised log, each rendering its own
+//! copy of every captured message.
 //!
-//! This engine makes the work both shardable and shareable:
+//! This engine makes the work streaming, shardable and shareable:
 //!
-//! * **Per-event RNG streams.** Each member's capture decision for
-//!   event *i* draws from a stream derived from
-//!   `(seed, member name, i)` — a pure function of the event, not of
-//!   how many draws earlier events consumed. Feeds stay mutually
-//!   independent (changing one member's config cannot perturb
-//!   another's draws), and any event-range shard computes exactly the
-//!   contribution a serial pass would.
-//! * **Shard-and-merge parallelism.** The event log is split into one
-//!   contiguous range per worker and merged with [`Feed::merge`],
-//!   which is commutative and associative — so the result is
-//!   *bit-identical at any worker count*, and identical to the serial
-//!   pass.
-//! * **One render per delivery.** All members share a single rendered
-//!   body per captured event, drawn from a dedicated per-event render
-//!   stream (so every member sees the same copy, as in reality, and
-//!   rendering is independent of which members captured it). The body
-//!   and the URL-extraction results live in buffers reused across
-//!   events.
+//! * **Chunked streaming over the replay stream.** The event log is
+//!   never materialised: the generator's replay stream fills one
+//!   struct-of-arrays [`EventBuffer`] per chunk and the collectors
+//!   consume it in place — peak memory is O(chunk), independent of the
+//!   run length.
+//! * **Per-event RNG streams keyed by sorted index.** Each member's
+//!   capture decision for the event at time-sorted position *i* draws
+//!   from a stream derived from `(seed, member name, i)` — a pure
+//!   function of the event, not of how many draws earlier events
+//!   consumed, which chunk the event landed in, or how the chunk was
+//!   sharded. Feeds stay mutually independent, and the output is
+//!   *bit-identical at any chunk size and worker count*.
+//! * **Shard-and-merge parallelism.** Each chunk is split into one
+//!   contiguous row range per worker and merged with [`Feed::merge`],
+//!   which is commutative and associative.
+//! * **Render-free fast path.** A rendered body only ever contributes
+//!   the advertised and chaff registered domains back to a feed; when
+//!   both domain texts provably survive the host→registered-domain
+//!   reduction unchanged ([`DomainExtractor::fast_reducible`]), the
+//!   engine replays just the renderer's URL-subdomain draws
+//!   ([`replay_spam_url_hosts`]) and computes the record list and
+//!   FQDN hashes directly — no body, no SMTP dialogue, no URL scan.
+//!   Events that need real text (truncation faults, non-reducible
+//!   domains) fall back to a full render; either way every member
+//!   sees the same copy, drawn from the same per-event render stream.
 
 use crate::config::{AcConfig, BotConfig, HybConfig, MxConfig};
 use crate::feed::Feed;
 use crate::id::FeedId;
-use crate::parse::DomainExtractor;
+use crate::parse::{fnv64_parts, DomainExtractor};
 use rand::RngExt;
 use std::ops::Range;
 use taster_domain::DomainId;
+use taster_ecosystem::buffer::EventBuffer;
 use taster_ecosystem::campaign::{DeliveryVector, TargetClass};
 use taster_mailsim::benign::BenignDest;
-use taster_mailsim::render::render_spam_into;
+use taster_mailsim::render::{render_spam_into, replay_spam_url_hosts, SUBDOMAINS};
 use taster_mailsim::MailWorld;
 use taster_sim::fault::{truncate_payload, FaultPlan, RecordFault};
 use taster_sim::metrics::{Histogram, MetricsShard};
+use taster_sim::rng::name_key;
 use taster_sim::{Obs, Parallelism, RngStream, TimeWindow};
-use taster_smtp::{deliver, HoneypotServer};
 
 /// Stream name for the shared per-event message render.
 const RENDER_STREAM: &str = "feeds/render-spam";
 
 /// Bucket edges for the domains-per-captured-record histogram.
 const DOMAINS_PER_RECORD_BOUNDS: [u64; 6] = [0, 1, 2, 5, 10, 20];
-
-const LOCALPARTS: &[&str] = &["info", "admin", "bob", "sales", "john", "mary", "office"];
 
 /// One content collector participating in the fused pass.
 #[derive(Debug, Clone)]
@@ -97,37 +103,116 @@ impl MemberSpec {
     }
 }
 
-/// Runs `members` over the full event log, sharded across `par`'s
-/// workers, then applies each member's non-event sources (benign
-/// pollution, Hyb's report sample and web-spam corpus).
+/// Read-only per-run context shared by every chunk and shard.
+struct RunCtx<'w> {
+    world: &'w MailWorld,
+    members: &'w [MemberSpec],
+    plan: &'w FaultPlan,
+    seed: u64,
+    labels: Vec<&'static str>,
+    outages: Vec<Vec<TimeWindow>>,
+    faults_on: bool,
+    /// Per-member stream-name keys ([`name_key`]) for per-event child
+    /// derivation without re-hashing the name.
+    keys: Vec<u64>,
+    render_key: u64,
+    monitored: Vec<bool>,
+    extractor: DomainExtractor,
+    /// Per-domain: does the render-free fast path apply? Indexed by
+    /// dense [`DomainId`].
+    fast_ok: Vec<bool>,
+}
+
+/// Runs `members` over the streamed event log in chunks of
+/// `chunk_size`, sharded across `par`'s workers within each chunk,
+/// then applies each member's non-event sources (benign pollution,
+/// Hyb's report sample and web-spam corpus).
 ///
 /// Fault decisions come from `plan`, each keyed by
-/// `(seed, feed label, event index)` — a pure function of the event,
-/// never of shard boundaries — so faulted runs stay bit-identical at
-/// any worker count, and an off plan leaves the output untouched.
+/// `(seed, feed label, sorted event index)` — a pure function of the
+/// event, never of chunk or shard boundaries — so faulted runs stay
+/// bit-identical at any chunk size and worker count, and an off plan
+/// leaves the output untouched.
 pub(crate) fn collect_content(
     world: &MailWorld,
     members: &[MemberSpec],
     plan: &FaultPlan,
     par: &Parallelism,
     obs: &Obs,
+    chunk_size: usize,
 ) -> Vec<Feed> {
+    let chunk_size = chunk_size.max(1);
     let metrics_on = obs.metrics.is_on();
-    let shards = shard_ranges(world.truth.events.len(), par.workers());
-    let results = par.par_map(shards, |range| {
-        run_shard(world, members, plan, range, metrics_on)
-    });
+    let truth = &world.truth;
+    let table = &truth.universe.table;
+    let extractor = DomainExtractor::new();
+    let fast_ok: Vec<bool> = (0..table.len() as u32)
+        .map(|raw| {
+            let ok = extractor.fast_reducible(table.text(DomainId(raw)));
+            #[cfg(debug_assertions)]
+            if ok {
+                // The claim behind `ok`: every renderer prefix reduces
+                // back to exactly this text.
+                let text = table.text(DomainId(raw));
+                for sub in SUBDOMAINS {
+                    let host = format!("{sub}{text}");
+                    debug_assert!(
+                        taster_domain::DomainName::parse(&host).is_ok_and(|n| n.as_str() == host),
+                        "prefixed host {host} does not round-trip"
+                    );
+                }
+            }
+            ok
+        })
+        .collect();
+    let ctx = RunCtx {
+        world,
+        members,
+        plan,
+        seed: truth.seed,
+        labels: members.iter().map(|m| m.feed_id().label()).collect(),
+        outages: members
+            .iter()
+            .map(|m| plan.outage_windows(m.feed_id().label()))
+            .collect(),
+        faults_on: !plan.is_off(),
+        keys: members.iter().map(|m| name_key(&m.stream_name())).collect(),
+        render_key: name_key(RENDER_STREAM),
+        monitored: truth.botnets.iter().map(|b| b.monitored).collect(),
+        extractor,
+        fast_ok,
+    };
 
     let mut merged: Vec<Feed> = members.iter().map(MemberSpec::empty_feed).collect();
     let mut metric_shards: Vec<MetricsShard> = Vec::new();
-    for (shard, shard_metrics) in results {
-        for (acc, piece) in merged.iter_mut().zip(shard) {
-            acc.merge(piece);
+    let rank = &truth.log.rank;
+    let mut buf = EventBuffer::with_capacity(chunk_size.min(truth.log.len.max(1)));
+    let mut stream = truth.events().enumerate();
+    let mut first = true;
+    loop {
+        buf.clear();
+        for (g, ev) in stream.by_ref().take(chunk_size) {
+            buf.push(&ev, rank[g]);
         }
-        metric_shards.push(shard_metrics);
+        if buf.is_empty() && !first {
+            break;
+        }
+        first = false;
+        let shards = shard_ranges(buf.len(), par.workers());
+        let results = par.par_map(shards, |range| run_rows(&ctx, &buf, range, metrics_on));
+        for (shard, shard_metrics) in results {
+            for (acc, piece) in merged.iter_mut().zip(shard) {
+                acc.merge(piece);
+            }
+            metric_shards.push(shard_metrics);
+        }
+        if buf.len() < chunk_size {
+            break;
+        }
     }
-    // Shards come back in event-range order from par_map; merge their
-    // metrics in that same order.
+    // Chunks stream in generation order and shards split each chunk in
+    // row order; their metric totals are commutative sums, absorbed in
+    // that same (chunk, shard) order.
     obs.metrics.absorb_in_order(&metric_shards);
     for (feed, member) in merged.iter_mut().zip(members) {
         finalize(world, feed, member, plan, obs);
@@ -225,92 +310,79 @@ fn shard_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
-/// The per-shard state of one MX member's SMTP sink.
-struct MxSession {
-    server: HoneypotServer,
-    trap_domain: String,
+/// An MX sink stores the message body minus its terminating newline
+/// (the SMTP DATA state machine re-joins the dot-unstuffed lines; no
+/// rendered body line ever starts with `.`), so that is the payload a
+/// real MX collector parses.
+fn mx_stored(body: &str) -> &str {
+    debug_assert!(body.ends_with('\n'));
+    &body[..body.len().saturating_sub(1)]
 }
 
-impl MxSession {
-    fn open(index: u8) -> MxSession {
-        // The honeypot's accept-everything SMTP sink. Spam cannons
-        // hold connections open and pipeline transactions, so one
-        // long-lived session per shard suffices.
-        let trap_domain = format!("quiet-portfolio-mx{}.com", index + 1);
-        let (server, greeting) = HoneypotServer::connect(format!("mx.{trap_domain}"));
-        debug_assert_eq!(greeting.code, 220);
-        MxSession {
-            server,
-            trap_domain,
-        }
-    }
-}
-
-fn run_shard(
-    world: &MailWorld,
-    members: &[MemberSpec],
-    plan: &FaultPlan,
-    range: Range<usize>,
+fn run_rows(
+    ctx: &RunCtx<'_>,
+    buf: &EventBuffer,
+    rows: Range<usize>,
     metrics_on: bool,
 ) -> (Vec<Feed>, MetricsShard) {
     let mut shard_obs = ShardObs::new(metrics_on);
-    shard_obs.events = range.len() as u64;
-    let seed = world.truth.seed;
-    let truth = &world.truth;
-    let extractor = DomainExtractor::new();
-    let monitored: Vec<bool> = truth.botnets.iter().map(|b| b.monitored).collect();
+    shard_obs.events = rows.len() as u64;
+    let truth = &ctx.world.truth;
 
-    let mut feeds: Vec<Feed> = members.iter().map(MemberSpec::empty_feed).collect();
-    let names: Vec<String> = members.iter().map(MemberSpec::stream_name).collect();
-    let labels: Vec<&'static str> = members.iter().map(|m| m.feed_id().label()).collect();
-    let outages: Vec<Vec<TimeWindow>> = labels
-        .iter()
-        .map(|label| plan.outage_windows(label))
-        .collect();
-    let faults_on = !plan.is_off();
-    let bases: Vec<RngStream> = names.iter().map(|n| RngStream::new(seed, n)).collect();
-    let render_base = RngStream::new(seed, RENDER_STREAM);
-    let mut sessions: Vec<Option<MxSession>> = members
-        .iter()
-        .map(|m| match m {
-            MemberSpec::Mx { index, .. } => Some(MxSession::open(*index)),
-            _ => None,
-        })
-        .collect();
+    let mut feeds: Vec<Feed> = ctx.members.iter().map(MemberSpec::empty_feed).collect();
 
-    // Buffers reused across every event in the shard.
+    // Buffers reused across every row in the shard.
     let mut body = String::with_capacity(512);
     let mut extracted: Vec<(DomainId, u64)> = Vec::new();
+    let mut extracted_mx: Vec<(DomainId, u64)> = Vec::new();
     let mut truncated_scratch: Vec<(DomainId, u64)> = Vec::new();
+    let mut fast_records: Vec<(DomainId, u64)> = Vec::new();
 
-    for i in range {
-        let event = &truth.events[i];
-        let mut rendered = None;
+    for r in rows {
+        // The time-sorted index: the key of every per-event stream.
+        let i = buf.sorted_idx[r] as u64;
+        let time = buf.time[r];
+        let advertised = DomainId(buf.advertised[r]);
+        let chaff = buf.chaff(r);
+        let target = buf.target[r];
+        let delivery = buf.delivery[r];
+        let campaign = &truth.campaigns[buf.campaign[r] as usize];
+
+        let chaff_distinct = chaff.is_some_and(|c| c != advertised);
+        let fast_eligible =
+            ctx.fast_ok[advertised.index()] && chaff.is_none_or(|c| ctx.fast_ok[c.index()]);
+        // Per-event lazily-derived state, shared across members.
+        let mut render_counted = false;
+        let mut body_ready = false;
         let mut extracted_ready = false;
-        for (m, member) in members.iter().enumerate() {
+        let mut extracted_mx_ready = false;
+        let mut fast_ready = false;
+
+        for (m, member) in ctx.members.iter().enumerate() {
             // A collector that is down records nothing. Checked before
             // any stream is derived: per-event child streams mean the
             // skip cannot perturb other events' draws.
-            if faults_on && outages[m].iter().any(|w| w.contains(event.time)) {
+            if ctx.faults_on && ctx.outages[m].iter().any(|w| w.contains(time)) {
                 if shard_obs.on {
                     shard_obs.outage_skips += 1;
                 }
                 continue;
             }
-            // Cheap structural filter first; the RNG stream is only
-            // derived for eligible (member, event) pairs.
+            // Cheap structural filter first, against the chunk's
+            // columns; the RNG stream is only derived for eligible
+            // (member, event) pairs.
             let capture_prob = match member {
                 MemberSpec::Mx { config, index } => {
-                    if event.target != TargetClass::BruteForce {
+                    if target != TargetClass::BruteForce {
                         continue;
                     }
-                    if truth.campaign(event.campaign).brute_mask & (1u8 << index) == 0 {
+                    if campaign.brute_mask & (1u8 << index) == 0 {
                         continue;
                     }
                     config.capture_prob
                 }
                 MemberSpec::Ac { config, .. } => {
-                    let TargetClass::Harvested(vector) = event.target else {
+                    let TargetClass::Harvested(vector) = target else {
                         continue;
                     };
                     if config.vector_mask & (1 << vector) == 0 {
@@ -319,37 +391,37 @@ fn run_shard(
                     config.capture_prob
                 }
                 MemberSpec::Bot { config } => {
-                    let DeliveryVector::Botnet(b) = event.delivery else {
+                    let DeliveryVector::Botnet(b) = delivery else {
                         continue;
                     };
-                    if !monitored.get(b.index()).copied().unwrap_or(false) {
+                    if !ctx.monitored.get(b.index()).copied().unwrap_or(false) {
                         continue;
                     }
                     config.capture_prob
                 }
-                MemberSpec::Hyb { config } => match event.target {
+                MemberSpec::Hyb { config } => match target {
                     // The Hyb trap's addresses only ever leaked into
                     // the older direct-spammer lists, so it misses the
                     // botnet blasts — part of why Hyb's mail-volume
                     // coverage is so poor despite its domain breadth
                     // (§4.2.2).
-                    TargetClass::BruteForce if matches!(event.delivery, DeliveryVector::Direct) => {
+                    TargetClass::BruteForce if matches!(delivery, DeliveryVector::Direct) => {
                         config.trap_prob
                     }
                     TargetClass::Harvested(v) if v == config.harvest_vector => config.harvest_prob,
                     _ => continue,
                 },
             };
-            let mut rng = bases[m].child(seed, &names[m], i as u64);
+            let mut rng = RngStream::child_keyed(ctx.seed, ctx.keys[m], i);
             if !rng.random_bool(capture_prob) {
                 continue;
             }
 
             // Fault disposition for the captured record, keyed by
-            // (seed, feed label, event index). A dropped record is
-            // lost before the collector logs anything.
-            let fault = if faults_on {
-                plan.record_fault(labels[m], i as u64)
+            // (seed, feed label, sorted event index). A dropped record
+            // is lost before the collector logs anything.
+            let fault = if ctx.faults_on {
+                ctx.plan.record_fault(ctx.labels[m], i)
             } else {
                 RecordFault::Deliver
             };
@@ -363,112 +435,122 @@ fn run_shard(
                 1
             };
 
-            // First capturing member triggers the event's render; the
-            // body is a pure function of (seed, event), so every
-            // member sees the same copy.
-            if shard_obs.on && rendered.is_none() {
+            // First capturing member "renders" the event — on the fast
+            // path no text is produced, but the counter keeps the old
+            // meaning: events whose content was materialised for at
+            // least one member.
+            if shard_obs.on && !render_counted {
                 shard_obs.renders += 1;
             }
-            let headers = rendered.get_or_insert_with(|| {
-                let mut render_rng = render_base.child(seed, RENDER_STREAM, i as u64);
-                extracted_ready = false;
-                render_spam_into(
-                    &mut body,
-                    truth,
-                    event.advertised,
-                    event.chaff,
-                    event.time,
-                    &mut render_rng,
-                )
-            });
+            render_counted = true;
+
+            // The record list this member parses out of the copy. Its
+            // content is a pure function of (seed, event, fault), so
+            // the fast and slow paths agree bit-for-bit whenever the
+            // fast path is eligible (asserted in debug builds).
+            let is_mx = matches!(member, MemberSpec::Mx { .. });
+            let records: &[(DomainId, u64)] = if fast_eligible && fault != RecordFault::Truncate {
+                if !fast_ready {
+                    let mut render_rng = RngStream::child_keyed(ctx.seed, ctx.render_key, i);
+                    let (adv_sub, chaff_sub) =
+                        replay_spam_url_hosts(&mut render_rng, chaff_distinct);
+                    fast_records.clear();
+                    let adv_text = truth.universe.table.text(advertised);
+                    fast_records.push((
+                        advertised,
+                        fnv64_parts(&[SUBDOMAINS[adv_sub].as_bytes(), adv_text.as_bytes()]),
+                    ));
+                    if let (Some(c), Some(cs)) = (chaff, chaff_sub) {
+                        let chaff_text = truth.universe.table.text(c);
+                        fast_records.push((
+                            c,
+                            fnv64_parts(&[SUBDOMAINS[cs].as_bytes(), chaff_text.as_bytes()]),
+                        ));
+                    }
+                    fast_ready = true;
+                    #[cfg(debug_assertions)]
+                    {
+                        // Cross-check the fast path against a real
+                        // render + extraction, for both payload forms.
+                        let mut dbg_body = String::new();
+                        let mut dbg_rng = RngStream::child_keyed(ctx.seed, ctx.render_key, i);
+                        render_spam_into(
+                            &mut dbg_body,
+                            truth,
+                            advertised,
+                            chaff,
+                            time,
+                            &mut dbg_rng,
+                        );
+                        let mut dbg_records = Vec::new();
+                        ctx.extractor.registered_domains_into(
+                            &dbg_body,
+                            &truth.universe.table,
+                            &mut dbg_records,
+                        );
+                        debug_assert_eq!(dbg_records, fast_records, "fast path vs full body");
+                        dbg_records.clear();
+                        ctx.extractor.registered_domains_into(
+                            mx_stored(&dbg_body),
+                            &truth.universe.table,
+                            &mut dbg_records,
+                        );
+                        debug_assert_eq!(dbg_records, fast_records, "fast path vs MX payload");
+                    }
+                }
+                &fast_records
+            } else {
+                if !body_ready {
+                    let mut render_rng = RngStream::child_keyed(ctx.seed, ctx.render_key, i);
+                    render_spam_into(&mut body, truth, advertised, chaff, time, &mut render_rng);
+                    body_ready = true;
+                    extracted_ready = false;
+                    extracted_mx_ready = false;
+                }
+                if fault == RecordFault::Truncate {
+                    // Parse the surviving half of the payload this
+                    // member's collector stored.
+                    let payload = if is_mx { mx_stored(&body) } else { &body };
+                    truncated_scratch.clear();
+                    ctx.extractor.registered_domains_into(
+                        truncate_payload(payload),
+                        &truth.universe.table,
+                        &mut truncated_scratch,
+                    );
+                    &truncated_scratch
+                } else if is_mx {
+                    if !extracted_mx_ready {
+                        extracted_mx.clear();
+                        ctx.extractor.registered_domains_into(
+                            mx_stored(&body),
+                            &truth.universe.table,
+                            &mut extracted_mx,
+                        );
+                        extracted_mx_ready = true;
+                    }
+                    &extracted_mx
+                } else {
+                    if !extracted_ready {
+                        extracted.clear();
+                        ctx.extractor.registered_domains_into(
+                            &body,
+                            &truth.universe.table,
+                            &mut extracted,
+                        );
+                        extracted_ready = true;
+                    }
+                    &extracted
+                }
+            };
 
             let feed = &mut feeds[m];
-            match member {
-                MemberSpec::Mx { .. } => {
-                    // Every MX member opened a session above; a missing
-                    // one means the record cannot be delivered, so it is
-                    // skipped rather than crashing the shard.
-                    let Some(session) = sessions[m].as_mut() else {
-                        continue;
-                    };
-                    // Drive the SMTP dialogue: brute-force lists guess
-                    // popular localparts at every domain with a valid
-                    // MX. Post-capture draws continue on the member's
-                    // per-event stream.
-                    let rcpt = format!(
-                        "{}@{}",
-                        LOCALPARTS[rng.random_range(0..LOCALPARTS.len())],
-                        session.trap_domain
-                    );
-                    let helo = format!("host{}.sender.example", rng.random_range(0..1000u32));
-                    // The honeypot accepts everything; a rejected
-                    // transaction is a lost record, not a crash.
-                    if deliver(
-                        &mut session.server,
-                        &helo,
-                        headers.from_addr(&body),
-                        &[rcpt],
-                        &body,
-                    )
-                    .is_err()
-                    {
-                        continue;
-                    }
-                    let Some(stored) = session.server.drain_stored().pop() else {
-                        continue;
-                    };
-                    // A real MX sink parses the *stored* message — the
-                    // copy that survived the protocol state machine. A
-                    // truncated record lost the tail of that copy.
-                    let data = if fault == RecordFault::Truncate {
-                        truncate_payload(&stored.data)
-                    } else {
-                        &stored.data
-                    };
-                    for _ in 0..copies {
-                        feed.count_sample();
-                        let mut parsed = 0u64;
-                        for (d, host) in
-                            extractor.registered_domains_with_hosts(data, &truth.universe.table)
-                        {
-                            feed.record(d, event.time);
-                            feed.note_fqdn(host);
-                            parsed += 1;
-                        }
-                        shard_obs.record_domains(parsed);
-                    }
+            for _ in 0..copies {
+                feed.count_sample();
+                for &(d, host) in records {
+                    feed.record(d, time);
+                    feed.note_fqdn(host);
                 }
-                _ => {
-                    let records: &[(DomainId, u64)] = if fault == RecordFault::Truncate {
-                        // Parse the surviving half of the payload.
-                        truncated_scratch.clear();
-                        extractor.registered_domains_into(
-                            truncate_payload(&body),
-                            &truth.universe.table,
-                            &mut truncated_scratch,
-                        );
-                        &truncated_scratch
-                    } else {
-                        if !extracted_ready {
-                            extracted.clear();
-                            extractor.registered_domains_into(
-                                &body,
-                                &truth.universe.table,
-                                &mut extracted,
-                            );
-                            extracted_ready = true;
-                        }
-                        &extracted
-                    };
-                    for _ in 0..copies {
-                        feed.count_sample();
-                        for &(d, host) in records {
-                            feed.record(d, event.time);
-                            feed.note_fqdn(host);
-                        }
-                        shard_obs.record_domains(records.len() as u64);
-                    }
-                }
+                shard_obs.record_domains(records.len() as u64);
             }
         }
     }
@@ -582,7 +664,7 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FeedsConfig;
+    use crate::config::{FeedsConfig, DEFAULT_CHUNK_SIZE};
     use taster_ecosystem::{EcosystemConfig, GroundTruth};
     use taster_mailsim::MailConfig;
 
@@ -635,7 +717,14 @@ mod tests {
         let cfg = FeedsConfig::default();
         let members = all_members(&cfg);
         let plan = FaultPlan::off(w.truth.seed);
-        let serial = collect_content(&w, &members, &plan, &Parallelism::serial(), &Obs::off());
+        let serial = collect_content(
+            &w,
+            &members,
+            &plan,
+            &Parallelism::serial(),
+            &Obs::off(),
+            DEFAULT_CHUNK_SIZE,
+        );
         for workers in [2, 5, 8] {
             let parallel = collect_content(
                 &w,
@@ -643,9 +732,41 @@ mod tests {
                 &plan,
                 &Parallelism::fixed(workers),
                 &Obs::off(),
+                DEFAULT_CHUNK_SIZE,
             );
             for (a, b) in serial.iter().zip(&parallel) {
                 assert_feeds_equal(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_feeds() {
+        let w = world();
+        let cfg = FeedsConfig::default();
+        let members = all_members(&cfg);
+        let plan = FaultPlan::off(w.truth.seed);
+        let whole = collect_content(
+            &w,
+            &members,
+            &plan,
+            &Parallelism::serial(),
+            &Obs::off(),
+            usize::MAX,
+        );
+        for chunk in [1, 7, 64, 4096] {
+            for workers in [1, 3] {
+                let chunked = collect_content(
+                    &w,
+                    &members,
+                    &plan,
+                    &Parallelism::fixed(workers),
+                    &Obs::off(),
+                    chunk,
+                );
+                for (a, b) in whole.iter().zip(&chunked) {
+                    assert_feeds_equal(a, b);
+                }
             }
         }
     }
@@ -658,7 +779,14 @@ mod tests {
         let cfg = FeedsConfig::default();
         let members = all_members(&cfg);
         let plan = FaultPlan::off(w.truth.seed);
-        let full = collect_content(&w, &members, &plan, &Parallelism::serial(), &Obs::off());
+        let full = collect_content(
+            &w,
+            &members,
+            &plan,
+            &Parallelism::serial(),
+            &Obs::off(),
+            DEFAULT_CHUNK_SIZE,
+        );
         for (i, member) in members.iter().enumerate() {
             let solo = collect_content(
                 &w,
@@ -666,6 +794,7 @@ mod tests {
                 &plan,
                 &Parallelism::fixed(3),
                 &Obs::off(),
+                DEFAULT_CHUNK_SIZE,
             );
             assert_feeds_equal(&full[i], &solo[0]);
         }
@@ -678,14 +807,22 @@ mod tests {
         let cfg = FeedsConfig::default();
         let members = all_members(&cfg);
         let plan = FaultPlan::new(FaultProfile::lossy_feeds(), w.truth.seed);
-        let serial = collect_content(&w, &members, &plan, &Parallelism::serial(), &Obs::off());
-        for workers in [2, 8] {
+        let serial = collect_content(
+            &w,
+            &members,
+            &plan,
+            &Parallelism::serial(),
+            &Obs::off(),
+            DEFAULT_CHUNK_SIZE,
+        );
+        for (workers, chunk) in [(2, DEFAULT_CHUNK_SIZE), (8, DEFAULT_CHUNK_SIZE), (3, 113)] {
             let parallel = collect_content(
                 &w,
                 &members,
                 &plan,
                 &Parallelism::fixed(workers),
                 &Obs::off(),
+                chunk,
             );
             for (a, b) in serial.iter().zip(&parallel) {
                 assert_feeds_equal(a, b);
@@ -699,6 +836,7 @@ mod tests {
             &FaultPlan::off(w.truth.seed),
             &Parallelism::serial(),
             &Obs::off(),
+            DEFAULT_CHUNK_SIZE,
         );
         let faulted_samples: u64 = serial.iter().filter_map(|f| f.samples).sum();
         let clean_samples: u64 = clean.iter().filter_map(|f| f.samples).sum();
@@ -719,13 +857,21 @@ mod tests {
             window: TimeWindow::new(SimTime::ZERO, SimTime(u64::MAX)),
         });
         let plan = FaultPlan::new(profile, w.truth.seed);
-        let feeds = collect_content(&w, &members, &plan, &Parallelism::fixed(4), &Obs::off());
+        let feeds = collect_content(
+            &w,
+            &members,
+            &plan,
+            &Parallelism::fixed(4),
+            &Obs::off(),
+            DEFAULT_CHUNK_SIZE,
+        );
         let clean = collect_content(
             &w,
             &members,
             &FaultPlan::off(w.truth.seed),
             &Parallelism::fixed(4),
             &Obs::off(),
+            DEFAULT_CHUNK_SIZE,
         );
         for (f, c) in feeds.iter().zip(&clean) {
             if f.id == FeedId::Bot {

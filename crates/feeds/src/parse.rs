@@ -82,12 +82,44 @@ impl DomainExtractor {
     }
 }
 
+impl DomainExtractor {
+    /// True when `text` round-trips host parsing unchanged and is its
+    /// own registered domain. This is the precondition for the
+    /// render-free fast path: prefixing any of the renderer's
+    /// subdomain labels then reduces `prefix ++ text` back to exactly
+    /// `text` (suffix matching is right-anchored, and a generated
+    /// label cannot extend a public-suffix rule leftwards).
+    pub fn fast_reducible(&self, text: &str) -> bool {
+        let Ok(name) = taster_domain::DomainName::parse(text) else {
+            return false;
+        };
+        name.as_str() == text
+            && self
+                .psl
+                .registered_domain(&name)
+                .is_some_and(|r| r.as_str() == text)
+    }
+}
+
 /// FNV-1a, the stable hostname hash used for FQDN cardinality.
 pub fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// [`fnv64`] over the concatenation of `parts`, allocation-free —
+/// hashes `sub ++ domain` hosts without building the host string.
+pub fn fnv64_parts(parts: &[&[u8]]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
     }
     h
 }

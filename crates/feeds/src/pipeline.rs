@@ -98,7 +98,7 @@ pub fn try_collect_all_observed(
     ];
     let content = {
         let _span = obs.span("collect/content");
-        collect_content(world, &members, plan, par, obs)
+        collect_content(world, &members, plan, par, obs, config.chunk_size)
     };
     type Task<'w> = Box<dyn FnOnce() -> Feed + Send + 'w>;
     let standalone = {

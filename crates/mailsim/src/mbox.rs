@@ -196,7 +196,7 @@ mod tests {
             GroundTruth::generate(&EcosystemConfig::default().with_scale(0.02), 137).unwrap();
         let mut rng = RngStream::new(5, "mbox-test");
         let messages: Vec<MboxMessage> = truth
-            .events
+            .sorted_events()
             .iter()
             .take(50)
             .map(|e| {

@@ -17,11 +17,25 @@ use crate::config::MailConfig;
 use rand::RngExt;
 use taster_domain::fx::FxHashMap;
 use taster_domain::DomainId;
+use taster_ecosystem::buffer::EventBuffer;
 use taster_ecosystem::campaign::{CampaignStyle, TargetClass};
+use taster_ecosystem::event::SpamEvent;
 use taster_ecosystem::GroundTruth;
 use taster_sim::{RngStream, SimTime, TimeWindow, DAY};
 use taster_stats::sample::standard_normal;
 use taster_stats::EmpiricalDist;
+
+/// Sorted-position bucket width for the provider loop. The provider's
+/// filter-feedback state is sequential in *time-sorted* order, but the
+/// event log is only available as a generation-order replay stream; so
+/// events are consumed bucket-by-bucket — one full replay per bucket,
+/// scattering the events whose sorted position falls inside it into a
+/// struct-of-arrays buffer (~26 bytes/row). Peak memory is O(bucket),
+/// and the RNG/counter state threads across buckets untouched, so the
+/// draw sequence is identical to a single sorted pass. The width
+/// trades replay passes against resident bucket bytes: 2^21 rows is
+/// ~55 MB and two passes at paper scale.
+pub const PROVIDER_BUCKET: usize = 1 << 21;
 
 /// One "this is spam" user report.
 #[derive(Debug, Clone)]
@@ -74,78 +88,104 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> Result<Provider
 
     let ln_median = config.report_delay_median_secs.ln();
 
-    for event in &truth.events {
-        // ---- incoming mail oracle: counts *all* mail crossing the
-        // incoming servers, before filtering.
-        let reach = match event.target {
-            TargetClass::BruteForce => config.reach.brute,
-            TargetClass::Harvested(_) => config.reach.harvested,
-            TargetClass::Purchased => config.reach.purchased,
-            TargetClass::Social => config.reach.social,
-        };
-        let to_provider = rng.random_bool(reach);
-        if to_provider && oracle_window.contains(event.time) {
-            oracle.add(event.advertised.0, 1);
-            if let Some(c) = event.chaff {
-                oracle.add(c.0, 1);
+    let n = truth.log.len;
+    let rank = &truth.log.rank;
+    let mut bucket = EventBuffer::default();
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + PROVIDER_BUCKET).min(n);
+        bucket.reset_for_scatter(hi - lo);
+        #[cfg(debug_assertions)]
+        let mut filled = vec![false; hi - lo];
+        for (g, event) in truth.events().enumerate() {
+            let r = rank[g] as usize;
+            if r >= lo && r < hi {
+                bucket.set(r - lo, &event, r as u32);
+                #[cfg(debug_assertions)]
+                {
+                    filled[r - lo] = true;
+                }
             }
         }
-        if !to_provider {
-            continue;
-        }
+        // `rank` is a permutation of 0..n, so every slot is filled.
+        #[cfg(debug_assertions)]
+        debug_assert!(filled.iter().all(|&f| f), "hole in sorted-event bucket");
+        for r in 0..bucket.len() {
+            let event: SpamEvent = bucket.event(r);
+            // ---- incoming mail oracle: counts *all* mail crossing the
+            // incoming servers, before filtering.
+            let reach = match event.target {
+                TargetClass::BruteForce => config.reach.brute,
+                TargetClass::Harvested(_) => config.reach.harvested,
+                TargetClass::Purchased => config.reach.purchased,
+                TargetClass::Social => config.reach.social,
+            };
+            let to_provider = rng.random_bool(reach);
+            if to_provider && oracle_window.contains(event.time) {
+                oracle.add(event.advertised.0, 1);
+                if let Some(c) = event.chaff {
+                    oracle.add(c.0, 1);
+                }
+            }
+            if !to_provider {
+                continue;
+            }
 
-        // ---- inbox placement.
-        let campaign = truth.campaign(event.campaign);
-        let seen = seen_counts.entry(event.advertised).or_insert(0);
-        *seen += 1;
-        let camp_seen = &mut campaign_counts[event.campaign.index()];
-        *camp_seen += 1;
-        // Per-domain novelty is what warm-ups exploit; campaign-level
-        // content learning only defeats campaigns that never vary
-        // their message — the poisoning stream.
-        let learned = *seen > config.filter_volume_threshold
-            || (campaign.poison && *camp_seen > config.campaign_filter_volume_threshold);
-        let base_inbox = if !learned {
-            // Filters have not learned the domain yet: the warm-up
-            // phase sails through (deliverability testing works).
-            config.quiet_inbox_prob
-        } else {
-            match campaign.style {
-                CampaignStyle::Loud => config.loud_inbox_prob,
-                CampaignStyle::Quiet => config.quiet_inbox_prob,
-            }
-        };
-        let filtered = report_counts
+            // ---- inbox placement.
+            let campaign = truth.campaign(event.campaign);
+            let seen = seen_counts.entry(event.advertised).or_insert(0);
+            *seen += 1;
+            let camp_seen = &mut campaign_counts[event.campaign.index()];
+            *camp_seen += 1;
+            // Per-domain novelty is what warm-ups exploit; campaign-level
+            // content learning only defeats campaigns that never vary
+            // their message — the poisoning stream.
+            let learned = *seen > config.filter_volume_threshold
+                || (campaign.poison && *camp_seen > config.campaign_filter_volume_threshold);
+            let base_inbox = if !learned {
+                // Filters have not learned the domain yet: the warm-up
+                // phase sails through (deliverability testing works).
+                config.quiet_inbox_prob
+            } else {
+                match campaign.style {
+                    CampaignStyle::Loud => config.loud_inbox_prob,
+                    CampaignStyle::Quiet => config.quiet_inbox_prob,
+                }
+            };
+            let filtered = report_counts
             .get(&event.advertised)
             .is_some_and(|&n| n >= config.filter_threshold)
             // The poisoning stream rotates domains per message but its
             // content never changes: once the campaign signature is
             // learned, fresh domains buy it nothing.
             || (campaign.poison && learned);
-        let inbox_prob = if filtered {
-            base_inbox * config.filter_leak
-        } else {
-            base_inbox
-        };
-        if !rng.random_bool(inbox_prob) {
-            continue;
-        }
+            let inbox_prob = if filtered {
+                base_inbox * config.filter_leak
+            } else {
+                base_inbox
+            };
+            if !rng.random_bool(inbox_prob) {
+                continue;
+            }
 
-        // ---- the human.
-        if !rng.random_bool(config.report_prob) {
-            continue;
+            // ---- the human.
+            if !rng.random_bool(config.report_prob) {
+                continue;
+            }
+            *report_counts.entry(event.advertised).or_insert(0) += 1;
+            let delay_secs =
+                (ln_median + config.report_delay_sigma * standard_normal(&mut rng)).exp();
+            let mut domains = vec![event.advertised];
+            if let Some(c) = event.chaff {
+                domains.push(c);
+            }
+            reports.push(UserReport {
+                time: event.time.plus(delay_secs as u64),
+                domains,
+                spam: true,
+            });
         }
-        *report_counts.entry(event.advertised).or_insert(0) += 1;
-        let delay_secs = (ln_median + config.report_delay_sigma * standard_normal(&mut rng)).exp();
-        let mut domains = vec![event.advertised];
-        if let Some(c) = event.chaff {
-            domains.push(c);
-        }
-        reports.push(UserReport {
-            time: event.time.plus(delay_secs as u64),
-            domains,
-            spam: true,
-        });
+        lo = hi;
     }
 
     // ---- users reporting legitimate commercial mail (§3.2: "human

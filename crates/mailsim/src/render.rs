@@ -31,7 +31,9 @@ const SUBJECTS_OTHER: &[&str] = &[
     "The ebook they don't want you to read",
     "Final notice regarding your account",
 ];
-const SUBDOMAINS: &[&str] = &["", "www.", "shop.", "secure.", "m.", "go."];
+/// Subdomain prefixes URL rendering draws from (public so the
+/// collectors' render-free fast path can reconstruct hostnames).
+pub const SUBDOMAINS: &[&str] = &["", "www.", "shop.", "secure.", "m.", "go."];
 const PATHS: &[&str] = &["/", "/index.html", "/buy", "/sale?id=", "/r/", "/track?c="];
 
 /// A rendered message.
@@ -198,6 +200,48 @@ impl UrlParts {
     }
 }
 
+/// Replays exactly the [`render_spam_into`] draws needed to learn the
+/// subdomain prefix of each URL in the body, without rendering any
+/// text. Returns the advertised URL's [`SUBDOMAINS`] index, plus the
+/// chaff URL's when `chaff_distinct` (a chaff domain different from
+/// the advertised one) demands it.
+///
+/// Domain extraction reduces each URL host to its registered domain
+/// and de-duplicates by first appearance, so for a body rendered by
+/// `render_spam_into` only these hosts can reach a feed:
+/// `sub_adv ++ advertised` always, and `sub_chaff ++ chaff` when the
+/// chaff domain is distinct. Every intervening draw is consumed with
+/// the same method and operand type as the real renderer so the
+/// shared per-event render stream replays bit-identically.
+pub fn replay_spam_url_hosts<R: Rng>(rng: &mut R, chaff_distinct: bool) -> (usize, Option<usize>) {
+    let adv_sub = rng.random_range(0..SUBDOMAINS.len());
+    if !chaff_distinct {
+        // The remaining draws cannot affect extracted (domain, host)
+        // pairs; the per-event child stream is simply abandoned.
+        return (adv_sub, None);
+    }
+    // Advertised path (+ tail when the path format takes one).
+    let path = PATHS[rng.random_range(0..PATHS.len())];
+    if path.ends_with('=') || path.ends_with('/') && path.len() > 1 {
+        let _ = rng.random_range(0..0xffffffu32);
+    }
+    // Subject pool then subject; every pool has the same length, so
+    // the draw sequence is pool-independent.
+    debug_assert!(
+        SUBJECTS_PHARMA.len() == SUBJECTS_GOODS.len()
+            && SUBJECTS_GOODS.len() == SUBJECTS_OTHER.len()
+    );
+    let _ = rng.random_range(0..3u8);
+    let _ = rng.random_range(0..SUBJECTS_PHARMA.len());
+    // Sender localpart (name + digits) and From-header domain (one
+    // popularity draw; never URL-extracted).
+    let _ = rng.random_range(0..SENDER_NAMES.len());
+    let _ = rng.random_range(0..100u8);
+    let _: f64 = rng.random();
+    let chaff_sub = rng.random_range(0..SUBDOMAINS.len());
+    (adv_sub, Some(chaff_sub))
+}
+
 /// Appends a URL on `domain` with a random subdomain and path onto
 /// `out`, allocation-free (buffer growth aside).
 pub fn push_random_url<R: Rng>(
@@ -217,10 +261,11 @@ pub fn random_url<R: Rng>(truth: &GroundTruth, domain: DomainId, rng: &mut R) ->
     out
 }
 
+const SENDER_NAMES: &[&str] = &["info", "sales", "noreply", "news", "offers", "support"];
+
 fn push_sender_localpart<R: Rng>(out: &mut String, rng: &mut R) {
     use std::fmt::Write;
-    const NAMES: &[&str] = &["info", "sales", "noreply", "news", "offers", "support"];
-    out.push_str(NAMES[rng.random_range(0..NAMES.len())]);
+    out.push_str(SENDER_NAMES[rng.random_range(0..SENDER_NAMES.len())]);
     // Writing to a String cannot fail; ignore the result.
     let _ = write!(out, "{}", rng.random_range(0..100u8));
 }
@@ -243,7 +288,7 @@ mod tests {
         let psl = SuffixList::builtin();
         let mut rng = RngStream::new(1, "render-test");
         let mut checked = 0;
-        for e in truth.events.iter().take(300) {
+        for e in truth.sorted_events().iter().take(300) {
             let msg = render_spam(&truth, e.advertised, e.chaff, e.time, &mut rng);
             let urls = extract_urls(&msg.text);
             assert!(!urls.is_empty(), "no URLs extracted from:\n{}", msg.text);
@@ -286,13 +331,53 @@ mod tests {
         let mut rng_a = RngStream::new(5, "render-into");
         let mut rng_b = rng_a.clone();
         let mut buf = String::new();
-        for e in truth.events.iter().take(200) {
+        for e in truth.sorted_events().iter().take(200) {
             let msg = render_spam(&truth, e.advertised, e.chaff, e.time, &mut rng_a);
             let headers =
                 render_spam_into(&mut buf, &truth, e.advertised, e.chaff, e.time, &mut rng_b);
             assert_eq!(buf, msg.text);
             assert_eq!(headers.from_addr(&buf), msg.from);
             assert_eq!(headers.subject, msg.subject);
+        }
+    }
+
+    #[test]
+    fn replay_pins_full_render_hosts() {
+        // The render-free fast path must reconstruct exactly the URL
+        // hosts a full render would put in the body, from the same
+        // per-event stream.
+        let truth = world();
+        let base = RngStream::new(truth.seed, "replay-pin");
+        for (i, e) in truth.sorted_events().iter().take(400).enumerate() {
+            let mut full_rng = base.child(truth.seed, "replay-pin", i as u64);
+            let mut replay_rng = full_rng.clone();
+            let mut buf = String::new();
+            let _ = render_spam_into(
+                &mut buf,
+                &truth,
+                e.advertised,
+                e.chaff,
+                e.time,
+                &mut full_rng,
+            );
+            let chaff_distinct = e.chaff.is_some_and(|c| c != e.advertised);
+            let (adv_sub, chaff_sub) = replay_spam_url_hosts(&mut replay_rng, chaff_distinct);
+            let urls = extract_urls(&buf);
+            let adv_text = truth.universe.table.text(e.advertised);
+            assert_eq!(
+                urls[0].host.as_str(),
+                format!("{}{}", SUBDOMAINS[adv_sub], adv_text),
+                "advertised host, event {i}"
+            );
+            if let Some(cs) = chaff_sub {
+                let chaff_text = truth.universe.table.text(e.chaff.unwrap());
+                assert_eq!(
+                    urls[1].host.as_str(),
+                    format!("{}{}", SUBDOMAINS[cs], chaff_text),
+                    "chaff host, event {i}"
+                );
+                assert_eq!(urls.len(), 2);
+            }
         }
     }
 

@@ -54,6 +54,6 @@ mod tests {
         assert!(!world.benign_mail.is_empty());
         assert!(!world.provider.reports.is_empty());
         assert!(world.provider.oracle.total() > 0);
-        assert!(!world.truth.events.is_empty());
+        assert!(world.truth.total_volume() > 0);
     }
 }

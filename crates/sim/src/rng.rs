@@ -26,11 +26,22 @@ pub struct RngStream {
     s: [u64; 4],
 }
 
+/// Precomputed 64-bit key of a stream name (its FNV-1a hash), for hot
+/// loops that derive one child stream per event from the same name:
+/// hash the name once, then [`RngStream::child_keyed`] per event.
+pub fn name_key(name: &str) -> u64 {
+    fnv1a(name.as_bytes())
+}
+
 impl RngStream {
     /// Derives the stream named `name` from `master_seed`.
     pub fn new(master_seed: u64, name: &str) -> RngStream {
-        let mut x = master_seed ^ fnv1a(name.as_bytes());
-        // SplitMix64 expansion of the 64-bit key into 256 bits of state.
+        RngStream::from_key(master_seed ^ fnv1a(name.as_bytes()))
+    }
+
+    /// SplitMix64 expansion of the 64-bit key into 256 bits of state.
+    fn from_key(key: u64) -> RngStream {
+        let mut x = key;
         let mut s = [0u64; 4];
         for slot in &mut s {
             *slot = splitmix64(&mut x);
@@ -48,6 +59,29 @@ impl RngStream {
             master_seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407),
             name,
         )
+    }
+
+    /// [`Self::child`] with the name hash precomputed via [`name_key`].
+    /// Bit-identical to `child(master_seed, name, index)` for
+    /// `key == name_key(name)`; skips re-hashing the name per call.
+    pub fn child_keyed(master_seed: u64, key: u64, index: u64) -> RngStream {
+        RngStream::from_key(master_seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407) ^ key)
+    }
+
+    /// Fills `out` with the stream's next `out.len()` draws.
+    /// Bit-identical to drawing `next_u64` that many times.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next();
+        }
+    }
+
+    /// Returns the stream's next `n` draws as a vector. Bit-identical
+    /// to drawing `next_u64` `n` times.
+    pub fn next_n(&mut self, n: usize) -> Vec<u64> {
+        let mut out = vec![0u64; n];
+        self.fill_u64(&mut out);
+        out
     }
 
     #[inline]
@@ -169,6 +203,45 @@ mod tests {
         assert_eq!(c0.next_u64(), c0b.next_u64());
         let same = (0..50).filter(|_| c0.next_u64() == c1.next_u64()).count();
         assert!(same <= 1);
+    }
+
+    #[test]
+    fn child_keyed_is_bit_identical_to_child() {
+        let base = RngStream::new(41, "feeds/mx2");
+        let key = super::name_key("feeds/mx2");
+        for index in [0u64, 1, 7, 1 << 40, u64::MAX] {
+            let mut a = base.child(41, "feeds/mx2", index);
+            let mut b = RngStream::child_keyed(41, key, index);
+            for _ in 0..64 {
+                assert_eq!(a.next_u64(), b.next_u64(), "index {index}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_u64_matches_single_draws() {
+        let mut single = RngStream::new(13, "bulk");
+        let mut batched = RngStream::new(13, "bulk");
+        let mut out = [0u64; 257];
+        batched.fill_u64(&mut out);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, single.next_u64(), "draw {i}");
+        }
+        // And the streams stay in lockstep afterwards.
+        assert_eq!(batched.next_u64(), single.next_u64());
+    }
+
+    #[test]
+    fn next_n_matches_single_draws() {
+        let mut single = RngStream::new(99, "bulk-n");
+        let mut batched = RngStream::new(99, "bulk-n");
+        let draws = batched.next_n(31);
+        assert_eq!(draws.len(), 31);
+        for (i, &v) in draws.iter().enumerate() {
+            assert_eq!(v, single.next_u64(), "draw {i}");
+        }
+        assert!(batched.next_n(0).is_empty());
+        assert_eq!(batched.next_u64(), single.next_u64());
     }
 
     #[test]

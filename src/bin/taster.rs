@@ -31,11 +31,21 @@
 //!
 //! `bench-json` times feed collection, crawl/classification, and each
 //! analysis stage (coverage, purity, proportionality, timing) at 1,
-//! 2, 4 and 8 workers and writes the timings (plus speedups relative
-//! to one worker) as JSON, by default to `BENCH_pipeline.json`. Every
-//! number is read back from the observability layer's metrics
-//! registry — the same clock `taster profile` prints — so the bench
-//! and the profile can never disagree about a stage.
+//! 2, 4 and 8 workers per `--scale` value (comma-separated list
+//! accepted, e.g. `--scale 0.1,1.0`) and writes the timings (plus
+//! speedups relative to one worker) as JSON, by default to
+//! `BENCH_pipeline.json`. Each scale entry records the event count,
+//! the streaming chunk size, a peak-buffer memory estimate, and
+//! per-run collect throughput in events/sec;
+//! `--min-events-per-sec R` turns the best throughput into a CI
+//! floor (exit 1 below it). Every number is read back from the
+//! observability layer's metrics registry — the same clock `taster
+//! profile` prints — so the bench and the profile can never disagree
+//! about a stage.
+//!
+//! `--chunk N` pins the streaming collection chunk (rows per
+//! generate+collect pass; default 65 536). Chunk size never changes
+//! any output byte — only peak memory and locality.
 //!
 //! Observability flags:
 //!
@@ -68,7 +78,7 @@ use taster::sim::FaultProfile;
 struct Args {
     command: String,
     positional: Vec<String>,
-    scale: f64,
+    scales: Vec<f64>,
     seed: u64,
     section: String,
     format: String,
@@ -78,6 +88,8 @@ struct Args {
     metrics: bool,
     trace: Option<String>,
     overhead_gate: Option<f64>,
+    chunk: Option<usize>,
+    min_events_per_sec: Option<f64>,
     self_test: bool,
     strict: bool,
     baseline: Option<String>,
@@ -90,7 +102,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         command,
         positional: Vec::new(),
-        scale: 1.0,
+        scales: vec![1.0],
         seed: 20_100_801,
         section: "all".to_string(),
         format: "text".to_string(),
@@ -100,6 +112,8 @@ fn parse_args() -> Result<Args, String> {
         metrics: false,
         trace: None,
         overhead_gate: None,
+        chunk: None,
+        min_events_per_sec: None,
         self_test: false,
         strict: false,
         baseline: None,
@@ -108,11 +122,17 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                out.scale = args
-                    .next()
-                    .ok_or("--scale needs a value")?
-                    .parse()
+                // Comma-separated list; only `bench-json` accepts more
+                // than one value.
+                let raw = args.next().ok_or("--scale needs a value")?;
+                out.scales = raw
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>())
+                    .collect::<Result<Vec<f64>, _>>()
                     .map_err(|e| format!("bad --scale: {e}"))?;
+                if out.scales.is_empty() || out.scales.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+                    return Err("--scale values must be positive".to_string());
+                }
             }
             "--seed" => {
                 out.seed = args
@@ -144,6 +164,28 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out.out = args.next().ok_or("--out needs a value")?;
             }
+            "--chunk" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--chunk needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --chunk: {e}"))?;
+                if n == 0 {
+                    return Err("--chunk must be at least 1".to_string());
+                }
+                out.chunk = Some(n);
+            }
+            "--min-events-per-sec" => {
+                let floor: f64 = args
+                    .next()
+                    .ok_or("--min-events-per-sec needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-events-per-sec: {e}"))?;
+                if !floor.is_finite() || floor <= 0.0 {
+                    return Err("--min-events-per-sec must be positive".to_string());
+                }
+                out.min_events_per_sec = Some(floor);
+            }
             "--metrics" => out.metrics = true,
             "--self-test" => out.self_test = true,
             "--strict" => out.strict = true,
@@ -174,8 +216,9 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile|lint> \
-     [--scale S] [--seed N] [--threads N] [--section NAME] [--faults PROFILE] [--out PATH] \
-     [--metrics] [--trace PATH] [--overhead-gate FRAC]\n       \
+     [--scale S[,S...]] [--seed N] [--threads N] [--chunk N] [--section NAME] \
+     [--faults PROFILE] [--out PATH] [--metrics] [--trace PATH] [--overhead-gate FRAC] \
+     [--min-events-per-sec R]\n       \
      taster lint [--format json] [--strict] [--self-test] [--baseline PATH] [--write-baseline]"
         .to_string()
 }
@@ -192,11 +235,18 @@ fn main() {
         lint_cmd(&args);
         return;
     }
+    if args.scales.len() > 1 && args.command != "bench-json" {
+        eprintln!("only bench-json accepts a --scale list\n{}", usage());
+        std::process::exit(2);
+    }
     let mut scenario = Scenario::default_paper()
-        .with_scale(args.scale)
+        .with_scale(args.scales[0])
         .with_seed(args.seed);
     if let Some(n) = args.threads {
         scenario = scenario.with_threads(n);
+    }
+    if let Some(c) = args.chunk {
+        scenario.feeds.chunk_size = c;
     }
     let Some(profile) = FaultProfile::by_name(&args.faults) else {
         eprintln!(
@@ -214,7 +264,7 @@ fn main() {
         "sweep" => do_sweep(&scenario, args.positional.first().map(|s| s.as_str())),
         "summary" => summary(&scenario),
         "degradation" => degradation_cmd(&scenario),
-        "bench-json" => bench_json(&scenario, &args.out),
+        "bench-json" => bench_json(&args),
         "profile" => profile_cmd(&scenario, &args),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
@@ -430,14 +480,24 @@ fn profile_cmd(scenario: &Scenario, args: &Args) {
     print!("{}", profile::deterministic_profile(&e));
     print!("{}", profile::render_profile_tree(&e));
     let row = profile::StageBench::from_registry(&e.obs, e.scenario.parallelism.workers());
-    let json = profile::bench_json_string(scenario, 1, &[row]);
+    let entry = profile::ScaleBench::new(
+        args.scales[0],
+        &scenario.name,
+        e.world.truth.log.len as u64,
+        scenario.feeds.chunk_size,
+        vec![row],
+    );
+    let json = profile::bench_json_string(scenario.seed, 1, &[entry]);
     if let Err(err) = std::fs::write(&args.out, &json) {
         eprintln!("cannot write {}: {err}", args.out);
         std::process::exit(1);
     }
     eprintln!("wrote {}", args.out);
     if let Some(gate) = args.overhead_gate {
-        let (off, on) = match profile::collect_overhead(scenario, 3) {
+        // Best-of-12: the streaming core shrank the measured collect
+        // stage to tens of milliseconds, so a stable minimum needs
+        // more reps than the old multi-hundred-ms stage did.
+        let (off, on) = match profile::collect_overhead(scenario, 12) {
             Ok(pair) => pair,
             Err(err) => {
                 eprintln!("overhead measurement failed: {err}");
@@ -542,48 +602,90 @@ fn do_sweep(scenario: &Scenario, which: Option<&str>) {
 /// Times feed collection, crawl/classification (clean and under the
 /// `lossy-feeds`/`flaky-crawler` fault profiles), and the four
 /// analysis stages (coverage, purity, proportionality, timing) at
-/// 1/2/4/8 workers over one shared world and writes the results as
-/// JSON. Every number is sourced from the observability layer's
-/// metrics registry ([`profile::bench_stages`]); every timed run
-/// produces bit-identical output, only wall-clock varies.
-fn bench_json(scenario: &Scenario, path: &str) {
-    eprintln!("building world for {}", scenario.name);
-    let world = sweep::build_world(scenario).unwrap_or_else(|e| {
-        eprintln!("invalid scenario: {e}");
-        std::process::exit(2);
-    });
+/// 1/2/4/8 workers over one shared world per `--scale` value and
+/// writes the results as JSON — per scale: the event count, streaming
+/// chunk size, peak-buffer estimate, and per-run events/sec. Every
+/// number is sourced from the observability layer's metrics registry
+/// ([`profile::bench_stages`]); every timed run produces bit-identical
+/// output, only wall-clock varies. With `--min-events-per-sec R`, the
+/// command exits 1 when any scale's best collect throughput falls
+/// below the floor (the CI perf-smoke gate).
+fn bench_json(args: &Args) {
     let reps = 3usize;
-    let mut rows: Vec<profile::StageBench> = Vec::new();
-    for workers in [1usize, 2, 4, 8] {
-        let best = match profile::bench_stages(&world, scenario, workers, reps) {
-            Ok(row) => row,
-            Err(e) => {
-                eprintln!("bench failed at {workers} workers: {e}");
-                std::process::exit(1);
-            }
-        };
-        eprintln!(
-            "workers {workers}: collect {:.3}s classify {:.3}s \
-             faulted collect {:.3}s classify {:.3}s analyze {:.4}s \
-             (coverage {:.4} purity {:.4} proportionality {:.4} timing {:.4})",
-            best.collect,
-            best.classify,
-            best.collect_faulted,
-            best.classify_faulted,
-            best.analyze(),
-            best.coverage,
-            best.purity,
-            best.proportionality,
-            best.timing,
+    let mut entries: Vec<profile::ScaleBench> = Vec::new();
+    for &scale in &args.scales {
+        let mut scenario = Scenario::default_paper()
+            .with_scale(scale)
+            .with_seed(args.seed);
+        if let Some(n) = args.threads {
+            scenario = scenario.with_threads(n);
+        }
+        if let Some(c) = args.chunk {
+            scenario.feeds.chunk_size = c;
+        }
+        eprintln!("building world for {}", scenario.name);
+        let world = sweep::build_world(&scenario).unwrap_or_else(|e| {
+            eprintln!("invalid scenario: {e}");
+            std::process::exit(2);
+        });
+        let events = world.truth.log.len as u64;
+        let mut rows: Vec<profile::StageBench> = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let best = match profile::bench_stages(&world, &scenario, workers, reps) {
+                Ok(row) => row,
+                Err(e) => {
+                    eprintln!("bench failed at {workers} workers: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "workers {workers}: collect {:.3}s ({:.0} events/s) classify {:.3}s \
+                 faulted collect {:.3}s classify {:.3}s analyze {:.4}s",
+                best.collect,
+                profile::events_per_sec(events, best.collect),
+                best.classify,
+                best.collect_faulted,
+                best.classify_faulted,
+                best.analyze(),
+            );
+            rows.push(best);
+        }
+        let entry = profile::ScaleBench::new(
+            scale,
+            &scenario.name,
+            events,
+            scenario.feeds.chunk_size,
+            rows,
         );
-        rows.push(best);
+        eprintln!(
+            "scale {scale}: {events} events, chunk {}, ~{:.1} MB peak stream buffers, \
+             best {:.0} events/s",
+            entry.chunk_size,
+            entry.stream_peak_bytes as f64 / 1e6,
+            entry.best_events_per_sec(),
+        );
+        entries.push(entry);
     }
-    let json = profile::bench_json_string(scenario, reps, &rows);
-    if let Err(e) = std::fs::write(path, &json) {
-        eprintln!("cannot write {path}: {e}");
+    let json = profile::bench_json_string(args.seed, reps, &entries);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("cannot write {}: {e}", args.out);
         std::process::exit(1);
     }
-    eprintln!("wrote {path}");
+    eprintln!("wrote {}", args.out);
+    if let Some(floor) = args.min_events_per_sec {
+        for entry in &entries {
+            let best = entry.best_events_per_sec();
+            if best < floor {
+                eprintln!(
+                    "scale {}: best collect throughput {best:.0} events/s \
+                     is below the floor {floor:.0}",
+                    entry.scale
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!("all scales meet the {floor:.0} events/s floor");
+    }
 }
 
 fn summary(scenario: &Scenario) {

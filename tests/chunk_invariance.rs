@@ -1,0 +1,136 @@
+//! Chunk invariance: the streaming generate+collect core must produce
+//! byte-identical reports at every chunk size and worker count — the
+//! chunk is a memory knob, never an observable one.
+//!
+//! Per-event RNG and fault streams are keyed by each event's
+//! time-sorted index, so where a chunk boundary (or shard boundary
+//! inside a chunk) falls can change nothing. These tests pin that
+//! end-to-end: full reports across a chunk × worker matrix, clean and
+//! fault-injected, the degenerate worlds (empty event log, one chunk
+//! larger than the whole log), and a property test over arbitrary
+//! chunk sizes.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use taster::core::{Experiment, Scenario};
+use taster::sim::FaultProfile;
+
+/// Chunk sizes under test: degenerate (1 row per pass), two prime/odd
+/// sizes that split the log unevenly, and one chunk holding the whole
+/// run.
+const CHUNKS: [usize; 4] = [1, 7, 64, usize::MAX];
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+fn scenario() -> Scenario {
+    Scenario::default_paper().with_scale(0.01).with_seed(71)
+}
+
+fn report_with(mut s: Scenario, chunk: usize, workers: usize) -> String {
+    s.feeds.chunk_size = chunk;
+    s = s.with_threads(workers);
+    Experiment::run(&s).report().full_report()
+}
+
+fn clean_reference() -> &'static String {
+    static REF: OnceLock<String> = OnceLock::new();
+    REF.get_or_init(|| report_with(scenario(), usize::MAX, 1))
+}
+
+#[test]
+fn clean_reports_are_chunk_and_worker_invariant() {
+    for chunk in CHUNKS {
+        for workers in WORKERS {
+            assert_eq!(
+                &report_with(scenario(), chunk, workers),
+                clean_reference(),
+                "clean report differs at chunk {chunk}, {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_reports_are_chunk_and_worker_invariant() {
+    // `lossy-feeds` exercises the per-record fault stream (drops,
+    // duplicates, truncations), whose draws are also keyed by sorted
+    // event index and so must survive any chunking.
+    let faulted = || scenario().with_faults(FaultProfile::lossy_feeds());
+    let reference = report_with(faulted(), usize::MAX, 1);
+    assert_ne!(
+        &reference,
+        clean_reference(),
+        "lossy-feeds must actually perturb the report"
+    );
+    for chunk in CHUNKS {
+        for workers in WORKERS {
+            assert_eq!(
+                report_with(faulted(), chunk, workers),
+                reference,
+                "faulted report differs at chunk {chunk}, {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_event_log_is_chunk_invariant() {
+    // No campaigns and no poisoning: the spam event log is empty, but
+    // benign trap mail and provider false positives still exist, so
+    // the report is non-trivial. The streaming loop must still run
+    // exactly one (empty) chunk for metrics parity.
+    let empty = || {
+        let mut s = Scenario::default_paper().with_scale(0.02).with_seed(5);
+        s.ecosystem.campaign_scale = 0.0;
+        s.ecosystem.poison = None;
+        s
+    };
+    let e = Experiment::run(&empty());
+    assert_eq!(e.world.truth.log.len, 0, "world should have no spam events");
+    let reference = report_with(empty(), usize::MAX, 1);
+    for chunk in [1, 64] {
+        for workers in [1, 8] {
+            assert_eq!(
+                report_with(empty(), chunk, workers),
+                reference,
+                "empty-log report differs at chunk {chunk}, {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunk_barely_larger_than_log_matches_exact_fit() {
+    let n = Experiment::run(&scenario()).world.truth.log.len;
+    assert!(n > 0);
+    // Exact fit, one-over, and vastly-over must all behave as "a
+    // single chunk holds everything".
+    let exact = report_with(scenario(), n, 1);
+    assert_eq!(report_with(scenario(), n + 1, 2), exact);
+    assert_eq!(&exact, clean_reference());
+}
+
+/// Property test: any chunk size and worker count yields the
+/// reference report. Drives [`proptest::run_test`] directly (instead
+/// of the `proptest!` macro) to cap the cases at 6 — each case is a
+/// full experiment, so the default 96 would dominate the suite.
+#[test]
+fn arbitrary_chunk_sizes_never_change_the_report() {
+    proptest::run_test(
+        "arbitrary_chunk_sizes_never_change_the_report",
+        |rng, case| {
+            if case >= 6 {
+                return Ok(());
+            }
+            let chunk = Strategy::gen_value(&(1usize..5000), rng);
+            let workers = Strategy::gen_value(&(1usize..=8usize), rng);
+            prop_assert_eq!(
+                &report_with(scenario(), chunk, workers),
+                clean_reference(),
+                "report differs at chunk {chunk}, {workers} workers"
+            );
+            Ok(())
+        },
+    );
+}

@@ -26,8 +26,7 @@ fn different_seeds_produce_different_worlds() {
     let a = Experiment::run(&scenario());
     let b = Experiment::run(&scenario().with_seed(424_243));
     assert_ne!(
-        a.world.truth.events.len(),
-        b.world.truth.events.len(),
+        a.world.truth.log.len, b.world.truth.log.len,
         "event counts almost surely differ across seeds"
     );
 }
@@ -40,7 +39,8 @@ fn ground_truth_is_independent_of_observation_layers() {
     let cfg = EcosystemConfig::default().with_scale(0.02);
     let t1 = GroundTruth::generate(&cfg, 7).unwrap();
     let t2 = GroundTruth::generate(&cfg, 7).unwrap();
-    assert_eq!(t1.events, t2.events);
+    assert!(t1.events().eq(t2.events()));
+    assert_eq!(t1.log.rank, t2.log.rank);
 
     let mut s1 = scenario();
     s1.feeds.mx[0].capture_prob = 0.01;
@@ -48,7 +48,7 @@ fn ground_truth_is_independent_of_observation_layers() {
     s2.feeds.mx[0].capture_prob = 0.5;
     let e1 = Experiment::run(&s1);
     let e2 = Experiment::run(&s2);
-    assert_eq!(e1.world.truth.events.len(), e2.world.truth.events.len());
+    assert_eq!(e1.world.truth.log.len, e2.world.truth.log.len);
     // The changed collector differs…
     assert_ne!(
         e1.feeds.get(FeedId::Mx1).unique_domains(),

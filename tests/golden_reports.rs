@@ -132,7 +132,14 @@ fn report_stage_keys_all_reach_bench_json() {
     let exp = profile::profile_scenario(&scenario(SEEDS[0])).expect("profile runs");
     let metrics = exp.report().metrics_section();
     let row = profile::StageBench::from_registry(&exp.obs, 2);
-    let json = profile::bench_json_string(&exp.scenario, 1, &[row]);
+    let entry = profile::ScaleBench::new(
+        SCALE,
+        &exp.scenario.name,
+        exp.world.truth.log.len as u64,
+        exp.scenario.feeds.chunk_size,
+        vec![row],
+    );
+    let json = profile::bench_json_string(exp.scenario.seed, 1, &[entry]);
     for stage in taster::sim::metrics::STAGE_KEYS {
         assert!(
             metrics.contains(&format!("{stage}/")),
