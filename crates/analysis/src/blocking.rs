@@ -94,19 +94,35 @@ fn evaluate_feeds(world: &MailWorld, under_test: &[&Feed]) -> Vec<BlockingResult
     let mut spam_total = 0u64;
     let mut spam_blocked = vec![0u64; nf];
     let mut spam_eventually = vec![0u64; nf];
-    for ev in world.truth.events() {
-        spam_total += 1;
-        let t = ev.time.0;
-        let adv_row = ev.advertised.index() * nf;
-        let chaff_row = ev.chaff.map(|c| c.index() * nf);
-        for k in 0..nf {
-            let fa = first_seen[adv_row + k];
-            let fc = chaff_row.map_or(u64::MAX, |row| first_seen[row + k]);
-            if fa < t || fc < t {
-                spam_blocked[k] += 1;
+    {
+        let mut tally = |t: u64, adv_row: usize, chaff_row: Option<usize>| {
+            spam_total += 1;
+            for k in 0..nf {
+                let fa = first_seen[adv_row + k];
+                let fc = chaff_row.map_or(u64::MAX, |row| first_seen[row + k]);
+                if fa < t || fc < t {
+                    spam_blocked[k] += 1;
+                }
+                if fa != u64::MAX || fc != u64::MAX {
+                    spam_eventually[k] += 1;
+                }
             }
-            if fa != u64::MAX || fc != u64::MAX {
-                spam_eventually[k] += 1;
+        };
+        // The counters are order-free, so any full pass over the log
+        // works: the sorted cache when in core, the replay otherwise.
+        if let Some(cache) = world.truth.cache() {
+            use taster_ecosystem::buffer::NO_CHAFF;
+            for r in 0..cache.len() {
+                let chaff = cache.chaff[r];
+                tally(
+                    cache.time[r].0,
+                    cache.advertised[r] as usize * nf,
+                    (chaff != NO_CHAFF).then(|| chaff as usize * nf),
+                );
+            }
+        } else {
+            for ev in world.truth.events() {
+                tally(ev.time.0, ev.advertised.index() * nf, ev.chaff.map(|c| c.index() * nf));
             }
         }
     }

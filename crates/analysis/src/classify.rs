@@ -13,6 +13,7 @@ use taster_crawler::{CrawlReport, Crawler};
 use taster_domain::DomainBitset as DomainSet;
 use taster_ecosystem::GroundTruth;
 use taster_feeds::{FeedId, FeedSet};
+use taster_sim::metrics::{STAGE_CLASSIFY, STAGE_CRAWL};
 use taster_sim::{FaultPlan, Obs, Parallelism};
 
 /// Classification options.
@@ -144,31 +145,34 @@ impl Classified {
                 to_crawl.union_with(feeds.columns(id).members());
             }
         }
-        let crawl = crawler.crawl_par_observed(to_crawl.iter(), par, obs);
-
-        let _derive_span = obs.span("classify/derive_sets");
-        let per_feed = par.par_map(FeedId::ALL.to_vec(), |id| {
-            let members = feeds.columns(id).members();
-            let restrict =
-                options.restrict_blacklists_to_base && matches!(id, FeedId::Dbl | FeedId::Uribl);
-            let all = if restrict {
-                members.intersection(&base_union)
-            } else {
-                members.clone()
-            };
-            debug_assert_eq!(
-                all.difference_len(crawl.members()),
-                0,
-                "crawled every classified domain"
-            );
-            FeedDomains {
-                live: all.intersection(crawl.live_set()),
-                tagged: all.intersection(crawl.storefront_set()),
-                benign_listed: all.intersection(crawl.benign_http_set()),
-                all,
-            }
+        let crawl = obs.stage(STAGE_CRAWL, || {
+            crawler.crawl_par_observed(to_crawl.iter(), par, obs)
         });
-        drop(_derive_span);
+
+        let per_feed = obs.stage(STAGE_CLASSIFY, || {
+            let _derive_span = obs.span("classify/derive_sets");
+            par.par_map(FeedId::ALL.to_vec(), |id| {
+                let members = feeds.columns(id).members();
+                let restrict = options.restrict_blacklists_to_base
+                    && matches!(id, FeedId::Dbl | FeedId::Uribl);
+                let all = if restrict {
+                    members.intersection(&base_union)
+                } else {
+                    members.clone()
+                };
+                debug_assert_eq!(
+                    all.difference_len(crawl.members()),
+                    0,
+                    "crawled every classified domain"
+                );
+                FeedDomains {
+                    live: all.intersection(crawl.live_set()),
+                    tagged: all.intersection(crawl.storefront_set()),
+                    benign_listed: all.intersection(crawl.benign_http_set()),
+                    all,
+                }
+            })
+        });
 
         if obs.metrics.is_on() {
             let m = &obs.metrics;

@@ -28,7 +28,7 @@ use taster_ecosystem::GroundTruth;
 use taster_feeds::{try_collect_all_observed, FeedId, FeedSet, PipelineError};
 use taster_mailsim::MailWorld;
 use taster_sim::metrics::{
-    STAGE_CLASSIFY, STAGE_COLLECT, STAGE_COVERAGE, STAGE_PROPORTIONALITY, STAGE_PURITY,
+    STAGE_COVERAGE, STAGE_GENERATE, STAGE_PROPORTIONALITY, STAGE_PURITY, STAGE_RENDER,
     STAGE_TIMING,
 };
 use taster_sim::{FaultPlan, Obs};
@@ -83,23 +83,35 @@ impl Experiment {
             .validate()
             .map_err(PipelineError::InvalidScenario)?;
         let par = scenario.parallelism;
-        let truth = {
-            let _span = obs.span("generate");
-            GroundTruth::generate(&scenario.ecosystem, scenario.seed)
-                .map_err(PipelineError::Generation)?
-        };
-        let world = {
-            let _span = obs.span("mail_world");
-            MailWorld::build(truth, scenario.mail.clone())
-                .map_err(PipelineError::InvalidScenario)?
-        };
-        let plan = scenario.fault_plan();
-        let feeds = obs.stage(STAGE_COLLECT, || {
-            try_collect_all_observed(&world, &scenario.feeds, &plan, &par, &obs)
+        // One stage covers ground-truth generation *and* the mail-world
+        // provider replay: both synthesize the world before any feed
+        // exists, and splitting them would leave the span tree as the
+        // only place the split is visible anyway.
+        let world = obs.stage(STAGE_GENERATE, || -> Result<MailWorld, PipelineError> {
+            let truth = {
+                let _span = obs.span("generate/ground_truth");
+                GroundTruth::generate(&scenario.ecosystem, scenario.seed)
+                    .map_err(PipelineError::Generation)?
+            };
+            let _span = obs.span("generate/mail_world");
+            let world = MailWorld::build(truth, scenario.mail.clone())
+                .map_err(PipelineError::InvalidScenario)?;
+            obs.metrics.add("generate/events", world.truth.log.len as u64);
+            obs.metrics
+                .add("generate/domains", world.truth.universe.len() as u64);
+            obs.metrics.add(
+                "generate/cached_events",
+                world.truth.cache().map_or(0, |c| c.len() as u64),
+            );
+            Ok(world)
         })?;
-        let classified = obs.stage(STAGE_CLASSIFY, || {
-            Classified::build_observed(&world.truth, &feeds, scenario.classify, &plan, &par, &obs)
-        });
+        let plan = scenario.fault_plan();
+        // Collect/blacklist staging happens inside the pipeline (the
+        // two blacklists are timed as their own stage), and crawl vs.
+        // set-derivation staging inside the classifier.
+        let feeds = try_collect_all_observed(&world, &scenario.feeds, &plan, &par, &obs)?;
+        let classified =
+            Classified::build_observed(&world.truth, &feeds, scenario.classify, &plan, &par, &obs);
         Ok(Experiment {
             scenario: scenario.clone(),
             world,
@@ -164,6 +176,15 @@ impl Experiment {
     /// The plain-text report renderer.
     pub fn report(&self) -> Report<'_> {
         Report::new(self)
+    }
+
+    /// Renders the full report under this run's observability handle,
+    /// recording the `render` stage wall time. With `Obs::off()` this
+    /// is `report().full_report()` exactly, byte for byte.
+    pub fn render_report(&self) -> String {
+        let text = self.obs.stage(STAGE_RENDER, || self.report().full_report());
+        self.obs.metrics.add("render/bytes", text.len() as u64);
+        text
     }
 
     // ------------------------------------------------ typed results

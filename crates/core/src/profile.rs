@@ -29,12 +29,12 @@ use taster_analysis::timing::{
 use taster_analysis::Classified;
 use taster_ecosystem::buffer::EventBuffer;
 use taster_feeds::PipelineError;
-use taster_feeds::{collect_all_with, try_collect_all_faulted, try_collect_all_observed};
+use taster_feeds::{try_collect_all_faulted, try_collect_all_observed};
 use taster_mailsim::provider::PROVIDER_BUCKET;
 use taster_mailsim::MailWorld;
 use taster_sim::metrics::{
-    STAGE_CLASSIFY, STAGE_COLLECT, STAGE_COVERAGE, STAGE_PROPORTIONALITY, STAGE_PURITY,
-    STAGE_TIMING,
+    STAGE_BLACKLIST, STAGE_CLASSIFY, STAGE_COLLECT, STAGE_COVERAGE, STAGE_CRAWL, STAGE_GENERATE,
+    STAGE_PROPORTIONALITY, STAGE_PURITY, STAGE_RENDER, STAGE_TIMING,
 };
 use taster_sim::{FaultPlan, FaultProfile, Obs, Parallelism};
 
@@ -51,6 +51,8 @@ pub const STAGE_CLASSIFY_FAULTED: &str = "classify_faulted";
 pub fn profile_scenario(scenario: &Scenario) -> Result<Experiment, PipelineError> {
     let exp = Experiment::try_run_observed(scenario, Obs::on())?;
     exp.observe_analyses();
+    // Render once so the `render` stage is clocked like every other.
+    std::hint::black_box(exp.render_report().len());
     Ok(exp)
 }
 
@@ -93,9 +95,13 @@ pub fn render_profile_tree(exp: &Experiment) -> String {
 pub struct StageBench {
     /// Worker count the stages ran at.
     pub workers: usize,
-    /// Feed collection, seconds.
+    /// Feed collection (content members + Hu), seconds.
     pub collect: f64,
-    /// Crawl + classification, seconds.
+    /// Blacklist simulation (dbl + uribl), seconds.
+    pub blacklist: f64,
+    /// Crawl/oracle/tagger pass, seconds.
+    pub crawl: f64,
+    /// Live/tagged set derivation, seconds.
     pub classify: f64,
     /// Feed collection under the `lossy-feeds` profile.
     pub collect_faulted: f64,
@@ -117,6 +123,12 @@ impl StageBench {
         self.coverage + self.purity + self.proportionality + self.timing
     }
 
+    /// Total pipeline wall time across the clean stages this row times
+    /// (everything between world generation and report rendering).
+    pub fn pipeline(&self) -> f64 {
+        self.collect + self.blacklist + self.crawl + self.classify
+    }
+
     /// Reads one bench row out of a registry's timing map (absent
     /// stages read as 0). `workers` is carried through verbatim.
     pub fn from_registry(obs: &Obs, workers: usize) -> StageBench {
@@ -124,6 +136,8 @@ impl StageBench {
         StageBench {
             workers,
             collect: g(STAGE_COLLECT),
+            blacklist: g(STAGE_BLACKLIST),
+            crawl: g(STAGE_CRAWL),
             classify: g(STAGE_CLASSIFY),
             collect_faulted: g(STAGE_COLLECT_FAULTED),
             classify_faulted: g(STAGE_CLASSIFY_FAULTED),
@@ -133,6 +147,59 @@ impl StageBench {
             timing: g(STAGE_TIMING),
         }
     }
+}
+
+/// End-to-end wall accounting from one fully-observed run: every
+/// canonical stage's registry time plus the total wall clock around
+/// the whole run, so the *untimed* remainder — work no stage covers —
+/// is measurable and gateable.
+#[derive(Debug, Clone, Copy)]
+pub struct EndToEnd {
+    /// World generation (ground truth + mail world), seconds.
+    pub generate: f64,
+    /// Report rendering, seconds.
+    pub render: f64,
+    /// Sum of all ten canonical stage times, seconds.
+    pub timed: f64,
+    /// Total wall time of the run, seconds.
+    pub total: f64,
+}
+
+impl EndToEnd {
+    /// Wall time not attributed to any canonical stage, seconds.
+    pub fn untimed(&self) -> f64 {
+        (self.total - self.timed).max(0.0)
+    }
+
+    /// Untimed share of the total (0 when the total is 0).
+    pub fn untimed_fraction(&self) -> f64 {
+        if self.total > 0.0 {
+            self.untimed() / self.total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `scenario` once, fully observed (metrics on, trace off), all
+/// the way through report rendering, and accounts every canonical
+/// stage against the total wall clock. The registry stages and the
+/// outer clock measure the same single run, so `untimed` is exactly
+/// the wall time the stage inventory misses.
+pub fn bench_end_to_end(scenario: &Scenario) -> Result<EndToEnd, PipelineError> {
+    let start = std::time::Instant::now();
+    let exp = Experiment::try_run_observed(scenario, Obs::with(true, false))?;
+    exp.observe_analyses();
+    std::hint::black_box(exp.render_report().len());
+    let total = start.elapsed().as_secs_f64();
+    let g = |key: &str| exp.obs.metrics.timing(key).unwrap_or(0.0);
+    let timed: f64 = taster_sim::metrics::STAGE_KEYS.iter().map(|k| g(k)).sum();
+    Ok(EndToEnd {
+        generate: g(STAGE_GENERATE),
+        render: g(STAGE_RENDER),
+        timed,
+        total,
+    })
 }
 
 /// Times every pipeline stage at `workers` workers over a pre-built
@@ -149,16 +216,16 @@ pub fn bench_stages(
 ) -> Result<StageBench, PipelineError> {
     let par = Parallelism::fixed(workers);
     let obs = Obs::with(true, false);
+    let off = FaultPlan::off(scenario.seed);
     let lossy = FaultPlan::new(FaultProfile::lossy_feeds(), scenario.seed);
     let flaky = FaultPlan::new(FaultProfile::flaky_crawler(), scenario.seed);
     let oracle = &world.provider.oracle;
     for _ in 0..reps {
-        let feeds = obs.stage(STAGE_COLLECT, || {
-            collect_all_with(world, &scenario.feeds, &par)
-        });
-        let classified = obs.stage(STAGE_CLASSIFY, || {
-            Classified::build_with(&world.truth, &feeds, scenario.classify, &par)
-        });
+        // The pipeline and classifier stage themselves (collect /
+        // blacklist / crawl / classify), recording into `obs` directly.
+        let feeds = try_collect_all_observed(world, &scenario.feeds, &off, &par, &obs)?;
+        let classified =
+            Classified::build_observed(&world.truth, &feeds, scenario.classify, &off, &par, &obs);
 
         let faulted_feeds = obs.stage(STAGE_COLLECT_FAULTED, || {
             try_collect_all_faulted(world, &scenario.feeds, &lossy, &par)
@@ -226,6 +293,9 @@ pub struct ScaleBench {
     /// Peak bytes the streaming buffers can hold at once
     /// ([`stream_peak_bytes`]).
     pub stream_peak_bytes: u64,
+    /// End-to-end wall accounting from one fully-observed run (zeros
+    /// when the caller only benched stage rows).
+    pub end_to_end: Option<EndToEnd>,
     /// Stage timings, one row per worker count.
     pub rows: Vec<StageBench>,
 }
@@ -246,8 +316,22 @@ impl ScaleBench {
             events,
             chunk_size,
             stream_peak_bytes: stream_peak_bytes(events, chunk_size),
+            end_to_end: None,
             rows,
         }
+    }
+
+    /// Attaches end-to-end wall accounting to this entry.
+    pub fn with_end_to_end(mut self, e2e: EndToEnd) -> ScaleBench {
+        self.end_to_end = Some(e2e);
+        self
+    }
+
+    /// Overrides the peak-memory estimate (out-of-core runs derive it
+    /// from the `--max-mem-bytes` budget instead of the chunk size).
+    pub fn with_stream_peak_bytes(mut self, bytes: u64) -> ScaleBench {
+        self.stream_peak_bytes = bytes;
+        self
     }
 
     /// Best collect-stage throughput across the worker rows, events
@@ -269,6 +353,25 @@ pub fn stream_peak_bytes(events: u64, chunk_size: usize) -> u64 {
     let row = EventBuffer::bytes_per_event() as u64;
     let chunk_rows = (chunk_size as u64).min(events);
     let bucket_rows = (PROVIDER_BUCKET as u64).min(events);
+    chunk_rows.max(bucket_rows) * row + 4 * events
+}
+
+/// Peak event-buffer bytes a run actually holds under `config`'s
+/// memory budget: the sorted-cache footprint when the log fits in
+/// core, otherwise [`stream_peak_bytes`] with both the collection
+/// chunk and the provider bucket clamped to the budget rows.
+pub fn budget_peak_bytes(
+    config: &taster_ecosystem::EcosystemConfig,
+    events: u64,
+    chunk_size: usize,
+) -> u64 {
+    if config.wants_cache(events) {
+        return taster_ecosystem::EcosystemConfig::cache_peak_bytes(events);
+    }
+    let row = EventBuffer::bytes_per_event() as u64;
+    let budget = config.budget_rows(events) as u64;
+    let chunk_rows = (chunk_size as u64).min(budget).min(events);
+    let bucket_rows = (PROVIDER_BUCKET as u64).min(budget).min(events);
     chunk_rows.max(bucket_rows) * row + 4 * events
 }
 
@@ -305,6 +408,8 @@ pub fn bench_json_string(seed: u64, reps: usize, scales: &[ScaleBench]) -> Strin
         let base = entry.rows.first().copied().unwrap_or(StageBench {
             workers: 1,
             collect: 1.0,
+            blacklist: 0.0,
+            crawl: 0.0,
             classify: 1.0,
             collect_faulted: 0.0,
             classify_faulted: 0.0,
@@ -323,11 +428,21 @@ pub fn bench_json_string(seed: u64, reps: usize, scales: &[ScaleBench]) -> Strin
             "      \"stream_peak_bytes\": {},",
             entry.stream_peak_bytes
         );
+        let e2e = entry.end_to_end.unwrap_or(EndToEnd {
+            generate: 0.0,
+            render: 0.0,
+            timed: 0.0,
+            total: 0.0,
+        });
+        let _ = writeln!(json, "      \"generate_secs\": {:.6},", e2e.generate);
+        let _ = writeln!(json, "      \"render_secs\": {:.6},", e2e.render);
+        let _ = writeln!(json, "      \"total_secs\": {:.6},", e2e.total);
+        let _ = writeln!(json, "      \"untimed_secs\": {:.6},", e2e.untimed());
         json.push_str("      \"runs\": [\n");
         for (i, row) in entry.rows.iter().enumerate() {
             let comma = if i + 1 < entry.rows.len() { "," } else { "" };
-            let fault_overhead = if row.collect + row.classify > 0.0 {
-                (row.collect_faulted + row.classify_faulted) / (row.collect + row.classify)
+            let fault_overhead = if row.pipeline() > 0.0 {
+                (row.collect_faulted + row.classify_faulted) / row.pipeline()
             } else {
                 0.0
             };
@@ -337,6 +452,8 @@ pub fn bench_json_string(seed: u64, reps: usize, scales: &[ScaleBench]) -> Strin
                  \"collect_secs\": {:.6}, \
                  \"collect_speedup\": {:.3}, \
                  \"events_per_sec\": {:.1}, \
+                 \"blacklist_secs\": {:.6}, \
+                 \"crawl_secs\": {:.6}, \
                  \"classify_secs\": {:.6}, \
                  \"classify_speedup\": {:.3}, \
                  \"collect_faulted_secs\": {:.6}, \
@@ -352,6 +469,8 @@ pub fn bench_json_string(seed: u64, reps: usize, scales: &[ScaleBench]) -> Strin
                 row.collect,
                 speedup(base.collect, row.collect),
                 events_per_sec(entry.events, row.collect),
+                row.blacklist,
+                row.crawl,
                 row.classify,
                 speedup(base.classify, row.classify),
                 row.collect_faulted,
@@ -383,12 +502,17 @@ pub fn collect_overhead(scenario: &Scenario, reps: usize) -> Result<(f64, f64), 
     let plan = scenario.fault_plan();
     let off_clock = Obs::with(true, false);
     let on_clock = Obs::with(true, false);
+    // The instrumented body records its own inner stages (collect,
+    // blacklist); give it a registry separate from the outer probe
+    // clocks so the inner `collect` minimum cannot overwrite the
+    // whole-pipeline probe timing below.
+    let instrumented = Obs::with(true, false);
     for _ in 0..reps {
         off_clock.stage(STAGE_COLLECT, || {
             try_collect_all_observed(&world, &scenario.feeds, &plan, &par, &Obs::off())
         })?;
         on_clock.stage(STAGE_COLLECT, || {
-            try_collect_all_observed(&world, &scenario.feeds, &plan, &par, &on_clock)
+            try_collect_all_observed(&world, &scenario.feeds, &plan, &par, &instrumented)
         })?;
     }
     let g = |obs: &Obs| obs.metrics.timing(STAGE_COLLECT).unwrap_or(0.0);
@@ -462,6 +586,24 @@ mod tests {
         assert_eq!(stream_peak_bytes(events, wide), events * row + 4 * events);
         assert_eq!(events_per_sec(100, 0.0), 0.0);
         assert!((events_per_sec(100, 2.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_peak_respects_cache_and_budget() {
+        use taster_ecosystem::EcosystemConfig;
+        let mut config = EcosystemConfig::default();
+        let events = 4_000_000u64;
+        // Default budget caches the whole log.
+        assert_eq!(
+            budget_peak_bytes(&config, events, 65_536),
+            EcosystemConfig::cache_peak_bytes(events)
+        );
+        // A tight budget streams, and the estimate obeys it.
+        let budget = 64u64 << 20;
+        config.max_mem_bytes = Some(budget);
+        let peak = budget_peak_bytes(&config, events, 65_536);
+        assert!(peak <= budget, "peak {peak} over budget {budget}");
+        assert!(peak < EcosystemConfig::cache_peak_bytes(events));
     }
 
     #[test]

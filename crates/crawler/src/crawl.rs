@@ -276,6 +276,12 @@ pub struct Crawler<'a> {
     lists: ListMembership<'a>,
     signatures: SignatureSet,
     faults: Option<FaultPlan>,
+    /// Precomputed `fault/crawl/{dns,http}` stream keys: the faulted
+    /// crawl derives one decision stream per domain per stage, and
+    /// hashing the stage name once here (instead of per domain) keeps
+    /// that path allocation-free.
+    dns_fault_key: u64,
+    http_fault_key: u64,
 }
 
 impl<'a> Crawler<'a> {
@@ -288,6 +294,8 @@ impl<'a> Crawler<'a> {
             lists: ListMembership::new(truth),
             signatures: SignatureSet::from_roster(&truth.roster),
             faults: None,
+            dns_fault_key: FaultPlan::fault_key("crawl/dns"),
+            http_fault_key: FaultPlan::fault_key("crawl/http"),
         }
     }
 
@@ -311,7 +319,7 @@ impl<'a> Crawler<'a> {
     /// retry), not wall-clock sleeping.
     fn visit_with_retries(
         plan: &FaultPlan,
-        stage: &str,
+        stage_key: u64,
         domain: DomainId,
         fail_prob: f64,
     ) -> (bool, u32, u64) {
@@ -319,7 +327,7 @@ impl<'a> Crawler<'a> {
             return (true, 0, 0);
         }
         let profile = plan.profile();
-        let mut rng = plan.stream(stage, domain.index() as u64);
+        let mut rng = plan.stream_keyed(stage_key, domain.index() as u64);
         let mut extra_attempts = 0u32;
         let mut backoff_secs = 0u64;
         for attempt in 0..=profile.crawl_max_retries {
@@ -348,7 +356,7 @@ impl<'a> Crawler<'a> {
             // registration answer, no silent success.
             let (resolved, extra, backoff) = Self::visit_with_retries(
                 plan,
-                "crawl/dns",
+                self.dns_fault_key,
                 domain,
                 plan.profile().dns_servfail_prob,
             );
@@ -372,7 +380,7 @@ impl<'a> Crawler<'a> {
         if let Some(plan) = &self.faults {
             let (responded, extra, backoff) = Self::visit_with_retries(
                 plan,
-                "crawl/http",
+                self.http_fault_key,
                 domain,
                 plan.profile().http_timeout_prob,
             );

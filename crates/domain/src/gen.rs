@@ -111,6 +111,15 @@ const CYRILLIC: &[char] = &[
 impl BrandableGen {
     /// Generates a registrant label (no TLD).
     pub fn label<R: Rng>(&self, rng: &mut R) -> String {
+        let mut s = String::new();
+        self.label_into(rng, &mut s);
+        s
+    }
+
+    /// Appends a registrant label to `out` — the allocation-free form
+    /// of [`label`](Self::label), for callers generating names in bulk
+    /// into a reused buffer. Draw-for-draw identical to `label`.
+    pub fn label_into<R: Rng>(&self, rng: &mut R, out: &mut String) {
         if rng.random_bool(self.idn_prob) {
             // Homograph-flavoured IDN label, shipped in ACE form like
             // every wire artifact in the pipeline.
@@ -121,35 +130,49 @@ impl BrandableGen {
             // Pure-Cyrillic labels always encode; on the impossible
             // failure fall through to the ASCII syllable generator.
             if let Ok(ace) = crate::punycode::to_ascii_label(&unicode) {
-                return ace;
+                out.push_str(&ace);
+                return;
             }
         }
-        let mut s = String::new();
         if rng.random_bool(self.prefix_prob) {
-            s.push_str(PREFIXES[rng.random_range(0..PREFIXES.len())]);
+            out.push_str(PREFIXES[rng.random_range(0..PREFIXES.len())]);
         }
         let n = rng.random_range(self.min_syllables..=self.max_syllables);
         for _ in 0..n {
-            s.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
-            s.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
-            s.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+            out.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+            out.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+            out.push_str(CODAS[rng.random_range(0..CODAS.len())]);
         }
         if rng.random_bool(self.suffix_prob) {
-            s.push('-');
-            s.push_str(SUFFIXES[rng.random_range(0..SUFFIXES.len())]);
+            out.push('-');
+            out.push_str(SUFFIXES[rng.random_range(0..SUFFIXES.len())]);
         }
         if rng.random_bool(self.digit_prob) {
             let digits = rng.random_range(1..=3u32);
             for _ in 0..digits {
-                s.push(char::from(b'0' + rng.random_range(0..10u8)));
+                out.push(char::from(b'0' + rng.random_range(0..10u8)));
             }
         }
-        s
     }
 
     /// Generates a full registered domain using a weighted TLD pool.
     pub fn domain<R: Rng>(&self, rng: &mut R, pool: &[(&'static str, u32)]) -> String {
-        format!("{}.{}", self.label(rng), pick_tld(rng, pool))
+        let mut s = String::new();
+        self.domain_into(rng, pool, &mut s);
+        s
+    }
+
+    /// Appends a full registered domain to `out`; draw-for-draw
+    /// identical to [`domain`](Self::domain) (label first, then TLD).
+    pub fn domain_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        pool: &[(&'static str, u32)],
+        out: &mut String,
+    ) {
+        self.label_into(rng, out);
+        out.push('.');
+        out.push_str(pick_tld(rng, pool));
     }
 }
 
@@ -178,16 +201,34 @@ impl Default for DgaGen {
 impl DgaGen {
     /// Generates a random registrant label.
     pub fn label<R: Rng>(&self, rng: &mut R) -> String {
+        let mut s = String::new();
+        self.label_into(rng, &mut s);
+        s
+    }
+
+    /// Appends a random registrant label to `out`; draw-for-draw
+    /// identical to [`label`](Self::label).
+    pub fn label_into<R: Rng>(&self, rng: &mut R, out: &mut String) {
         let len = rng.random_range(self.min_len..=self.max_len);
-        (0..len)
-            .map(|_| char::from(b'a' + rng.random_range(0..26u8)))
-            .collect()
+        for _ in 0..len {
+            out.push(char::from(b'a' + rng.random_range(0..26u8)));
+        }
     }
 
     /// Generates a full random domain; Rustock used mostly `.com`.
     pub fn domain<R: Rng>(&self, rng: &mut R) -> String {
+        let mut s = String::new();
+        self.domain_into(rng, &mut s);
+        s
+    }
+
+    /// Appends a full random domain to `out`; draw-for-draw identical
+    /// to [`domain`](Self::domain) (TLD coin first, then the label).
+    pub fn domain_into<R: Rng>(&self, rng: &mut R, out: &mut String) {
         let tld = if rng.random_bool(0.85) { "com" } else { "net" };
-        format!("{}.{}", self.label(rng), tld)
+        self.label_into(rng, out);
+        out.push('.');
+        out.push_str(tld);
     }
 }
 
@@ -336,6 +377,29 @@ mod tests {
         for _ in 0..100 {
             let t = pick_tld(&mut r, SPAM_TLD_POOL);
             assert!(SPAM_TLD_POOL.iter().any(|&(x, _)| x == t));
+        }
+    }
+
+    /// The buffer-writing forms must stay draw-for-draw identical to
+    /// the allocating ones: the whole ground-truth universe hangs off
+    /// this RNG stream, so any divergence changes every report byte.
+    #[test]
+    fn into_forms_match_allocating_forms() {
+        let brand = BrandableGen {
+            idn_prob: 0.25, // exercise the IDN branch often
+            ..BrandableGen::default()
+        };
+        let dga = DgaGen::default();
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        let mut buf = String::new();
+        for _ in 0..300 {
+            buf.clear();
+            brand.domain_into(&mut a, SPAM_TLD_POOL, &mut buf);
+            assert_eq!(buf, brand.domain(&mut b, SPAM_TLD_POOL));
+            buf.clear();
+            dga.domain_into(&mut a, &mut buf);
+            assert_eq!(buf, dga.domain(&mut b));
         }
     }
 

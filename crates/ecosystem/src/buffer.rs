@@ -129,6 +129,39 @@ impl EventBuffer {
         self.sorted_idx.clear();
     }
 
+    /// Consumes a generation-order buffer and returns the time-sorted
+    /// equivalent: output row `rank[g]` is input row `g`, and
+    /// `sorted_idx[r] == r` for every row. Columns are scattered one
+    /// at a time, each source column dropped as soon as its sorted
+    /// copy exists, so peak memory is one extra column (the 8-byte
+    /// time column), not a second full buffer.
+    pub fn into_sorted(self, rank: &[u32]) -> EventBuffer {
+        let n = self.len();
+        debug_assert_eq!(rank.len(), n, "rank must cover every row");
+        fn scatter<T: Copy>(src: Vec<T>, rank: &[u32], fill: T) -> Vec<T> {
+            let mut out = vec![fill; src.len()];
+            for (g, v) in src.into_iter().enumerate() {
+                out[rank[g] as usize] = v;
+            }
+            out
+        }
+        let time = scatter(self.time, rank, SimTime::ZERO);
+        let campaign = scatter(self.campaign, rank, 0);
+        let advertised = scatter(self.advertised, rank, 0);
+        let chaff = scatter(self.chaff, rank, NO_CHAFF);
+        let target = scatter(self.target, rank, TargetClass::BruteForce);
+        let delivery = scatter(self.delivery, rank, DeliveryVector::Direct);
+        EventBuffer {
+            time,
+            campaign,
+            advertised,
+            chaff,
+            target,
+            delivery,
+            sorted_idx: (0..n as u32).collect(),
+        }
+    }
+
     /// Bytes per buffered row across all columns (for peak-memory
     /// estimates in benchmarks).
     pub fn bytes_per_event() -> usize {

@@ -201,7 +201,21 @@ pub struct EcosystemConfig {
     pub storefront_live_prob: f64,
     /// Probability a fresh landing domain is live.
     pub landing_live_prob: f64,
+
+    // ------------------------------------------------ memory budget
+    /// Peak bytes the streaming event core may hold resident at once
+    /// (`--max-mem-bytes`). `None` uses [`DEFAULT_MEM_BUDGET`]. The
+    /// budget decides whether the sorted event cache is built and, when
+    /// it is not, how many rows the streaming chunk/bucket buffers may
+    /// hold. It never changes any output byte — cached and streaming
+    /// runs replay the exact same draw sequence.
+    pub max_mem_bytes: Option<u64>,
 }
+
+/// Default streaming-memory budget: 1 GiB, comfortably inside the
+/// reference container while letting paper scale (≈4 M events) keep
+/// the sorted event cache resident.
+pub const DEFAULT_MEM_BUDGET: u64 = 1 << 30;
 
 impl Default for EcosystemConfig {
     fn default() -> Self {
@@ -292,6 +306,8 @@ impl Default for EcosystemConfig {
             storefront_registered_prob: 0.99,
             storefront_live_prob: 0.93,
             landing_live_prob: 0.90,
+
+            max_mem_bytes: None,
         }
     }
 }
@@ -345,7 +361,39 @@ impl EcosystemConfig {
         if self.harvest_vectors == 0 || self.harvest_vectors > 8 {
             return Err("harvest_vectors must be in 1..=8".into());
         }
+        if self.max_mem_bytes == Some(0) {
+            return Err("max_mem_bytes must be positive".into());
+        }
         Ok(())
+    }
+
+    /// Effective streaming-memory budget in bytes.
+    pub fn mem_budget(&self) -> u64 {
+        self.max_mem_bytes.unwrap_or(DEFAULT_MEM_BUDGET)
+    }
+
+    /// Peak bytes building and holding the sorted event cache costs:
+    /// the generation-order columns, the widest scatter column (the
+    /// 8-byte time column, transient during the column-wise re-sort)
+    /// and the rank permutation.
+    pub fn cache_peak_bytes(events: u64) -> u64 {
+        events * (crate::buffer::EventBuffer::bytes_per_event() as u64 + 8 + 4)
+    }
+
+    /// Whether a log of `events` rows should keep the sorted event
+    /// cache resident under this budget.
+    pub fn wants_cache(&self, events: u64) -> bool {
+        Self::cache_peak_bytes(events) <= self.mem_budget()
+    }
+
+    /// Rows the streaming chunk/bucket buffers may hold under this
+    /// budget once the always-resident rank permutation (4 bytes per
+    /// event) is paid for. At least 1 — a starved budget degrades to
+    /// row-at-a-time streaming rather than failing.
+    pub fn budget_rows(&self, events: u64) -> usize {
+        let avail = self.mem_budget().saturating_sub(4 * events);
+        let rows = avail / crate::buffer::EventBuffer::bytes_per_event() as u64;
+        rows.clamp(1, events.max(1)) as usize
     }
 }
 

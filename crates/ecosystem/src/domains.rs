@@ -18,7 +18,6 @@
 use crate::config::EcosystemConfig;
 use crate::ids::{AffiliateId, ProgramId};
 use rand::{Rng, RngExt};
-use taster_domain::fx::FxHashMap;
 use taster_domain::gen::{pick_tld, BrandableGen, DgaGen, BENIGN_TLD_POOL, SPAM_TLD_POOL};
 use taster_domain::{DomainId, DomainTable};
 use taster_stats::sample::Zipf;
@@ -70,12 +69,20 @@ pub struct DomainUniverse {
     /// Interner for registered-domain text; ids index `records`.
     pub table: DomainTable,
     records: Vec<DomainRecord>,
-    redirects: FxHashMap<DomainId, DomainId>,
+    /// Dense redirect column parallel to `records`: `redirects[d]` is
+    /// the target id, or [`NO_REDIRECT`]. Redirect chasing happens per
+    /// event in the provider and per domain in the crawler, so this is
+    /// an indexed load where a hash probe used to be.
+    redirects: Vec<u32>,
     benign_by_rank: Vec<DomainId>,
     benign_zipf: Zipf,
     storefront_gen: BrandableGen,
     landing_gen: BrandableGen,
     dga: DgaGen,
+    /// Reused name-candidate buffer: registrations stream thousands of
+    /// generated names through [`intern_fresh`] and only the accepted
+    /// ones deserve a heap string of their own.
+    scratch: String,
 }
 
 impl DomainUniverse {
@@ -90,8 +97,11 @@ impl DomainUniverse {
             ..BrandableGen::default()
         };
         let mut benign_by_rank = Vec::with_capacity(config.benign_domains);
+        let mut scratch = String::new();
         for rank0 in 0..config.benign_domains {
-            let id = intern_fresh(&mut table, || benign_gen.domain(rng, BENIGN_TLD_POOL));
+            let id = intern_fresh(&mut table, &mut scratch, |out| {
+                benign_gen.domain_into(rng, BENIGN_TLD_POOL, out)
+            });
             debug_assert_eq!(id.index(), records.len());
             records.push(DomainRecord {
                 kind: DomainKind::Benign,
@@ -102,10 +112,11 @@ impl DomainUniverse {
             });
             benign_by_rank.push(id);
         }
+        let redirects = vec![NO_REDIRECT; records.len()];
         DomainUniverse {
             table,
             records,
-            redirects: FxHashMap::default(),
+            redirects,
             benign_by_rank,
             benign_zipf: Zipf::new(config.benign_domains.max(1), config.benign_zipf_s),
             storefront_gen: BrandableGen::default(),
@@ -115,6 +126,7 @@ impl DomainUniverse {
                 ..BrandableGen::default()
             },
             dga: DgaGen::default(),
+            scratch,
         }
     }
 
@@ -127,7 +139,9 @@ impl DomainUniverse {
         rng: &mut R,
     ) -> DomainId {
         let gen = self.storefront_gen.clone();
-        let id = intern_fresh(&mut self.table, || gen.domain(rng, SPAM_TLD_POOL));
+        let id = intern_fresh(&mut self.table, &mut self.scratch, |out| {
+            gen.domain_into(rng, SPAM_TLD_POOL, out)
+        });
         let registered = rng.random_bool(config.storefront_registered_prob);
         let live = registered && rng.random_bool(config.storefront_live_prob);
         self.push_record(
@@ -155,7 +169,9 @@ impl DomainUniverse {
         rng: &mut R,
     ) -> DomainId {
         let gen = self.storefront_gen.clone();
-        let id = intern_fresh(&mut self.table, || gen.domain(rng, SPAM_TLD_POOL));
+        let id = intern_fresh(&mut self.table, &mut self.scratch, |out| {
+            gen.domain_into(rng, SPAM_TLD_POOL, out)
+        });
         self.push_record(
             id,
             DomainRecord {
@@ -177,7 +193,9 @@ impl DomainUniverse {
         rng: &mut R,
     ) -> DomainId {
         let gen = self.landing_gen.clone();
-        let id = intern_fresh(&mut self.table, || gen.domain(rng, SPAM_TLD_POOL));
+        let id = intern_fresh(&mut self.table, &mut self.scratch, |out| {
+            gen.domain_into(rng, SPAM_TLD_POOL, out)
+        });
         let live = rng.random_bool(config.landing_live_prob);
         self.push_record(
             id,
@@ -189,7 +207,7 @@ impl DomainUniverse {
                 odp: false,
             },
         );
-        self.redirects.insert(id, target);
+        self.redirects[id.index()] = target.0;
         id
     }
 
@@ -201,14 +219,16 @@ impl DomainUniverse {
         // hosting), i.e. low ranks — reuse the popularity law.
         let rank = self.benign_zipf.sample(rng);
         let id = self.benign_by_rank[rank];
-        self.redirects.insert(id, target);
+        self.redirects[id.index()] = target.0;
         id
     }
 
     /// Registers one poison (DGA) domain.
     pub fn register_poison<R: Rng>(&mut self, registered_prob: f64, rng: &mut R) -> DomainId {
         let gen = self.dga.clone();
-        let id = intern_fresh(&mut self.table, || gen.domain(rng));
+        let id = intern_fresh(&mut self.table, &mut self.scratch, |out| {
+            gen.domain_into(rng, out)
+        });
         let registered = rng.random_bool(registered_prob);
         // A registered "poison" name occasionally collides with a real
         // site; half of those respond to HTTP.
@@ -246,8 +266,10 @@ impl DomainUniverse {
         rng: &mut R,
     ) -> DomainId {
         let gen = self.dga.clone();
+        let mut name = String::new();
         for _ in 0..1000 {
-            let name = gen.domain(rng);
+            name.clear();
+            gen.domain_into(rng, &mut name);
             if self.table.get(&name).is_none_or(|id| id.0 >= expected) {
                 // Same draw order as the original: registered, then
                 // liveness only when registered (short-circuit).
@@ -279,7 +301,10 @@ impl DomainUniverse {
 
     /// Where `id` redirects, if it is (currently) a redirector.
     pub fn redirect_target(&self, id: DomainId) -> Option<DomainId> {
-        self.redirects.get(&id).copied()
+        match self.redirects.get(id.index()) {
+            Some(&t) if t != NO_REDIRECT => Some(DomainId(t)),
+            _ => None,
+        }
     }
 
     /// Follows the redirect chain from `id` to its terminus (bounded,
@@ -287,8 +312,8 @@ impl DomainUniverse {
     pub fn resolve_final(&self, id: DomainId) -> DomainId {
         let mut cur = id;
         for _ in 0..8 {
-            match self.redirects.get(&cur) {
-                Some(&next) if next != cur => cur = next,
+            match self.redirect_target(cur) {
+                Some(next) if next != cur => cur = next,
                 _ => break,
             }
         }
@@ -322,7 +347,9 @@ impl DomainUniverse {
             digit_prob: 0.1,
             ..BrandableGen::default()
         };
-        let id = intern_fresh(&mut self.table, || gen.domain(rng, BENIGN_TLD_POOL));
+        let id = intern_fresh(&mut self.table, &mut self.scratch, |out| {
+            gen.domain_into(rng, BENIGN_TLD_POOL, out)
+        });
         self.push_record(
             id,
             DomainRecord {
@@ -339,17 +366,27 @@ impl DomainUniverse {
     fn push_record(&mut self, id: DomainId, record: DomainRecord) {
         debug_assert_eq!(id.index(), self.records.len(), "ids must stay dense");
         self.records.push(record);
+        self.redirects.push(NO_REDIRECT);
     }
 }
 
+/// Sentinel in the dense redirect column: "does not redirect".
+const NO_REDIRECT: u32 = u32::MAX;
+
 /// Interns a freshly-generated name, regenerating on collision, and
 /// panics after a pathological number of retries (would indicate an
-/// exhausted namespace, i.e. a config error).
-fn intern_fresh<F: FnMut() -> String>(table: &mut DomainTable, mut gen: F) -> DomainId {
+/// exhausted namespace, i.e. a config error). Candidates are written
+/// into `scratch` so rejected names never touch the heap.
+fn intern_fresh<F: FnMut(&mut String)>(
+    table: &mut DomainTable,
+    scratch: &mut String,
+    mut gen: F,
+) -> DomainId {
     for _ in 0..1000 {
-        let name = gen();
-        if table.get(&name).is_none() {
-            return table.intern_str(&name);
+        scratch.clear();
+        gen(scratch);
+        if table.get(scratch).is_none() {
+            return table.intern_str(scratch);
         }
     }
     // lint:allow(no-panic) -- 1000 straight collisions means the configured namespace cannot hold the universe; abort loudly instead of looping forever

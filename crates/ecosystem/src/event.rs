@@ -61,6 +61,22 @@ fn plan_copies(config: &EcosystemConfig, campaign: &Campaign, plan_idx: usize) -
     (warmup, blast)
 }
 
+/// Exact number of events [`stream_campaign_events`] will emit for
+/// `campaign` — a pure function of the plan windows and volume, no
+/// draws. Lets the generator size (and budget) event buffers before
+/// the first pass runs.
+pub fn campaign_event_count(config: &EcosystemConfig, campaign: &Campaign) -> u64 {
+    if campaign.poison {
+        return 0;
+    }
+    (0..campaign.domains.len())
+        .map(|pi| {
+            let (w, b) = plan_copies(config, campaign, pi);
+            w + b
+        })
+        .sum()
+}
+
 /// Draws one campaign event. The draw order (advertised → time →
 /// chaff → target) is part of the reproducibility contract.
 fn draw_campaign_event<R: Rng>(

@@ -14,10 +14,13 @@
 //! in O(1) memory.
 
 use crate::botnet::{generate_botnets, Botnet};
+use crate::buffer::EventBuffer;
 use crate::campaign::{plan_campaigns, Campaign, CampaignStyle, DeliveryVector, TargetingMix};
 use crate::config::{EcosystemConfig, TargetMixConfig};
 use crate::domains::{DomainKind, DomainUniverse};
-use crate::event::{stream_campaign_events, stream_poison_events, EventStream, SpamEvent};
+use crate::event::{
+    campaign_event_count, stream_campaign_events, stream_poison_events, EventStream, SpamEvent,
+};
 use crate::ids::{CampaignId, ProgramId};
 use crate::program::ProgramRoster;
 use taster_domain::DomainId;
@@ -61,6 +64,13 @@ pub struct GroundTruth {
     /// Web-spam (non-e-mail) domain sightings: `(first seen, domain)`,
     /// time-sorted. Consumed only by the hybrid feed's non-mail source.
     pub webspam: Vec<(SimTime, DomainId)>,
+    /// Time-sorted event columns, kept when the memory budget
+    /// ([`EcosystemConfig::max_mem_bytes`]) covers the whole log.
+    /// `None` means out-of-core: consumers replay [`Self::events`]
+    /// instead. Row `r` holds the event at time-sorted position `r`
+    /// (`sorted_idx[r] == r`), so cache iteration is draw-for-draw
+    /// identical to a replay scattered through `log.rank`.
+    pub sorted_cache: Option<EventBuffer>,
 }
 
 impl GroundTruth {
@@ -80,12 +90,41 @@ impl GroundTruth {
         let mut campaigns =
             plan_campaigns(config, &roster, &botnets, &mut universe, &mut campaign_rng);
 
-        // First pass: run the full generation draws, but keep only the
-        // per-event times. Replays re-derive everything else.
+        // The exact event count is known before the first draw:
+        // `plan_copies` is a pure function of the plan, and the poison
+        // pseudo-campaign emits exactly its configured volume. That
+        // lets the memory budget decide *up front* whether the sorted
+        // event cache fits, instead of guessing and re-allocating.
+        let poison_active = config.poison.is_some() && botnets.iter().any(|b| b.poisons);
+        let expected: u64 = campaigns
+            .iter()
+            .map(|c| campaign_event_count(config, c))
+            .sum::<u64>()
+            + if poison_active {
+                config.poison.as_ref().map_or(0, |p| p.volume)
+            } else {
+                0
+            };
+        let build_cache = config.wants_cache(expected);
+
+        // First pass: run the full generation draws. Within budget we
+        // keep every column (the sorted cache saves consumers a full
+        // replay each); out of core we keep only the per-event times
+        // and consumers re-derive events on demand.
         let mut event_rng = RngStream::new(seed, "ecosystem/events");
         let mut times: Vec<SimTime> = Vec::new();
+        let mut gen_buf: Option<EventBuffer> = if build_cache {
+            Some(EventBuffer::with_capacity(expected as usize))
+        } else {
+            times.reserve(expected as usize);
+            None
+        };
+        let mut sink = |e: SpamEvent| match &mut gen_buf {
+            Some(b) => b.push(&e, 0),
+            None => times.push(e.time),
+        };
         for c in &campaigns {
-            stream_campaign_events(config, c, &universe, &mut event_rng, |e| times.push(e.time));
+            stream_campaign_events(config, c, &universe, &mut event_rng, &mut sink);
         }
 
         // The poisoning pseudo-campaign.
@@ -133,11 +172,17 @@ impl GroundTruth {
                 // record it as the replay anchor.
                 poison_base = universe.len() as u32;
                 let mut poison_rng = RngStream::new(seed, "ecosystem/poison");
-                stream_poison_events(poison, id, delivery, &mut universe, &mut poison_rng, |e| {
-                    times.push(e.time)
-                });
+                stream_poison_events(
+                    poison,
+                    id,
+                    delivery,
+                    &mut universe,
+                    &mut poison_rng,
+                    &mut sink,
+                );
             }
         }
+        drop(sink);
 
         // Stable argsort of the times gives the generation→sorted
         // permutation. Times are seconds bounded by the simulation
@@ -146,25 +191,33 @@ impl GroundTruth {
         // positions in generation order makes it stable by
         // construction, matching the old `sort_by_key(time)` tie
         // behaviour exactly.
-        let max_t = times.iter().map(|t| t.0).max().unwrap_or(0) as usize;
+        let gen_times: &[SimTime] = gen_buf.as_ref().map_or(&times, |b| &b.time);
+        let max_t = gen_times.iter().map(|t| t.0).max().unwrap_or(0) as usize;
         let mut starts = vec![0u32; max_t + 2];
-        for t in &times {
+        for t in gen_times {
             starts[t.0 as usize + 1] += 1;
         }
         for i in 1..starts.len() {
             starts[i] += starts[i - 1];
         }
-        let mut rank = vec![0u32; times.len()];
-        for (g, t) in times.iter().enumerate() {
+        let mut rank = vec![0u32; gen_times.len()];
+        for (g, t) in gen_times.iter().enumerate() {
             let slot = &mut starts[t.0 as usize];
             rank[g] = *slot;
             *slot += 1;
         }
         let log = EventLog {
-            len: times.len(),
+            len: gen_times.len(),
             rank,
             poison_base,
         };
+        drop(times);
+        drop(starts);
+
+        // Scatter the generation-order capture into time-sorted order.
+        // Column-by-column, so the peak is one extra column rather than
+        // a second full buffer.
+        let sorted_cache = gen_buf.map(|b| b.into_sorted(&log.rank));
 
         // The web-spam corpus: live storefronts advertised outside
         // e-mail (forum spam, search-redirection). Mostly untagged
@@ -213,7 +266,13 @@ impl GroundTruth {
             campaigns,
             log,
             webspam,
+            sorted_cache,
         })
+    }
+
+    /// The sorted event cache, when the memory budget allowed one.
+    pub fn cache(&self) -> Option<&EventBuffer> {
+        self.sorted_cache.as_ref()
     }
 
     /// Replays the event stream in *generation* order. Event `g` of
@@ -363,6 +422,27 @@ mod tests {
         let replayed: Vec<SpamEvent> = g.events().collect();
         assert_eq!(replayed.len(), events.len());
         assert_eq!(replayed, events);
+    }
+
+    #[test]
+    fn sorted_cache_matches_replay_and_respects_budget() {
+        let g = world(0.02, 7);
+        let cache = g.cache().expect("default budget caches small worlds");
+        let sorted = g.sorted_events();
+        assert_eq!(cache.len(), sorted.len());
+        for (r, e) in sorted.iter().enumerate() {
+            assert_eq!(cache.event(r), *e, "row {r}");
+            assert_eq!(cache.sorted_idx[r], r as u32);
+        }
+        // A budget too small for the log must fall back to replay mode
+        // with a bit-identical spine.
+        let mut tight = EcosystemConfig::default().with_scale(0.02);
+        tight.max_mem_bytes = Some(1024);
+        let t = GroundTruth::generate(&tight, 7).unwrap();
+        assert!(t.cache().is_none(), "tight budget streams out of core");
+        assert_eq!(t.log.len, g.log.len);
+        assert_eq!(t.log.rank, g.log.rank);
+        assert!(t.events().eq(g.events()));
     }
 
     #[test]

@@ -109,12 +109,16 @@ struct RunCtx<'w> {
     members: &'w [MemberSpec],
     plan: &'w FaultPlan,
     seed: u64,
-    labels: Vec<&'static str>,
     outages: Vec<Vec<TimeWindow>>,
     faults_on: bool,
+    /// Whether any record-fault rate is non-zero: outage-only profiles
+    /// skip the per-record fault decision entirely.
+    record_faults_on: bool,
     /// Per-member stream-name keys ([`name_key`]) for per-event child
     /// derivation without re-hashing the name.
     keys: Vec<u64>,
+    /// Per-member precomputed [`FaultPlan::fault_key`]s.
+    fault_keys: Vec<u64>,
     render_key: u64,
     monitored: Vec<bool>,
     extractor: DomainExtractor,
@@ -170,13 +174,17 @@ pub(crate) fn collect_content(
         members,
         plan,
         seed: truth.seed,
-        labels: members.iter().map(|m| m.feed_id().label()).collect(),
         outages: members
             .iter()
             .map(|m| plan.outage_windows(m.feed_id().label()))
             .collect(),
         faults_on: !plan.is_off(),
+        record_faults_on: plan.record_faults_possible(),
         keys: members.iter().map(|m| name_key(&m.stream_name())).collect(),
+        fault_keys: members
+            .iter()
+            .map(|m| FaultPlan::fault_key(m.feed_id().label()))
+            .collect(),
         render_key: name_key(RENDER_STREAM),
         monitored: truth.botnets.iter().map(|b| b.monitored).collect(),
         extractor,
@@ -185,29 +193,48 @@ pub(crate) fn collect_content(
 
     let mut merged: Vec<Feed> = members.iter().map(MemberSpec::empty_feed).collect();
     let mut metric_shards: Vec<MetricsShard> = Vec::new();
-    let rank = &truth.log.rank;
-    let mut buf = EventBuffer::with_capacity(chunk_size.min(truth.log.len.max(1)));
-    let mut stream = truth.events().enumerate();
-    let mut first = true;
-    loop {
-        buf.clear();
-        for (g, ev) in stream.by_ref().take(chunk_size) {
-            buf.push(&ev, rank[g]);
-        }
-        if buf.is_empty() && !first {
-            break;
-        }
-        first = false;
-        let shards = shard_ranges(buf.len(), par.workers());
-        let results = par.par_map(shards, |range| run_rows(&ctx, &buf, range, metrics_on));
+    if let Some(cache) = truth.cache() {
+        // In-core: the sorted cache already holds every column keyed
+        // by sorted index, so the whole log shards in one pass — no
+        // replay, no per-chunk scatter. Shard boundaries cannot change
+        // any output: every per-event stream is keyed by `sorted_idx`
+        // and [`Feed::merge`] is commutative.
+        let shards = shard_ranges(cache.len(), par.workers());
+        let results = par.par_map(shards, |range| run_rows(&ctx, cache, range, metrics_on));
         for (shard, shard_metrics) in results {
             for (acc, piece) in merged.iter_mut().zip(shard) {
                 acc.merge(piece);
             }
             metric_shards.push(shard_metrics);
         }
-        if buf.len() < chunk_size {
-            break;
+    } else {
+        // Out of core: stream the replay in chunks. The chunk width
+        // obeys the memory budget on top of the configured size.
+        let chunk_size = chunk_size.min(truth.config.budget_rows(truth.log.len as u64));
+        let rank = &truth.log.rank;
+        let mut buf = EventBuffer::with_capacity(chunk_size.min(truth.log.len.max(1)));
+        let mut stream = truth.events().enumerate();
+        let mut first = true;
+        loop {
+            buf.clear();
+            for (g, ev) in stream.by_ref().take(chunk_size) {
+                buf.push(&ev, rank[g]);
+            }
+            if buf.is_empty() && !first {
+                break;
+            }
+            first = false;
+            let shards = shard_ranges(buf.len(), par.workers());
+            let results = par.par_map(shards, |range| run_rows(&ctx, &buf, range, metrics_on));
+            for (shard, shard_metrics) in results {
+                for (acc, piece) in merged.iter_mut().zip(shard) {
+                    acc.merge(piece);
+                }
+                metric_shards.push(shard_metrics);
+            }
+            if buf.len() < chunk_size {
+                break;
+            }
         }
     }
     // Chunks stream in generation order and shards split each chunk in
@@ -420,8 +447,8 @@ fn run_rows(
             // Fault disposition for the captured record, keyed by
             // (seed, feed label, sorted event index). A dropped record
             // is lost before the collector logs anything.
-            let fault = if ctx.faults_on {
-                ctx.plan.record_fault(ctx.labels[m], i)
+            let fault = if ctx.record_faults_on {
+                ctx.plan.record_fault_keyed(ctx.fault_keys[m], i)
             } else {
                 RecordFault::Deliver
             };
@@ -593,14 +620,16 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
         MemberSpec::Bot { .. } => {}
         MemberSpec::Hyb { config } => {
             let seed = world.truth.seed;
+            let record_faults_on = plan.record_faults_possible();
             // Partner sample of user reports.
+            let reports_key = FaultPlan::fault_key("Hyb/reports");
             let mut rng = RngStream::new(seed, "feeds/hyb/reports");
             for (idx, report) in world.provider.reports.iter().enumerate() {
                 if !rng.random_bool(config.report_sample_prob) || down(report.time) {
                     continue;
                 }
-                let fault = if faults_on {
-                    plan.record_fault("Hyb/reports", idx as u64)
+                let fault = if record_faults_on {
+                    plan.record_fault_keyed(reports_key, idx as u64)
                 } else {
                     RecordFault::Deliver
                 };
@@ -629,6 +658,7 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                 }
             }
             // The non-e-mail web-spam corpus.
+            let webspam_key = FaultPlan::fault_key("Hyb/webspam");
             let mut rng = RngStream::new(seed, "feeds/hyb/webspam");
             for (idx, &(time, domain)) in world.truth.webspam.iter().enumerate() {
                 if !rng.random_bool(config.webspam_prob) || down(time) {
@@ -636,8 +666,8 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                 }
                 // Single-domain entries: truncation leaves nothing to
                 // cut, so only drop/duplicate apply.
-                let fault = if faults_on {
-                    plan.record_fault("Hyb/webspam", idx as u64)
+                let fault = if record_faults_on {
+                    plan.record_fault_keyed(webspam_key, idx as u64)
                 } else {
                     RecordFault::Deliver
                 };

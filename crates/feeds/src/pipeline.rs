@@ -7,6 +7,7 @@ use crate::error::PipelineError;
 use crate::feed::{Feed, FeedSet};
 use crate::id::FeedId;
 use taster_mailsim::MailWorld;
+use taster_sim::metrics::{STAGE_BLACKLIST, STAGE_COLLECT};
 use taster_sim::{FaultPlan, Obs, Parallelism};
 
 /// Collects all ten feeds over the world with the default
@@ -96,23 +97,44 @@ pub fn try_collect_all_observed(
         MemberSpec::Bot { config: config.bot },
         MemberSpec::Hyb { config: config.hyb },
     ];
-    let content = {
-        let _span = obs.span("collect/content");
-        collect_content(world, &members, plan, par, obs, config.chunk_size)
-    };
     type Task<'w> = Box<dyn FnOnce() -> Feed + Send + 'w>;
-    let standalone = {
-        let _span = obs.span("collect/standalone");
+    // Two disjoint stages so their wall times sum without overlap:
+    // `collect` covers the eight record-capturing feeds (seven content
+    // members + Hu), `blacklist` the two listing simulations.
+    let (content, hu) = obs.stage(STAGE_COLLECT, || {
+        let content = {
+            let _span = obs.span("collect/content");
+            collect_content(world, &members, plan, par, obs, config.chunk_size)
+        };
+        let hu = {
+            let _span = obs.span("collect/hu");
+            collect_hu_observed(world, plan, obs)
+        };
+        (content, hu)
+    });
+    let blacklists = obs.stage(STAGE_BLACKLIST, || {
+        let _span = obs.span("collect/blacklists");
         // Counter adds are saturating (commutative + associative), so
-        // concurrent absorption from these three tasks cannot change
+        // concurrent absorption from these two tasks cannot change
         // the totals.
-        par.par_run::<Feed, Task<'_>>(vec![
-            Box::new(|| collect_hu_observed(world, plan, obs)),
+        let lists = par.par_run::<Feed, Task<'_>>(vec![
             Box::new(|| collect_blacklist_observed(world, &config.dbl, FeedId::Dbl, plan, obs)),
             Box::new(|| collect_blacklist_observed(world, &config.uribl, FeedId::Uribl, plan, obs)),
-        ])
-    };
-    let mut feeds: Vec<Feed> = standalone.into_iter().chain(content).collect();
+        ]);
+        if obs.metrics.is_on() {
+            for feed in &lists {
+                obs.metrics.add(
+                    &format!("blacklist/listings/{}", feed.id.label()),
+                    feed.unique_domains() as u64,
+                );
+            }
+        }
+        lists
+    });
+    let mut feeds: Vec<Feed> = std::iter::once(hu)
+        .chain(blacklists)
+        .chain(content)
+        .collect();
     if !plan.is_off() {
         for feed in &mut feeds {
             for window in plan.outage_windows(feed.id.label()) {

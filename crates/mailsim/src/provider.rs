@@ -89,28 +89,13 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> Result<Provider
     let ln_median = config.report_delay_median_secs.ln();
 
     let n = truth.log.len;
-    let rank = &truth.log.rank;
-    let mut bucket = EventBuffer::default();
-    let mut lo = 0usize;
-    while lo < n {
-        let hi = (lo + PROVIDER_BUCKET).min(n);
-        bucket.reset_for_scatter(hi - lo);
-        #[cfg(debug_assertions)]
-        let mut filled = vec![false; hi - lo];
-        for (g, event) in truth.events().enumerate() {
-            let r = rank[g] as usize;
-            if r >= lo && r < hi {
-                bucket.set(r - lo, &event, r as u32);
-                #[cfg(debug_assertions)]
-                {
-                    filled[r - lo] = true;
-                }
-            }
-        }
-        // `rank` is a permutation of 0..n, so every slot is filled.
-        #[cfg(debug_assertions)]
-        debug_assert!(filled.iter().all(|&f| f), "hole in sorted-event bucket");
-        for r in 0..bucket.len() {
+    // The body below is sequential in time-sorted order: the RNG and
+    // the filter-feedback counters thread row to row. It runs either
+    // directly over the sorted cache or over scatter buckets rebuilt
+    // from the replay stream — the rows arrive in the same order
+    // either way, so the draw sequence is identical.
+    let mut process_row = |bucket: &EventBuffer, r: usize| {
+        {
             let event: SpamEvent = bucket.event(r);
             // ---- incoming mail oracle: counts *all* mail crossing the
             // incoming servers, before filtering.
@@ -128,7 +113,7 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> Result<Provider
                 }
             }
             if !to_provider {
-                continue;
+                return;
             }
 
             // ---- inbox placement.
@@ -165,12 +150,12 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> Result<Provider
                 base_inbox
             };
             if !rng.random_bool(inbox_prob) {
-                continue;
+                return;
             }
 
             // ---- the human.
             if !rng.random_bool(config.report_prob) {
-                continue;
+                return;
             }
             *report_counts.entry(event.advertised).or_insert(0) += 1;
             let delay_secs =
@@ -185,7 +170,49 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> Result<Provider
                 spam: true,
             });
         }
-        lo = hi;
+    };
+
+    if let Some(cache) = truth.cache() {
+        // In-core: the sorted cache *is* the bucket sequence — one
+        // linear pass, no replays.
+        for r in 0..cache.len() {
+            process_row(cache, r);
+        }
+    } else {
+        // Out of core: one full replay per bucket, scattering the rows
+        // whose sorted position falls inside it. The bucket width obeys
+        // the memory budget (capped at the classic provider bucket).
+        let bucket_rows = truth
+            .config
+            .budget_rows(n as u64)
+            .min(PROVIDER_BUCKET)
+            .max(1);
+        let rank = &truth.log.rank;
+        let mut bucket = EventBuffer::default();
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + bucket_rows).min(n);
+            bucket.reset_for_scatter(hi - lo);
+            #[cfg(debug_assertions)]
+            let mut filled = vec![false; hi - lo];
+            for (g, event) in truth.events().enumerate() {
+                let r = rank[g] as usize;
+                if r >= lo && r < hi {
+                    bucket.set(r - lo, &event, r as u32);
+                    #[cfg(debug_assertions)]
+                    {
+                        filled[r - lo] = true;
+                    }
+                }
+            }
+            // `rank` is a permutation of 0..n, so every slot is filled.
+            #[cfg(debug_assertions)]
+            debug_assert!(filled.iter().all(|&f| f), "hole in sorted-event bucket");
+            for r in 0..bucket.len() {
+                process_row(&bucket, r);
+            }
+            lo = hi;
+        }
     }
 
     // ---- users reporting legitimate commercial mail (§3.2: "human

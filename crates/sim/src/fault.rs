@@ -17,7 +17,7 @@
 //! an all-zero profile ([`FaultProfile::off`]) consumes no randomness
 //! at all and leaves clean runs byte-identical.
 
-use crate::rng::RngStream;
+use crate::rng::{name_key, RngStream};
 use crate::time::{SimTime, TimeWindow};
 use rand::RngExt;
 
@@ -290,14 +290,42 @@ impl FaultPlan {
         self.profile.is_off()
     }
 
+    /// Precomputed key for `stage`'s decision stream
+    /// (`name_key("fault/<stage>")`): hash the name once, then pass the
+    /// key to [`Self::record_fault_keyed`] per event instead of paying
+    /// a `format!` + name hash per decision.
+    pub fn fault_key(stage: &str) -> u64 {
+        name_key(&format!("fault/{stage}"))
+    }
+
     /// The decision stream for `(seed, stage, index)`.
     ///
     /// Deriving a fresh child per event index is what makes every
     /// decision independent of sharding: no draw consumed for one event
     /// can perturb another event's stream.
     pub fn stream(&self, stage: &str, index: u64) -> RngStream {
-        let name = format!("fault/{stage}");
-        RngStream::new(self.seed, &name).child(self.seed, &name, index)
+        // `child` ignores the parent's state, so deriving through the
+        // precomputed key is bit-identical to
+        // `RngStream::new(seed, name).child(seed, name, index)`.
+        RngStream::child_keyed(self.seed, Self::fault_key(stage), index)
+    }
+
+    /// [`Self::stream`] with the stage key precomputed via
+    /// [`Self::fault_key`] — bit-identical for `key ==
+    /// fault_key(stage)`. The crawler derives one decision stream per
+    /// domain per stage; hashing the stage name once instead of per
+    /// domain keeps the faulted crawl allocation-free.
+    pub fn stream_keyed(&self, key: u64, index: u64) -> RngStream {
+        RngStream::child_keyed(self.seed, key, index)
+    }
+
+    /// True when this plan can ever return a non-Deliver record
+    /// decision. Hot loops hoist this check out of the per-event path:
+    /// outage-only profiles (and the off plan) then skip the stream
+    /// derivation entirely instead of early-returning per record.
+    pub fn record_faults_possible(&self) -> bool {
+        let p = &self.profile;
+        p.record_drop_prob + p.record_duplicate_prob + p.record_truncate_prob > 0.0
     }
 
     /// True when `stage` is inside an outage window at `t`.
@@ -320,12 +348,20 @@ impl FaultPlan {
 
     /// Fault decision for record `index` of `stage`.
     pub fn record_fault(&self, stage: &str, index: u64) -> RecordFault {
-        let p = &self.profile;
-        let total = p.record_drop_prob + p.record_duplicate_prob + p.record_truncate_prob;
-        if total <= 0.0 {
+        if !self.record_faults_possible() {
             return RecordFault::Deliver;
         }
-        let mut rng = self.stream(stage, index);
+        self.record_fault_keyed(Self::fault_key(stage), index)
+    }
+
+    /// [`Self::record_fault`] with the stage key precomputed via
+    /// [`Self::fault_key`]. Bit-identical for `key == fault_key(stage)`.
+    /// Callers on the hot path gate on [`Self::record_faults_possible`]
+    /// themselves, so this derives the stream unconditionally.
+    pub fn record_fault_keyed(&self, key: u64, index: u64) -> RecordFault {
+        let p = &self.profile;
+        let total = p.record_drop_prob + p.record_duplicate_prob + p.record_truncate_prob;
+        let mut rng = RngStream::child_keyed(self.seed, key, index);
         let x: f64 = rng.random();
         if x < p.record_drop_prob {
             RecordFault::Drop
@@ -418,6 +454,20 @@ mod tests {
             .count();
         assert!(differs_by_stage > 0);
         assert!(differs_by_seed > 0);
+    }
+
+    #[test]
+    fn keyed_record_fault_matches_named() {
+        let plan = FaultPlan::new(FaultProfile::lossy_feeds(), 77);
+        let key = FaultPlan::fault_key("mx3");
+        for i in 0..512 {
+            assert_eq!(plan.record_fault("mx3", i), plan.record_fault_keyed(key, i));
+        }
+        assert!(plan.record_faults_possible());
+        // Outage-only profiles can never fault a record: hot loops may
+        // skip the per-event decision entirely.
+        assert!(!FaultPlan::new(FaultProfile::feed_outage(), 77).record_faults_possible());
+        assert!(!FaultPlan::off(77).record_faults_possible());
     }
 
     #[test]

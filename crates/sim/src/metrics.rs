@@ -31,18 +31,28 @@ use std::sync::Mutex;
 /// metrics section, the `taster profile` tree and `BENCH_pipeline.json`
 /// all key stage data by these names, which is what keeps them from
 /// ever disagreeing.
-pub const STAGE_KEYS: [&str; 6] = [
+pub const STAGE_KEYS: [&str; 10] = [
+    STAGE_GENERATE,
     STAGE_COLLECT,
+    STAGE_BLACKLIST,
+    STAGE_CRAWL,
     STAGE_CLASSIFY,
     STAGE_COVERAGE,
     STAGE_PURITY,
     STAGE_PROPORTIONALITY,
     STAGE_TIMING,
+    STAGE_RENDER,
 ];
 
-/// Feed collection (all ten collectors).
+/// World generation: ground truth + mail world (provider replay).
+pub const STAGE_GENERATE: &str = "generate";
+/// Feed collection (content feeds + the human-curated feed).
 pub const STAGE_COLLECT: &str = "collect";
-/// Crawl + live/tagged classification.
+/// Blacklist simulation (dbl, uribl collectors).
+pub const STAGE_BLACKLIST: &str = "blacklist";
+/// Crawl/oracle/tagger pass over the candidate union.
+pub const STAGE_CRAWL: &str = "crawl";
+/// Live/tagged set derivation after the crawl.
 pub const STAGE_CLASSIFY: &str = "classify";
 /// Coverage analyses (Table 3, Figs 1–2).
 pub const STAGE_COVERAGE: &str = "coverage";
@@ -52,6 +62,8 @@ pub const STAGE_PURITY: &str = "purity";
 pub const STAGE_PROPORTIONALITY: &str = "proportionality";
 /// Timing analyses (Figs 9–12).
 pub const STAGE_TIMING: &str = "timing";
+/// Plain-text report rendering (all tables and figures).
+pub const STAGE_RENDER: &str = "render";
 
 /// A fixed-bucket histogram over `u64` values.
 ///

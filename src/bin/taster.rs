@@ -89,6 +89,7 @@ struct Args {
     trace: Option<String>,
     overhead_gate: Option<f64>,
     chunk: Option<usize>,
+    max_mem_bytes: Option<u64>,
     min_events_per_sec: Option<f64>,
     self_test: bool,
     strict: bool,
@@ -113,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         overhead_gate: None,
         chunk: None,
+        max_mem_bytes: None,
         min_events_per_sec: None,
         self_test: false,
         strict: false,
@@ -175,6 +177,17 @@ fn parse_args() -> Result<Args, String> {
                 }
                 out.chunk = Some(n);
             }
+            "--max-mem-bytes" => {
+                let n: u64 = args
+                    .next()
+                    .ok_or("--max-mem-bytes needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-mem-bytes: {e}"))?;
+                if n == 0 {
+                    return Err("--max-mem-bytes must be at least 1".to_string());
+                }
+                out.max_mem_bytes = Some(n);
+            }
             "--min-events-per-sec" => {
                 let floor: f64 = args
                     .next()
@@ -216,9 +229,9 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile|lint> \
-     [--scale S[,S...]] [--seed N] [--threads N] [--chunk N] [--section NAME] \
-     [--faults PROFILE] [--out PATH] [--metrics] [--trace PATH] [--overhead-gate FRAC] \
-     [--min-events-per-sec R]\n       \
+     [--scale S[,S...]] [--seed N] [--threads N] [--chunk N] [--max-mem-bytes B] \
+     [--section NAME] [--faults PROFILE] [--out PATH] [--metrics] [--trace PATH] \
+     [--overhead-gate FRAC] [--min-events-per-sec R]\n       \
      taster lint [--format json] [--strict] [--self-test] [--baseline PATH] [--write-baseline]"
         .to_string()
 }
@@ -247,6 +260,9 @@ fn main() {
     }
     if let Some(c) = args.chunk {
         scenario.feeds.chunk_size = c;
+    }
+    if let Some(b) = args.max_mem_bytes {
+        scenario.ecosystem.max_mem_bytes = Some(b);
     }
     let Some(profile) = FaultProfile::by_name(&args.faults) else {
         eprintln!(
@@ -418,7 +434,10 @@ fn report(scenario: &Scenario, args: &Args) {
     }
     let r = e.report();
     let text = match section {
-        "all" => r.full_report(),
+        // The full render goes through the timed stage wrapper, so
+        // `--trace`/profiled runs see it on the same clock as every
+        // other stage. Byte-identical to `r.full_report()`.
+        "all" => e.render_report(),
         "table1" => r.table1_feed_summary(),
         "table2" => r.table2_purity(),
         "table3" => r.table3_coverage(),
@@ -623,6 +642,9 @@ fn bench_json(args: &Args) {
         if let Some(c) = args.chunk {
             scenario.feeds.chunk_size = c;
         }
+        if let Some(b) = args.max_mem_bytes {
+            scenario.ecosystem.max_mem_bytes = Some(b);
+        }
         eprintln!("building world for {}", scenario.name);
         let world = sweep::build_world(&scenario).unwrap_or_else(|e| {
             eprintln!("invalid scenario: {e}");
@@ -650,15 +672,39 @@ fn bench_json(args: &Args) {
             );
             rows.push(best);
         }
+        // One fully-observed end-to-end run per scale: generate through
+        // render on one clock, so the untimed remainder is measurable.
+        eprintln!("timing end-to-end (generate through render)");
+        let e2e = match profile::bench_end_to_end(&scenario) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("end-to-end bench failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "end-to-end {:.3}s: generate {:.3}s, render {:.3}s, untimed {:.3}s ({:.1}%)",
+            e2e.total,
+            e2e.generate,
+            e2e.render,
+            e2e.untimed(),
+            e2e.untimed_fraction() * 100.0,
+        );
         let entry = profile::ScaleBench::new(
             scale,
             &scenario.name,
             events,
             scenario.feeds.chunk_size,
             rows,
-        );
+        )
+        .with_stream_peak_bytes(profile::budget_peak_bytes(
+            &scenario.ecosystem,
+            events,
+            scenario.feeds.chunk_size,
+        ))
+        .with_end_to_end(e2e);
         eprintln!(
-            "scale {scale}: {events} events, chunk {}, ~{:.1} MB peak stream buffers, \
+            "scale {scale}: {events} events, chunk {}, ~{:.1} MB peak event buffers, \
              best {:.0} events/s",
             entry.chunk_size,
             entry.stream_peak_bytes as f64 / 1e6,
@@ -683,8 +729,25 @@ fn bench_json(args: &Args) {
                 );
                 std::process::exit(1);
             }
+            // A throughput floor is only meaningful if the stage
+            // inventory covers the run: refuse to pass when more than
+            // 10% of the end-to-end wall went to untimed work.
+            if let Some(e2e) = &entry.end_to_end {
+                let frac = e2e.untimed_fraction();
+                if frac > 0.10 {
+                    eprintln!(
+                        "scale {}: untimed wall {:.3}s is {:.1}% of the {:.3}s total \
+                         (over the 10% ceiling); the stage inventory is incomplete",
+                        entry.scale,
+                        e2e.untimed(),
+                        frac * 100.0,
+                        e2e.total,
+                    );
+                    std::process::exit(1);
+                }
+            }
         }
-        eprintln!("all scales meet the {floor:.0} events/s floor");
+        eprintln!("all scales meet the {floor:.0} events/s floor (untimed wall within 10%)");
     }
 }
 

@@ -111,6 +111,42 @@ fn chunk_barely_larger_than_log_matches_exact_fit() {
     assert_eq!(&exact, clean_reference());
 }
 
+#[test]
+fn memory_budget_matrix_is_invariant_and_within_budget() {
+    use taster::core::profile::budget_peak_bytes;
+    use taster::ecosystem::buffer::EventBuffer;
+    use taster::ecosystem::EcosystemConfig;
+
+    let events = Experiment::run(&scenario()).world.truth.log.len as u64;
+    assert!(events > 0);
+    let row = EventBuffer::bytes_per_event() as u64;
+    // Tight: the always-resident rank permutation plus a 64-row
+    // streaming buffer — far below the sorted-cache footprint, so the
+    // run must go out-of-core. Loose: default budget, cache resident.
+    let tight = 4 * events + 64 * row;
+    assert!(
+        tight < EcosystemConfig::cache_peak_bytes(events),
+        "tight budget fails to force the out-of-core path"
+    );
+    for budget in [Some(tight), None] {
+        for workers in WORKERS {
+            let mut s = scenario().with_threads(workers);
+            s.ecosystem.max_mem_bytes = budget;
+            let peak = budget_peak_bytes(&s.ecosystem, events, s.feeds.chunk_size);
+            assert!(
+                peak <= s.ecosystem.mem_budget(),
+                "peak {peak} exceeds budget {} ({budget:?}, {workers} workers)",
+                s.ecosystem.mem_budget()
+            );
+            assert_eq!(
+                &Experiment::run(&s).report().full_report(),
+                clean_reference(),
+                "report differs under budget {budget:?}, {workers} workers"
+            );
+        }
+    }
+}
+
 /// Property test: any chunk size and worker count yields the
 /// reference report. Drives [`proptest::run_test`] directly (instead
 /// of the `proptest!` macro) to cap the cases at 6 — each case is a
