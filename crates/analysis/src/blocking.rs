@@ -122,7 +122,11 @@ fn evaluate_feeds(world: &MailWorld, under_test: &[&Feed]) -> Vec<BlockingResult
             }
         } else {
             for ev in world.truth.events() {
-                tally(ev.time.0, ev.advertised.index() * nf, ev.chaff.map(|c| c.index() * nf));
+                tally(
+                    ev.time.0,
+                    ev.advertised.index() * nf,
+                    ev.chaff.map(|c| c.index() * nf),
+                );
             }
         }
     }

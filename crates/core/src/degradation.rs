@@ -10,7 +10,7 @@ use crate::scenario::Scenario;
 use taster_analysis::degradation::{compare, snapshot, ProfileDegradation, RunSnapshot};
 use taster_analysis::Classified;
 use taster_ecosystem::GroundTruth;
-use taster_feeds::{try_collect_all_faulted, PipelineError};
+use taster_feeds::{ensure_nonempty_collection, try_collect_all_faulted, PipelineError};
 use taster_mailsim::MailWorld;
 use taster_sim::{FaultPlan, FaultProfile};
 
@@ -44,6 +44,7 @@ fn run_profile(
     let par = &scenario.parallelism;
     let plan = FaultPlan::new(profile, scenario.seed);
     let feeds = try_collect_all_faulted(world, &scenario.feeds, &plan, par)?;
+    ensure_nonempty_collection(&feeds, &plan, world.truth.window())?;
     let classified = Classified::build_faulted(&world.truth, &feeds, scenario.classify, &plan, par);
     Ok(snapshot(&feeds, &classified, &world.provider.oracle, par))
 }

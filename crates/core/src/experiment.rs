@@ -28,8 +28,7 @@ use taster_ecosystem::GroundTruth;
 use taster_feeds::{try_collect_all_observed, FeedId, FeedSet, PipelineError};
 use taster_mailsim::MailWorld;
 use taster_sim::metrics::{
-    STAGE_COVERAGE, STAGE_GENERATE, STAGE_PROPORTIONALITY, STAGE_PURITY, STAGE_RENDER,
-    STAGE_TIMING,
+    STAGE_COVERAGE, STAGE_GENERATE, STAGE_PROPORTIONALITY, STAGE_PURITY, STAGE_RENDER, STAGE_TIMING,
 };
 use taster_sim::{FaultPlan, Obs};
 use taster_stats::Boxplot;
@@ -96,7 +95,8 @@ impl Experiment {
             let _span = obs.span("generate/mail_world");
             let world = MailWorld::build(truth, scenario.mail.clone())
                 .map_err(PipelineError::InvalidScenario)?;
-            obs.metrics.add("generate/events", world.truth.log.len as u64);
+            obs.metrics
+                .add("generate/events", world.truth.log.len as u64);
             obs.metrics
                 .add("generate/domains", world.truth.universe.len() as u64);
             obs.metrics.add(

@@ -230,6 +230,7 @@ pub fn bench_stages(
         let faulted_feeds = obs.stage(STAGE_COLLECT_FAULTED, || {
             try_collect_all_faulted(world, &scenario.feeds, &lossy, &par)
         })?;
+        taster_feeds::ensure_nonempty_collection(&faulted_feeds, &lossy, world.truth.window())?;
         obs.stage(STAGE_CLASSIFY_FAULTED, || {
             std::hint::black_box(Classified::build_faulted(
                 &world.truth,

@@ -38,7 +38,11 @@ impl<'a> Report<'a> {
     }
 
     fn header(&self, out: &mut String, title: &str) {
-        w!(out, "== {title}\n   scenario: {}\n", self.experiment.scenario.name);
+        w!(
+            out,
+            "== {title}\n   scenario: {}\n",
+            self.experiment.scenario.name
+        );
     }
 
     /// Table 1: feed summary.
@@ -411,7 +415,10 @@ impl<'a> Report<'a> {
     }
 
     fn write_campaign_study(&self, out: &mut String) {
-        self.header(out, "Campaign-granularity coverage (ground-truth validation)");
+        self.header(
+            out,
+            "Campaign-granularity coverage (ground-truth validation)",
+        );
         w!(
             out,
             "{:<6} {:>12} {:>12} {:>14}\n",
@@ -710,12 +717,7 @@ impl<'a> Report<'a> {
         self.write_concentration_study(out);
     }
 
-    fn write_overlap_matrix(
-        &self,
-        out: &mut String,
-        title: &str,
-        m: &PairwiseMatrix<OverlapCell>,
-    ) {
+    fn write_overlap_matrix(&self, out: &mut String, title: &str, m: &PairwiseMatrix<OverlapCell>) {
         self.header(out, title);
         if m.is_empty() {
             out.push_str("   (no rows)\n");
@@ -735,7 +737,12 @@ impl<'a> Report<'a> {
         let mut scratch = String::new();
         let cell = |out: &mut String, scratch: &mut String, c: &OverlapCell| {
             scratch.clear();
-            w!(scratch, "{}/{}", percent_label(c.fraction), count_label(c.count));
+            w!(
+                scratch,
+                "{}/{}",
+                percent_label(c.fraction),
+                count_label(c.count)
+            );
             w!(out, "{:>10}", scratch);
         };
         for &row in &m.feeds {

@@ -45,6 +45,15 @@ impl DomainBitset {
         set
     }
 
+    /// Rebuilds a set from its raw word representation, as produced by
+    /// [`DomainBitset::words`]. The population count is recomputed, so
+    /// `restore(words(s)) == s` for any set — the checkpoint round-trip
+    /// relies on this.
+    pub fn from_words(bits: Vec<u64>) -> Self {
+        let len = bits.iter().map(|w| w.count_ones() as usize).sum();
+        DomainBitset { bits, len }
+    }
+
     /// Inserts an id; returns `true` when newly inserted.
     pub fn insert(&mut self, id: DomainId) -> bool {
         let (w, b) = (id.index() / 64, id.index() % 64);

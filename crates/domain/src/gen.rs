@@ -164,12 +164,7 @@ impl BrandableGen {
 
     /// Appends a full registered domain to `out`; draw-for-draw
     /// identical to [`domain`](Self::domain) (label first, then TLD).
-    pub fn domain_into<R: Rng>(
-        &self,
-        rng: &mut R,
-        pool: &[(&'static str, u32)],
-        out: &mut String,
-    ) {
+    pub fn domain_into<R: Rng>(&self, rng: &mut R, pool: &[(&'static str, u32)], out: &mut String) {
         self.label_into(rng, out);
         out.push('.');
         out.push_str(pick_tld(rng, pool));

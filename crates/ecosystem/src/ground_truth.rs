@@ -182,7 +182,6 @@ impl GroundTruth {
                 );
             }
         }
-        drop(sink);
 
         // Stable argsort of the times gives the generation→sorted
         // permutation. Times are seconds bounded by the simulation

@@ -11,7 +11,7 @@
 //! all Alexa/ODP-listed domains (hence ≤2 % benign contamination).
 
 use crate::config::{BlacklistConfig, ListingAnchor};
-use crate::engine::ShardObs;
+use crate::engine::{apply_source_record, ShardObs, SourceRecord};
 use crate::feed::Feed;
 use crate::id::FeedId;
 use rand::RngExt;
@@ -47,9 +47,29 @@ pub fn collect_blacklist_observed(
     fault_plan: &FaultPlan,
     obs: &Obs,
 ) -> Feed {
-    assert!(matches!(id, FeedId::Dbl | FeedId::Uribl));
     let mut local = ShardObs::new(obs.metrics.is_on());
     let mut feed = Feed::new(id, false);
+    for rec in blacklist_source_records(world, config, id, fault_plan, &mut local) {
+        apply_source_record(&mut feed, &rec, &mut local);
+    }
+    obs.metrics.absorb(&local.into_shard());
+    feed
+}
+
+/// Pre-decides one blacklist's listings: every listing draw, delay
+/// draw and snapshot-fault decision happens here in the exact serial
+/// order of the batch pass, so the emitted records are a pure function
+/// of `(world, config, plan)` and can be applied all at once or
+/// incrementally by listing time.
+pub(crate) fn blacklist_source_records(
+    world: &MailWorld,
+    config: &BlacklistConfig,
+    id: FeedId,
+    fault_plan: &FaultPlan,
+    local: &mut ShardObs,
+) -> Vec<SourceRecord> {
+    assert!(matches!(id, FeedId::Dbl | FeedId::Uribl));
+    let mut out = Vec::new();
     let mut rng = RngStream::new(world.truth.seed, &format!("feeds/{}", id.label()));
     let truth = &world.truth;
     let day_secs = taster_sim::DAY as f64;
@@ -62,7 +82,7 @@ pub fn collect_blacklist_observed(
                         base_prob: f64,
                         anchor: SimTime,
                         rng: &mut RngStream,
-                        feed: &mut Feed| {
+                        out: &mut Vec<SourceRecord>| {
         let record = truth.universe.record(domain);
         // Curation: registration validation, benign-list suppression.
         let prob = if !record.registered {
@@ -92,8 +112,12 @@ pub fn collect_blacklist_observed(
                     return;
                 }
             }
-            feed.record(domain, listed);
-            local.record_domains(1);
+            out.push(SourceRecord {
+                time: listed,
+                copies: 1,
+                counts_sample: false,
+                domains: vec![domain],
+            });
         }
     };
 
@@ -114,9 +138,9 @@ pub fn collect_blacklist_observed(
                 ListingAnchor::AdvertStart => plan.window.start,
                 ListingAnchor::BlastStart => plan.warmup_end,
             };
-            consider(plan.storefront, base_prob, anchor, &mut rng, &mut feed);
+            consider(plan.storefront, base_prob, anchor, &mut rng, &mut out);
             if let Some(landing) = plan.landing {
-                consider(landing, base_prob, anchor, &mut rng, &mut feed);
+                consider(landing, base_prob, anchor, &mut rng, &mut out);
             }
         }
     }
@@ -124,11 +148,10 @@ pub fn collect_blacklist_observed(
     // Web-spam corpus (SEO/forum spam also flows into blacklist
     // source networks, more so for the broad blacklist).
     for &(time, domain) in &truth.webspam {
-        consider(domain, config.webspam_prob, time, &mut rng, &mut feed);
+        consider(domain, config.webspam_prob, time, &mut rng, &mut out);
     }
 
-    obs.metrics.absorb(&local.into_shard());
-    feed
+    out
 }
 
 #[cfg(test)]

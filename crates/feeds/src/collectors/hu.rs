@@ -7,7 +7,7 @@
 //! so the paper excludes it from proportionality analysis, and so do
 //! we (`reports_volume == false`).
 
-use crate::engine::ShardObs;
+use crate::engine::{apply_source_record, ShardObs, SourceRecord};
 use crate::feed::Feed;
 use crate::id::FeedId;
 use taster_mailsim::MailWorld;
@@ -27,10 +27,28 @@ pub fn collect_hu(world: &MailWorld, plan: &FaultPlan) -> Feed {
 /// and absorbed once, so the metrics totals match a serial pass.
 pub fn collect_hu_observed(world: &MailWorld, plan: &FaultPlan, obs: &Obs) -> Feed {
     let mut local = ShardObs::new(obs.metrics.is_on());
-    let faults_on = !plan.is_off();
-    let label = FeedId::Hu.label();
     let mut feed = Feed::new(FeedId::Hu, false);
     feed.samples = Some(0);
+    for rec in hu_source_records(world, plan, &mut local) {
+        apply_source_record(&mut feed, &rec, &mut local);
+    }
+    obs.metrics.absorb(&local.into_shard());
+    feed
+}
+
+/// Pre-decides the Hu feed's records: every fault decision (keyed by
+/// the serial report index) happens here, so the records are a pure
+/// function of `(world, plan)` and can be applied in any order — all
+/// at once by [`collect_hu_observed`], or incrementally by the serve
+/// daemon's time cursor.
+pub(crate) fn hu_source_records(
+    world: &MailWorld,
+    plan: &FaultPlan,
+    local: &mut ShardObs,
+) -> Vec<SourceRecord> {
+    let faults_on = !plan.is_off();
+    let label = FeedId::Hu.label();
+    let mut out = Vec::new();
     for (idx, report) in world.provider.reports.iter().enumerate() {
         if faults_on && plan.outage_at(label, report.time) {
             if local.on {
@@ -58,16 +76,14 @@ pub fn collect_hu_observed(world: &MailWorld, plan: &FaultPlan, obs: &Obs) -> Fe
         } else {
             report.domains.len()
         };
-        for _ in 0..copies {
-            feed.count_sample();
-            for &d in &report.domains[..keep] {
-                feed.record(d, report.time);
-            }
-            local.record_domains(keep as u64);
-        }
+        out.push(SourceRecord {
+            time: report.time,
+            copies,
+            counts_sample: true,
+            domains: report.domains[..keep].to_vec(),
+        });
     }
-    obs.metrics.absorb(&local.into_shard());
-    feed
+    out
 }
 
 #[cfg(test)]

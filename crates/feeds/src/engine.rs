@@ -50,7 +50,7 @@ use taster_mailsim::MailWorld;
 use taster_sim::fault::{truncate_payload, FaultPlan, RecordFault};
 use taster_sim::metrics::{Histogram, MetricsShard};
 use taster_sim::rng::name_key;
-use taster_sim::{Obs, Parallelism, RngStream, TimeWindow};
+use taster_sim::{Obs, Parallelism, RngStream, SimTime, TimeWindow};
 
 /// Stream name for the shared per-event message render.
 const RENDER_STREAM: &str = "feeds/render-spam";
@@ -72,7 +72,7 @@ pub(crate) enum MemberSpec {
 }
 
 impl MemberSpec {
-    fn feed_id(&self) -> FeedId {
+    pub(crate) fn feed_id(&self) -> FeedId {
         match self {
             MemberSpec::Mx { index, .. } => {
                 [FeedId::Mx1, FeedId::Mx2, FeedId::Mx3][*index as usize]
@@ -96,7 +96,7 @@ impl MemberSpec {
         !matches!(self, MemberSpec::Hyb { .. })
     }
 
-    fn empty_feed(&self) -> Feed {
+    pub(crate) fn empty_feed(&self) -> Feed {
         let mut feed = Feed::new(self.feed_id(), self.reports_volume());
         feed.samples = Some(0);
         feed
@@ -104,7 +104,7 @@ impl MemberSpec {
 }
 
 /// Read-only per-run context shared by every chunk and shard.
-struct RunCtx<'w> {
+pub(crate) struct RunCtx<'w> {
     world: &'w MailWorld,
     members: &'w [MemberSpec],
     plan: &'w FaultPlan,
@@ -125,6 +125,67 @@ struct RunCtx<'w> {
     /// Per-domain: does the render-free fast path apply? Indexed by
     /// dense [`DomainId`].
     fast_ok: Vec<bool>,
+}
+
+impl<'w> RunCtx<'w> {
+    /// Builds the shared per-run context. `fast_ok` comes from
+    /// [`compute_fast_ok`]; the incremental path computes it once and
+    /// clones per epoch, the batch path computes it inline.
+    pub(crate) fn build(
+        world: &'w MailWorld,
+        members: &'w [MemberSpec],
+        plan: &'w FaultPlan,
+        fast_ok: Vec<bool>,
+    ) -> RunCtx<'w> {
+        let truth = &world.truth;
+        RunCtx {
+            world,
+            members,
+            plan,
+            seed: truth.seed,
+            outages: members
+                .iter()
+                .map(|m| plan.outage_windows(m.feed_id().label()))
+                .collect(),
+            faults_on: !plan.is_off(),
+            record_faults_on: plan.record_faults_possible(),
+            keys: members.iter().map(|m| name_key(&m.stream_name())).collect(),
+            fault_keys: members
+                .iter()
+                .map(|m| FaultPlan::fault_key(m.feed_id().label()))
+                .collect(),
+            render_key: name_key(RENDER_STREAM),
+            monitored: truth.botnets.iter().map(|b| b.monitored).collect(),
+            extractor: DomainExtractor::new(),
+            fast_ok,
+        }
+    }
+}
+
+/// Per-domain eligibility of the render-free fast path, indexed by
+/// dense [`DomainId`]. Pure in the world: compute once, reuse freely.
+pub(crate) fn compute_fast_ok(world: &MailWorld) -> Vec<bool> {
+    let table = &world.truth.universe.table;
+    let extractor = DomainExtractor::new();
+    (0..table.len() as u32)
+        .map(|raw| {
+            let ok = extractor.fast_reducible(table.text(DomainId(raw)));
+            #[cfg(debug_assertions)]
+            if ok {
+                // The claim behind `ok`: every renderer prefix reduces
+                // back to exactly this text.
+                let text = table.text(DomainId(raw));
+                for sub in SUBDOMAINS {
+                    let host = format!("{sub}{text}");
+                    debug_assert!(
+                        taster_domain::DomainName::parse(&host).is_ok_and(|n| n.as_str() == host),
+                        "prefixed host {host} does not round-trip"
+                    );
+                }
+            }
+            ok
+        })
+        .collect()
 }
 
 /// Runs `members` over the streamed event log in chunks of
@@ -148,48 +209,7 @@ pub(crate) fn collect_content(
     let chunk_size = chunk_size.max(1);
     let metrics_on = obs.metrics.is_on();
     let truth = &world.truth;
-    let table = &truth.universe.table;
-    let extractor = DomainExtractor::new();
-    let fast_ok: Vec<bool> = (0..table.len() as u32)
-        .map(|raw| {
-            let ok = extractor.fast_reducible(table.text(DomainId(raw)));
-            #[cfg(debug_assertions)]
-            if ok {
-                // The claim behind `ok`: every renderer prefix reduces
-                // back to exactly this text.
-                let text = table.text(DomainId(raw));
-                for sub in SUBDOMAINS {
-                    let host = format!("{sub}{text}");
-                    debug_assert!(
-                        taster_domain::DomainName::parse(&host).is_ok_and(|n| n.as_str() == host),
-                        "prefixed host {host} does not round-trip"
-                    );
-                }
-            }
-            ok
-        })
-        .collect();
-    let ctx = RunCtx {
-        world,
-        members,
-        plan,
-        seed: truth.seed,
-        outages: members
-            .iter()
-            .map(|m| plan.outage_windows(m.feed_id().label()))
-            .collect(),
-        faults_on: !plan.is_off(),
-        record_faults_on: plan.record_faults_possible(),
-        keys: members.iter().map(|m| name_key(&m.stream_name())).collect(),
-        fault_keys: members
-            .iter()
-            .map(|m| FaultPlan::fault_key(m.feed_id().label()))
-            .collect(),
-        render_key: name_key(RENDER_STREAM),
-        monitored: truth.botnets.iter().map(|b| b.monitored).collect(),
-        extractor,
-        fast_ok,
-    };
+    let ctx = RunCtx::build(world, members, plan, compute_fast_ok(world));
 
     let mut merged: Vec<Feed> = members.iter().map(MemberSpec::empty_feed).collect();
     let mut metric_shards: Vec<MetricsShard> = Vec::new();
@@ -322,7 +342,7 @@ impl ShardObs {
 /// Splits `0..n` into up to `parts` contiguous ranges of near-equal
 /// size. The split only affects scheduling: shard outputs merge to the
 /// same feeds wherever the boundaries fall.
-fn shard_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+pub(crate) fn shard_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.clamp(1, n.max(1));
     let base = n / parts;
     let extra = n % parts;
@@ -346,7 +366,7 @@ fn mx_stored(body: &str) -> &str {
     &body[..body.len().saturating_sub(1)]
 }
 
-fn run_rows(
+pub(crate) fn run_rows(
     ctx: &RunCtx<'_>,
     buf: &EventBuffer,
     rows: Range<usize>,
@@ -584,12 +604,51 @@ fn run_rows(
     (feeds, shard_obs.into_shard())
 }
 
-/// Applies a member's non-event sources after the sharded event pass.
-///
-/// This pass runs serially per member, so fault decisions keyed by the
-/// serial record index are deterministic at any worker count.
-fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &FaultPlan, obs: &Obs) {
-    let mut local = ShardObs::new(obs.metrics.is_on());
+/// One pre-decided record from a non-event source (benign pollution,
+/// Hyb's report sample and web-spam corpus; the Hu report stream and
+/// blacklist listings reuse the same shape). Every fault decision has
+/// already been taken — applying a `SourceRecord` draws no randomness
+/// — so a stream of them can be applied in batch order or replayed
+/// incrementally by time cursor and produce the same feed.
+#[derive(Debug, Clone)]
+pub(crate) struct SourceRecord {
+    /// When the record lands in the feed.
+    pub(crate) time: SimTime,
+    /// 1, or 2 for a duplicated record. Dropped records are never
+    /// emitted (their metrics are counted at generation time).
+    pub(crate) copies: u8,
+    /// Whether each copy counts as a raw sample (false for blacklist
+    /// listings, which deliver no samples).
+    pub(crate) counts_sample: bool,
+    /// Registered domains the record contributes (post-truncation).
+    pub(crate) domains: Vec<DomainId>,
+}
+
+/// Applies one pre-decided source record to a building feed.
+pub(crate) fn apply_source_record(feed: &mut Feed, rec: &SourceRecord, obs: &mut ShardObs) {
+    for _ in 0..rec.copies {
+        if rec.counts_sample {
+            feed.count_sample();
+        }
+        for &d in &rec.domains {
+            feed.record(d, rec.time);
+        }
+        obs.record_domains(rec.domains.len() as u64);
+    }
+}
+
+/// Pre-decides a member's non-event sources: every RNG draw and fault
+/// decision happens here, in the exact order the serial batch pass
+/// makes them, so the emitted records are a pure function of
+/// `(world, member, plan)` — identical whether they are then applied
+/// all at once ([`finalize`]) or incrementally by a time cursor.
+pub(crate) fn member_source_records(
+    world: &MailWorld,
+    member: &MemberSpec,
+    plan: &FaultPlan,
+    local: &mut ShardObs,
+) -> Vec<SourceRecord> {
+    let mut out = Vec::new();
     let faults_on = !plan.is_off();
     let label = member.feed_id().label();
     let down = |t| faults_on && plan.outage_at(label, t);
@@ -598,22 +657,24 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
             // Legitimate pollution addressed to this honeypot.
             for mail in &world.benign_mail {
                 if mail.dest == BenignDest::MxHoneypot(*index) && !down(mail.time) {
-                    feed.count_sample();
-                    for &d in &mail.domains {
-                        feed.record(d, mail.time);
-                    }
-                    local.record_domains(mail.domains.len() as u64);
+                    out.push(SourceRecord {
+                        time: mail.time,
+                        copies: 1,
+                        counts_sample: true,
+                        domains: mail.domains.clone(),
+                    });
                 }
             }
         }
         MemberSpec::Ac { index, .. } => {
             for mail in &world.benign_mail {
                 if mail.dest == BenignDest::HoneyAccounts(*index) && !down(mail.time) {
-                    feed.count_sample();
-                    for &d in &mail.domains {
-                        feed.record(d, mail.time);
-                    }
-                    local.record_domains(mail.domains.len() as u64);
+                    out.push(SourceRecord {
+                        time: mail.time,
+                        copies: 1,
+                        counts_sample: true,
+                        domains: mail.domains.clone(),
+                    });
                 }
             }
         }
@@ -649,13 +710,12 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                 } else {
                     report.domains.len()
                 };
-                for _ in 0..copies {
-                    feed.count_sample();
-                    for &d in &report.domains[..keep] {
-                        feed.record(d, report.time);
-                    }
-                    local.record_domains(keep as u64);
-                }
+                out.push(SourceRecord {
+                    time: report.time,
+                    copies,
+                    counts_sample: true,
+                    domains: report.domains[..keep].to_vec(),
+                });
             }
             // The non-e-mail web-spam corpus.
             let webspam_key = FaultPlan::fault_key("Hyb/webspam");
@@ -680,13 +740,26 @@ fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &Faul
                 } else {
                     1
                 };
-                for _ in 0..copies {
-                    feed.count_sample();
-                    feed.record(domain, time);
-                    local.record_domains(1);
-                }
+                out.push(SourceRecord {
+                    time,
+                    copies,
+                    counts_sample: true,
+                    domains: vec![domain],
+                });
             }
         }
+    }
+    out
+}
+
+/// Applies a member's non-event sources after the sharded event pass.
+///
+/// This pass runs serially per member, so fault decisions keyed by the
+/// serial record index are deterministic at any worker count.
+fn finalize(world: &MailWorld, feed: &mut Feed, member: &MemberSpec, plan: &FaultPlan, obs: &Obs) {
+    let mut local = ShardObs::new(obs.metrics.is_on());
+    for rec in member_source_records(world, member, plan, &mut local) {
+        apply_source_record(feed, &rec, &mut local);
     }
     obs.metrics.absorb(&local.into_shard());
 }

@@ -18,6 +18,10 @@ pub enum PipelineError {
     InvalidScenario(String),
     /// Ground-truth generation rejected its configuration.
     Generation(String),
+    /// A run produced no records in any feed without an outage model
+    /// that explains it — a silent zero row in a sweep or benchmark
+    /// would hide real breakage, so this surfaces as a typed error.
+    EmptyCollection(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -29,6 +33,7 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
             PipelineError::Generation(msg) => write!(f, "ground-truth generation failed: {msg}"),
+            PipelineError::EmptyCollection(msg) => write!(f, "empty collection: {msg}"),
         }
     }
 }

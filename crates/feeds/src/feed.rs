@@ -196,6 +196,49 @@ impl Feed {
         EmpiricalDist::from_counts(self.iter().map(|(d, s)| (d.0, s.volume)))
     }
 
+    /// The feed's FQDN hashes in ascending order, when the feed reports
+    /// URL granularity. Deterministic: the same feed always yields the
+    /// same list, whatever insertion order built the set. Used by the
+    /// serve checkpointer.
+    pub fn fqdn_hashes_sorted(&self) -> Option<Vec<u64>> {
+        self.fqdns.as_ref().map(|s| {
+            let mut v: Vec<u64> = s.iter().copied().collect();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    /// Rebuilds a *building* feed from checkpointed parts: the inverse
+    /// of iterating a snapshot. `entries` may arrive in any order;
+    /// duplicates are a caller bug (the last entry wins; volumes are
+    /// not merged). The restored feed accepts further [`Feed::record`]
+    /// calls — this is how `serve --resume` replays only the tail.
+    pub fn from_parts(
+        id: FeedId,
+        reports_volume: bool,
+        samples: Option<u64>,
+        entries: impl IntoIterator<Item = (DomainId, DomainStats)>,
+        fqdns: Option<Vec<u64>>,
+        gaps: Vec<TimeWindow>,
+    ) -> Feed {
+        let mut map = FxHashMap::default();
+        for (d, s) in entries {
+            map.insert(d, s);
+        }
+        let mut feed = Feed {
+            id,
+            samples,
+            reports_volume,
+            store: Store::Building(map),
+            fqdns: fqdns.map(|v| v.into_iter().collect()),
+            gaps: Vec::new(),
+        };
+        for gap in gaps {
+            feed.note_gap(gap);
+        }
+        feed
+    }
+
     /// Folds `other` (a shard of the same feed) into `self`.
     ///
     /// The combination is commutative and associative — first seen

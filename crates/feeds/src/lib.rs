@@ -34,6 +34,7 @@ mod engine;
 pub mod error;
 pub mod feed;
 pub mod id;
+pub mod incremental;
 pub mod parse;
 pub mod pipeline;
 pub mod reporting;
@@ -43,8 +44,10 @@ pub use config::FeedsConfig;
 pub use error::PipelineError;
 pub use feed::{DomainStats, Feed, FeedSet};
 pub use id::{FeedId, FeedKind};
+pub use incremental::IngestState;
 pub use pipeline::{
-    collect_all, collect_all_with, try_collect_all_faulted, try_collect_all_observed,
+    collect_all, collect_all_with, ensure_nonempty_collection, try_collect_all_faulted,
+    try_collect_all_observed,
 };
 pub use reporting::ReportingPolicy;
 pub use table::FeedColumns;

@@ -8,7 +8,37 @@ use crate::feed::{Feed, FeedSet};
 use crate::id::FeedId;
 use taster_mailsim::MailWorld;
 use taster_sim::metrics::{STAGE_BLACKLIST, STAGE_COLLECT};
-use taster_sim::{FaultPlan, Obs, Parallelism};
+use taster_sim::{FaultPlan, Obs, Parallelism, TimeWindow};
+
+/// The seven content collectors in fused-pass order, built from the
+/// configuration. Shared by the batch pipeline and the incremental
+/// (serve) ingestion path so both see identical member specs.
+pub(crate) fn content_members(config: &FeedsConfig) -> [MemberSpec; 7] {
+    [
+        MemberSpec::Mx {
+            config: config.mx[0],
+            index: 0,
+        },
+        MemberSpec::Mx {
+            config: config.mx[1],
+            index: 1,
+        },
+        MemberSpec::Mx {
+            config: config.mx[2],
+            index: 2,
+        },
+        MemberSpec::Ac {
+            config: config.ac[0],
+            index: 0,
+        },
+        MemberSpec::Ac {
+            config: config.ac[1],
+            index: 1,
+        },
+        MemberSpec::Bot { config: config.bot },
+        MemberSpec::Hyb { config: config.hyb },
+    ]
+}
 
 /// Collects all ten feeds over the world with the default
 /// [`Parallelism`] (the `TASTER_THREADS` env override, else all
@@ -73,30 +103,7 @@ pub fn try_collect_all_observed(
     plan.profile()
         .validate()
         .map_err(PipelineError::InvalidFaultProfile)?;
-    let members = [
-        MemberSpec::Mx {
-            config: config.mx[0],
-            index: 0,
-        },
-        MemberSpec::Mx {
-            config: config.mx[1],
-            index: 1,
-        },
-        MemberSpec::Mx {
-            config: config.mx[2],
-            index: 2,
-        },
-        MemberSpec::Ac {
-            config: config.ac[0],
-            index: 0,
-        },
-        MemberSpec::Ac {
-            config: config.ac[1],
-            index: 1,
-        },
-        MemberSpec::Bot { config: config.bot },
-        MemberSpec::Hyb { config: config.hyb },
-    ];
+    let members = content_members(config);
     type Task<'w> = Box<dyn FnOnce() -> Feed + Send + 'w>;
     // Two disjoint stages so their wall times sum without overlap:
     // `collect` covers the eight record-capturing feeds (seven content
@@ -169,6 +176,57 @@ pub fn try_collect_all_observed(
     Ok(set)
 }
 
+/// Rejects a collection run that produced no records in any feed
+/// unless the fault plan explains the silence: a profile whose outage
+/// windows black out the whole measurement window for every feed (the
+/// canonical `blackout`) legitimately collects nothing, but any other
+/// profile yielding ten empty feeds indicates a broken configuration —
+/// downstream tables would render all-zero rows that look like data.
+pub fn ensure_nonempty_collection(
+    feeds: &FeedSet,
+    plan: &FaultPlan,
+    window: TimeWindow,
+) -> Result<(), PipelineError> {
+    let any_records = FeedId::ALL.iter().any(|&id| {
+        let feed = feeds.get(id);
+        feed.unique_domains() > 0 || feed.samples.is_some_and(|s| s > 0)
+    });
+    if any_records {
+        return Ok(());
+    }
+    let fully_blacked_out = FeedId::ALL
+        .iter()
+        .all(|&id| covers(&plan.outage_windows(id.label()), window));
+    if fully_blacked_out {
+        return Ok(());
+    }
+    Err(PipelineError::EmptyCollection(format!(
+        "fault profile '{}' produced no records in any of the ten feeds, \
+         and its outage windows do not cover the measurement window",
+        plan.profile().name
+    )))
+}
+
+/// True when the union of `windows` covers all of `span`.
+fn covers(windows: &[TimeWindow], span: TimeWindow) -> bool {
+    if span.start >= span.end {
+        return true;
+    }
+    let mut sorted: Vec<TimeWindow> = windows.to_vec();
+    sorted.sort_by_key(|w| w.start);
+    let mut reached = span.start;
+    for w in sorted {
+        if w.start > reached {
+            return false;
+        }
+        reached = reached.max(w.end);
+        if reached >= span.end {
+            return true;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +255,27 @@ mod tests {
                 "{id}"
             );
         }
+    }
+
+    #[test]
+    fn empty_collection_is_a_typed_error_unless_blacked_out() {
+        use taster_sim::{FaultProfile, SimTime};
+        let window = TimeWindow::new(SimTime::ZERO, SimTime::from_days(30));
+        let empty = || FeedSet::new(FeedId::ALL.iter().map(|&id| Feed::new(id, false)).collect());
+        // Blackout explains total silence: every feed's outage windows
+        // cover the whole measurement window.
+        let blackout = FaultPlan::new(FaultProfile::blackout(), 7);
+        assert!(ensure_nonempty_collection(&empty(), &blackout, window).is_ok());
+        // A lossy profile does not: ten empty feeds must be reported
+        // as a typed error, not rendered as silent zero rows.
+        let lossy = FaultPlan::new(FaultProfile::lossy_feeds(), 7);
+        let err = ensure_nonempty_collection(&empty(), &lossy, window).unwrap_err();
+        assert!(matches!(err, PipelineError::EmptyCollection(_)));
+        assert!(err.to_string().contains("lossy-feeds"), "{err}");
+        // Any records at all make the check pass.
+        let mut feeds: Vec<Feed> = FeedId::ALL.iter().map(|&id| Feed::new(id, false)).collect();
+        feeds[0].record(taster_domain::DomainId(3), SimTime(5));
+        assert!(ensure_nonempty_collection(&FeedSet::new(feeds), &lossy, window).is_ok());
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub const RULES: &[Rule] = &[
         strict_only: false,
     },
     Rule {
+        id: "socket-deadline",
+        summary: "no unbounded socket operations (`.incoming()`, `.read_to_end()`, \
+                  `.read_to_string()`) in files that touch listener/stream types — accepts \
+                  must be polled nonblocking and reads chunked under an explicit deadline",
+        strict_only: false,
+    },
+    Rule {
         id: "bad-suppression",
         summary: "lint:allow comments must name known rules and carry a reason: \
                   `// lint:allow(<rule>) -- <reason>`",
@@ -129,6 +136,7 @@ pub fn check_file(file: &SourceFile, strict: bool) -> Vec<Diagnostic> {
         check_thread_spawn(file, &mut out);
         check_no_panic(file, &mut out);
         check_rand_bypass(file, &mut out);
+        check_socket_deadline(file, &mut out);
     }
     if file.context == Context::Lib {
         check_no_print(file, &mut out);
@@ -359,6 +367,48 @@ fn check_rand_bypass(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 format!(
                     "`{}` bypasses the keyed-stream constructors; derive randomness \
                      from RngStream::new/child so draws stay keyed by (seed, stream)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// A hung peer must never hang the daemon: every socket read carries a
+/// deadline and every accept is a nonblocking poll. The unbounded std
+/// conveniences below block until the *peer* decides to make progress,
+/// which is exactly the slow-loris hole the serve layer guards against.
+/// Applies only to files that name a listener/stream type, so ordinary
+/// file I/O (`File::read_to_end`) stays untouched.
+fn check_socket_deadline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &file.lexed.tokens;
+    let touches_sockets = t.iter().any(|tok| {
+        tok.kind == TokenKind::Ident
+            && matches!(
+                tok.text.as_str(),
+                "UnixListener" | "UnixStream" | "TcpListener" | "TcpStream"
+            )
+    });
+    if !touches_sockets {
+        return;
+    }
+    for i in 1..t.len() {
+        let tok = &t[i];
+        if tok.kind != TokenKind::Ident || file.is_test_line(tok.line) {
+            continue;
+        }
+        let unbounded = matches!(
+            tok.text.as_str(),
+            "incoming" | "read_to_end" | "read_to_string"
+        );
+        if unbounded && t[i - 1].is_punct('.') && t.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            out.push(diag(
+                file,
+                "socket-deadline",
+                tok.line,
+                format!(
+                    "`.{}()` blocks until the peer makes progress; poll accepts \
+                     nonblocking and read in bounded chunks under set_read_timeout",
                     tok.text
                 ),
             ));

@@ -60,6 +60,13 @@ fn fixtures() -> Vec<(&'static str, &'static str, String)> {
             "pub fn u(p: *const u8) -> u8 { unsafe { *p } }\n".to_string(),
         ),
         (
+            "socket-deadline",
+            "crates/fixture/src/socket_deadline.rs",
+            "use std::os::unix::net::UnixListener;\n\
+             pub fn serve(l: &UnixListener) { for _conn in l.incoming() {} }\n"
+                .to_string(),
+        ),
+        (
             "bad-suppression",
             "crates/fixture/src/bad_suppression.rs",
             // Reason missing: the suppression is malformed AND inert.

@@ -182,11 +182,7 @@ pub fn run_provider(truth: &GroundTruth, config: &MailConfig) -> Result<Provider
         // Out of core: one full replay per bucket, scattering the rows
         // whose sorted position falls inside it. The bucket width obeys
         // the memory budget (capped at the classic provider bucket).
-        let bucket_rows = truth
-            .config
-            .budget_rows(n as u64)
-            .min(PROVIDER_BUCKET)
-            .max(1);
+        let bucket_rows = truth.config.budget_rows(n as u64).clamp(1, PROVIDER_BUCKET);
         let rank = &truth.log.rank;
         let mut bucket = EventBuffer::default();
         let mut lo = 0usize;

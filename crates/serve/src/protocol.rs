@@ -1,0 +1,146 @@
+//! The line-oriented query protocol.
+//!
+//! Requests are a single UTF-8 line (hard cap
+//! [`MAX_REQUEST_BYTES`]); responses are length-prefixed so clients
+//! never issue an unbounded read:
+//!
+//! ```text
+//! -> feeds\n
+//! <- OK 312\n<312 body bytes>
+//! <- ERR timeout deadline exceeded: ...\n
+//! ```
+//!
+//! Parsing never panics: anything that is not a known command becomes
+//! a typed [`ServeError::Malformed`] and an `ERR malformed …` reply.
+
+use crate::error::ServeError;
+
+/// Upper bound on a request line, including the newline.
+pub const MAX_REQUEST_BYTES: usize = 256;
+
+/// A parsed client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Daemon liveness + progress + guardrail counters.
+    Status,
+    /// Last sealed epoch's number, row cursor and watermark.
+    Epoch,
+    /// Per-feed sample/domain counts over the sealed epoch.
+    Feeds,
+    /// The final full report (complete ingestion only).
+    Report,
+    /// Graceful drain: finish queued replies, then exit.
+    Shutdown,
+    /// Crash hook (`--test-hooks` only): abort without cleanup, so
+    /// the kill-and-resume tests can murder the daemon mid-epoch.
+    Die,
+}
+
+/// Parses one request line (newline already stripped).
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    match line.trim() {
+        "status" => Ok(Request::Status),
+        "epoch" => Ok(Request::Epoch),
+        "feeds" => Ok(Request::Feeds),
+        "report" => Ok(Request::Report),
+        "shutdown" => Ok(Request::Shutdown),
+        "die" => Ok(Request::Die),
+        "" => Err(ServeError::Malformed("empty request".to_string())),
+        other => Err(ServeError::Malformed(format!(
+            "unknown command `{}`",
+            other.chars().take(40).collect::<String>()
+        ))),
+    }
+}
+
+/// Frames a success reply: `OK <len>\n<body>`.
+pub fn render_ok(body: &str) -> Vec<u8> {
+    let mut out = format!("OK {}\n", body.len()).into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Frames an error reply: `ERR <code> <message>\n`.
+pub fn render_err(err: &ServeError) -> Vec<u8> {
+    format!("ERR {} {err}\n", err.code()).into_bytes()
+}
+
+/// Client-side parse of a framed reply header + body.
+pub fn parse_reply(header: &str, rest: &[u8]) -> Result<String, ServeError> {
+    if let Some(spec) = header.strip_prefix("OK ") {
+        let len: usize = spec
+            .trim()
+            .parse()
+            .map_err(|_| ServeError::Malformed(format!("bad OK length `{spec}`")))?;
+        if rest.len() < len {
+            return Err(ServeError::Malformed(format!(
+                "short body: {} of {len} bytes",
+                rest.len()
+            )));
+        }
+        let body = rest.get(..len).unwrap_or_default();
+        return String::from_utf8(body.to_vec())
+            .map_err(|_| ServeError::Malformed("body is not UTF-8".to_string()));
+    }
+    if let Some(msg) = header.strip_prefix("ERR ") {
+        let code = msg.split_whitespace().next().unwrap_or("unknown");
+        let text = msg.to_string();
+        return Err(match code {
+            "timeout" => ServeError::Timeout(text),
+            "overloaded" => ServeError::Overloaded(text),
+            "not-ready" => ServeError::NotReady(text),
+            "malformed" => ServeError::Malformed(text),
+            "shutting-down" => ServeError::ShuttingDown,
+            _ => ServeError::Io(text),
+        });
+    }
+    Err(ServeError::Malformed(format!(
+        "unrecognized reply header `{header}`"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_round_trip() {
+        for (line, want) in [
+            ("status", Request::Status),
+            (" epoch ", Request::Epoch),
+            ("feeds", Request::Feeds),
+            ("report", Request::Report),
+            ("shutdown", Request::Shutdown),
+            ("die", Request::Die),
+        ] {
+            assert_eq!(parse_request(line).ok(), Some(want), "{line}");
+        }
+    }
+
+    #[test]
+    fn junk_is_malformed_not_a_panic() {
+        for line in ["", "   ", "DROP TABLE", "status; die", "\u{7f}"] {
+            assert!(matches!(parse_request(line), Err(ServeError::Malformed(_))));
+        }
+        // A pathologically long garbage line truncates in the message.
+        let long = "x".repeat(10_000);
+        let err = parse_request(&long).unwrap_err();
+        assert!(err.to_string().len() < 200);
+    }
+
+    #[test]
+    fn reply_framing_round_trips() {
+        let framed = render_ok("hello\nworld");
+        let text = String::from_utf8(framed).unwrap();
+        let (header, body) = text.split_once('\n').unwrap();
+        assert_eq!(
+            parse_reply(header, body.as_bytes()).unwrap(),
+            "hello\nworld"
+        );
+
+        let err = render_err(&ServeError::Timeout("slow".to_string()));
+        let text = String::from_utf8(err).unwrap();
+        let parsed = parse_reply(text.trim_end(), b"");
+        assert!(matches!(parsed, Err(ServeError::Timeout(_))));
+    }
+}

@@ -328,15 +328,23 @@ impl MetricsRegistry {
     }
 
     /// Runs `f` and records its wall time under `stage` (best-of
-    /// across repeats). This is the registry's only clock: keeping the
-    /// `Instant` read here preserves the wall-clock quarantine — the
-    /// `taster lint` wall-clock rule allows `Instant` only in this
-    /// module, `trace`, and `core::profile`.
+    /// across repeats). Together with [`MetricsRegistry::stopwatch`]
+    /// this is the registry's only clock: keeping the `Instant` reads
+    /// here preserves the wall-clock quarantine — the `taster lint`
+    /// wall-clock rule allows `Instant` only in this module, `trace`,
+    /// and `core::profile`.
     pub fn time_stage<T>(&self, stage: &str, f: impl FnOnce() -> T) -> T {
         let started = std::time::Instant::now();
         let out = f();
         self.record_timing(stage, started.elapsed().as_secs_f64());
         out
+    }
+
+    /// Starts a wall-clock stopwatch. See [`Stopwatch`].
+    pub fn stopwatch() -> Stopwatch {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
     }
 
     /// The recorded wall time for `stage`, if any.
@@ -386,6 +394,27 @@ impl MetricsRegistry {
             out.push('\n');
         }
         out
+    }
+}
+
+/// A plain wall-clock stopwatch for serving-path latency measurement
+/// (`taster loadgen`, the serve watchdog). Lives in this module so the
+/// `Instant` stays inside the wall-clock quarantine; simulation code
+/// must keep using [`crate::SimTime`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Seconds elapsed since the stopwatch started.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds elapsed since the stopwatch started.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
     }
 }
 

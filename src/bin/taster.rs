@@ -9,6 +9,8 @@
 //! taster degradation [--scale S] [--seed N]                   canonical fault-profile sweep
 //! taster bench-json  [--scale S] [--seed N] [--out PATH]      pipeline scaling benchmark
 //! taster profile     [--scale S] [--seed N] [--out PATH]      per-stage observability profile
+//! taster serve       [--socket P] [--checkpoint-dir D]        guarded streaming daemon
+//! taster loadgen     [--socket P] [--faults STORM] [--out P]  deterministic query storms
 //! ```
 //!
 //! Sections for `report`: `table1 table2 table3 fig1 … fig12 selection all`
@@ -95,6 +97,18 @@ struct Args {
     strict: bool,
     baseline: Option<String>,
     write_baseline: bool,
+    socket: String,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    epoch_events: usize,
+    final_report: Option<String>,
+    exit_when_done: bool,
+    test_hooks: bool,
+    request_timeout_ms: u64,
+    watchdog_ms: u64,
+    max_pending: usize,
+    tick_rows: usize,
+    rounds: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -120,6 +134,18 @@ fn parse_args() -> Result<Args, String> {
         strict: false,
         baseline: None,
         write_baseline: false,
+        socket: "taster-serve.sock".to_string(),
+        checkpoint_dir: None,
+        resume: false,
+        epoch_events: 50_000,
+        final_report: None,
+        exit_when_done: false,
+        test_hooks: false,
+        request_timeout_ms: 500,
+        watchdog_ms: 2_000,
+        max_pending: 8,
+        tick_rows: 8_192,
+        rounds: 100,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -199,6 +225,76 @@ fn parse_args() -> Result<Args, String> {
                 }
                 out.min_events_per_sec = Some(floor);
             }
+            "--socket" => {
+                out.socket = args.next().ok_or("--socket needs a path")?;
+            }
+            "--checkpoint-dir" => {
+                out.checkpoint_dir = Some(args.next().ok_or("--checkpoint-dir needs a path")?);
+            }
+            "--resume" => out.resume = true,
+            "--epoch-events" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--epoch-events needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --epoch-events: {e}"))?;
+                if n == 0 {
+                    return Err("--epoch-events must be at least 1".to_string());
+                }
+                out.epoch_events = n;
+            }
+            "--final-report" => {
+                out.final_report = Some(args.next().ok_or("--final-report needs a path")?);
+            }
+            "--exit-when-done" => out.exit_when_done = true,
+            "--test-hooks" => out.test_hooks = true,
+            "--request-timeout-ms" => {
+                out.request_timeout_ms = args
+                    .next()
+                    .ok_or("--request-timeout-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --request-timeout-ms: {e}"))?;
+                if out.request_timeout_ms == 0 {
+                    return Err("--request-timeout-ms must be at least 1".to_string());
+                }
+            }
+            "--watchdog-ms" => {
+                out.watchdog_ms = args
+                    .next()
+                    .ok_or("--watchdog-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --watchdog-ms: {e}"))?;
+                if out.watchdog_ms == 0 {
+                    return Err("--watchdog-ms must be at least 1".to_string());
+                }
+            }
+            "--max-pending" => {
+                out.max_pending = args
+                    .next()
+                    .ok_or("--max-pending needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-pending: {e}"))?;
+                if out.max_pending == 0 {
+                    return Err("--max-pending must be at least 1".to_string());
+                }
+            }
+            "--tick-rows" => {
+                out.tick_rows = args
+                    .next()
+                    .ok_or("--tick-rows needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --tick-rows: {e}"))?;
+                if out.tick_rows == 0 {
+                    return Err("--tick-rows must be at least 1".to_string());
+                }
+            }
+            "--rounds" => {
+                out.rounds = args
+                    .next()
+                    .ok_or("--rounds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --rounds: {e}"))?;
+            }
             "--metrics" => out.metrics = true,
             "--self-test" => out.self_test = true,
             "--strict" => out.strict = true,
@@ -228,10 +324,15 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile|lint> \
+    "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile|serve|loadgen|lint> \
      [--scale S[,S...]] [--seed N] [--threads N] [--chunk N] [--max-mem-bytes B] \
      [--section NAME] [--faults PROFILE] [--out PATH] [--metrics] [--trace PATH] \
      [--overhead-gate FRAC] [--min-events-per-sec R]\n       \
+     taster serve [--socket PATH] [--checkpoint-dir DIR] [--resume] [--epoch-events N] \
+     [--tick-rows N] [--max-pending N] [--request-timeout-ms MS] [--watchdog-ms MS] \
+     [--final-report PATH] [--exit-when-done] [--test-hooks]\n       \
+     taster loadgen [--socket PATH] [--faults PROFILE] [--rounds N] \
+     [--request-timeout-ms MS] [--out PATH]\n       \
      taster lint [--format json] [--strict] [--self-test] [--baseline PATH] [--write-baseline]"
         .to_string()
 }
@@ -282,6 +383,8 @@ fn main() {
         "degradation" => degradation_cmd(&scenario),
         "bench-json" => bench_json(&args),
         "profile" => profile_cmd(&scenario, &args),
+        "serve" => serve_cmd(&scenario, &args),
+        "loadgen" => loadgen_cmd(&scenario, &args),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             std::process::exit(2);
@@ -778,4 +881,94 @@ fn summary(scenario: &Scenario) {
     println!("user reports .... {}", world.provider.reports.len());
     println!("benign trap mail  {}", world.benign_mail.len());
     println!("oracle messages . {}", world.provider.oracle.total());
+}
+
+/// `taster serve`: run the guarded streaming daemon over a Unix
+/// socket. Ingestion advances epoch by epoch between socket polls;
+/// `--checkpoint-dir` makes each sealed epoch durable and `--resume`
+/// replays only the tail after a crash. Exit codes: 0 clean shutdown
+/// (drain or `--exit-when-done`), 2 setup/serving failure.
+fn serve_cmd(scenario: &Scenario, args: &Args) {
+    use taster::serve::{core as serve_core, server, ServeConfig, ServerConfig};
+
+    let config = ServeConfig {
+        epoch_events: args.epoch_events,
+        checkpoint_dir: args.checkpoint_dir.clone().map(std::path::PathBuf::from),
+    };
+    let built = if args.resume {
+        serve_core::ServeCore::resume(scenario, config)
+    } else {
+        serve_core::ServeCore::new(scenario, config)
+    };
+    let mut core = match built {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve: cannot build ingestion state: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server_cfg = ServerConfig {
+        socket: std::path::PathBuf::from(&args.socket),
+        request_timeout: std::time::Duration::from_millis(args.request_timeout_ms),
+        request_deadline: std::time::Duration::from_millis(args.request_timeout_ms * 2),
+        max_pending: args.max_pending,
+        max_mem_bytes: args.max_mem_bytes,
+        watchdog: std::time::Duration::from_millis(args.watchdog_ms),
+        tick_rows: args.tick_rows,
+        final_report: args.final_report.clone().map(std::path::PathBuf::from),
+        exit_when_done: args.exit_when_done,
+        test_hooks: args.test_hooks,
+    };
+    eprintln!(
+        "serve: listening on {} (epoch every {} events, resume={})",
+        args.socket, args.epoch_events, args.resume
+    );
+    match server::run(&mut core, &server_cfg, &scenario.parallelism) {
+        Ok(stats) => {
+            eprintln!("serve: clean shutdown\n{}", stats.render(&core));
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `taster loadgen`: replay a deterministic keyed-RNG query storm
+/// against a running daemon (`--faults` picks the storm shape:
+/// `serve-slow-client`, `serve-query-storm`, `serve-kill-midrun`) and
+/// write serving-path latencies/shed counts as JSON to `--out`. Exit
+/// codes: 0 storm completed, 2 the daemon never answered.
+fn loadgen_cmd(scenario: &Scenario, args: &Args) {
+    use taster::serve::{loadgen, LoadgenConfig};
+
+    let cfg = LoadgenConfig {
+        socket: std::path::PathBuf::from(&args.socket),
+        seed: args.seed,
+        profile: scenario.faults.clone(),
+        rounds: args.rounds,
+        request_timeout: std::time::Duration::from_millis(args.request_timeout_ms),
+    };
+    let outcome = match loadgen::run(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = outcome.render_json(&scenario.faults.name, args.seed);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("loadgen: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    }
+    eprintln!(
+        "loadgen: {} requests ({} ok, {} timeout, {} shed, {} not-ready), killed_daemon={} -> {}",
+        outcome.sent,
+        outcome.ok,
+        outcome.timeouts,
+        outcome.overloaded,
+        outcome.not_ready,
+        outcome.killed_daemon,
+        args.out
+    );
 }

@@ -19,6 +19,8 @@
 //! * [`feeds`] — the ten feed collectors and feed records.
 //! * [`analysis`] — purity, coverage, proportionality and timing metrics.
 //! * [`core`] — scenarios, the experiment driver, and report rendering.
+//! * [`serve`] — the `taster serve` daemon: incremental ingestion,
+//!   admission control, checkpoint/resume.
 //! * [`lint`] — the `taster lint` determinism/panic-safety analyzer.
 //!
 //! ## Quick start
@@ -41,6 +43,7 @@ pub use taster_ecosystem as ecosystem;
 pub use taster_feeds as feeds;
 pub use taster_lint as lint;
 pub use taster_mailsim as mailsim;
+pub use taster_serve as serve;
 pub use taster_sim as sim;
 pub use taster_smtp as smtp;
 pub use taster_stats as stats;
