@@ -18,11 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ab;
 pub mod ablation;
 pub mod degradation;
 pub mod experiment;
 pub mod export;
 pub mod profile;
+pub mod replicate;
 pub mod report;
 pub mod scenario;
 pub mod sweep;

@@ -297,6 +297,9 @@ pub struct ScaleBench {
     /// End-to-end wall accounting from one fully-observed run (zeros
     /// when the caller only benched stage rows).
     pub end_to_end: Option<EndToEnd>,
+    /// Wall seconds of a small observed replication
+    /// ([`crate::replicate::STAGE_REPLICATE`]); 0 when not timed.
+    pub replicate_secs: f64,
     /// Stage timings, one row per worker count.
     pub rows: Vec<StageBench>,
 }
@@ -318,6 +321,7 @@ impl ScaleBench {
             chunk_size,
             stream_peak_bytes: stream_peak_bytes(events, chunk_size),
             end_to_end: None,
+            replicate_secs: 0.0,
             rows,
         }
     }
@@ -325,6 +329,12 @@ impl ScaleBench {
     /// Attaches end-to-end wall accounting to this entry.
     pub fn with_end_to_end(mut self, e2e: EndToEnd) -> ScaleBench {
         self.end_to_end = Some(e2e);
+        self
+    }
+
+    /// Attaches the replicate-driver wall time to this entry.
+    pub fn with_replicate_secs(mut self, secs: f64) -> ScaleBench {
+        self.replicate_secs = secs;
         self
     }
 
@@ -439,6 +449,11 @@ pub fn bench_json_string(seed: u64, reps: usize, scales: &[ScaleBench]) -> Strin
         let _ = writeln!(json, "      \"render_secs\": {:.6},", e2e.render);
         let _ = writeln!(json, "      \"total_secs\": {:.6},", e2e.total);
         let _ = writeln!(json, "      \"untimed_secs\": {:.6},", e2e.untimed());
+        let _ = writeln!(
+            json,
+            "      \"replicate_secs\": {:.6},",
+            entry.replicate_secs
+        );
         json.push_str("      \"runs\": [\n");
         for (i, row) in entry.rows.iter().enumerate() {
             let comma = if i + 1 < entry.rows.len() { "," } else { "" };
@@ -570,6 +585,11 @@ mod tests {
         assert!(json.contains(&format!("\"events\": {events}")));
         assert!(json.contains("\"chunk_size\": 64"));
         assert!(json.contains("\"stream_peak_bytes\""));
+        assert!(json.contains("\"replicate_secs\": 0.000000"));
+        let timed =
+            ScaleBench::new(0.02, &scenario.name, events, 64, Vec::new()).with_replicate_secs(1.25);
+        let json = bench_json_string(scenario.seed, 1, &[timed]);
+        assert!(json.contains("\"replicate_secs\": 1.250000"));
     }
 
     #[test]

@@ -26,6 +26,31 @@ macro_rules! w {
     ($($arg:tt)*) => { let _ = write!($($arg)*); };
 }
 
+/// Formats an optional metric value as a four-decimal cell, `-` when
+/// undefined. The shared cell format of the CI-annotated tables
+/// (`taster replicate`, `taster ab`).
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.4}"),
+        _ => "-".to_string(),
+    }
+}
+
+/// Formats interval bounds as `[low, high]` with four decimals.
+pub fn fmt_bounds(bounds: (f64, f64)) -> String {
+    format!("[{:.4}, {:.4}]", bounds.0, bounds.1)
+}
+
+/// Formats a p-value cell: `<0.001` below the render resolution,
+/// three decimals otherwise, `-` when the test was undefined.
+pub fn fmt_p(p: Option<f64>) -> String {
+    match p {
+        Some(p) if p.is_finite() && p < 0.001 => "<0.001".to_string(),
+        Some(p) if p.is_finite() => format!("{p:.3}"),
+        _ => "-".to_string(),
+    }
+}
+
 /// Renders an [`Experiment`] into paper-style text artifacts.
 pub struct Report<'a> {
     experiment: &'a Experiment,

@@ -20,6 +20,9 @@
 //!   shape campaign volumes, affiliate revenue and benign-domain
 //!   popularity.
 //! * [`bootstrap`] — seeded bootstrap confidence intervals.
+//! * [`infer`] — replication inference: Welch/Z/paired t-tests and
+//!   keyed percentile+BCa bootstrap CIs over [`infer::MetricSamples`]
+//!   tables.
 //! * [`concentration`] — Gini coefficient, Lorenz curves and top-k
 //!   shares for the heavy-tail statements the paper makes in prose.
 //! * [`summary`] — means, standard deviations and counting helpers.
@@ -31,6 +34,7 @@
 pub mod bootstrap;
 pub mod concentration;
 pub mod empirical;
+pub mod infer;
 pub mod kendall;
 pub mod quantile;
 pub mod sample;

@@ -11,7 +11,21 @@
 //! taster profile     [--scale S] [--seed N] [--out PATH]      per-stage observability profile
 //! taster serve       [--socket P] [--checkpoint-dir D]        guarded streaming daemon
 //! taster loadgen     [--socket P] [--faults STORM] [--out P]  deterministic query storms
+//! taster replicate   [--seeds N] [--resamples N] [--level F]  N-seed replication with CIs
+//! taster ab          --treatment NAME [--baseline NAME]       paired A/B scenario comparison
 //! ```
+//!
+//! `replicate` runs the scenario under N independent derived seeds and
+//! prints every headline metric with percentile + BCa bootstrap
+//! confidence intervals; `--format json` emits the same numbers as a
+//! machine-readable document. `ab` replicates a baseline and a
+//! treatment scenario over the *same* derived seeds (named scenarios:
+//! `paper`, the presets, the ablations, or any batch fault profile)
+//! and prints per-metric effect sizes, CIs on the paired difference,
+//! and paired/Welch p-values. Both commands are bit-identical at any
+//! `--threads` count: replicate seeds depend only on `(master seed,
+//! index)` and bootstrap resampling is keyed by `(seed, metric,
+//! resample index)`.
 //!
 //! Sections for `report`: `table1 table2 table3 fig1 … fig12 selection all`
 //! (default `all`).
@@ -74,7 +88,7 @@
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use taster::analysis::classify::Category;
-use taster::core::{ablation, degradation, profile, sweep, Experiment, Scenario};
+use taster::core::{ab, ablation, degradation, profile, replicate, sweep, Experiment, Scenario};
 use taster::sim::FaultProfile;
 
 struct Args {
@@ -109,6 +123,10 @@ struct Args {
     max_pending: usize,
     tick_rows: usize,
     rounds: usize,
+    seeds: usize,
+    resamples: usize,
+    level: f64,
+    treatment: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -146,6 +164,10 @@ fn parse_args() -> Result<Args, String> {
         max_pending: 8,
         tick_rows: 8_192,
         rounds: 100,
+        seeds: 8,
+        resamples: 200,
+        level: 0.95,
+        treatment: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -295,6 +317,42 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --rounds: {e}"))?;
             }
+            "--seeds" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+                out.seeds = n;
+            }
+            "--resamples" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--resamples needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --resamples: {e}"))?;
+                if n == 0 {
+                    return Err("--resamples must be at least 1".to_string());
+                }
+                out.resamples = n;
+            }
+            "--level" => {
+                let l: f64 = args
+                    .next()
+                    .ok_or("--level needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --level: {e}"))?;
+                if !(l > 0.0 && l < 1.0) {
+                    return Err("--level must be in (0, 1)".to_string());
+                }
+                out.level = l;
+            }
+            "--treatment" => {
+                out.treatment = Some(args.next().ok_or("--treatment needs a scenario name")?);
+            }
             "--metrics" => out.metrics = true,
             "--self-test" => out.self_test = true,
             "--strict" => out.strict = true,
@@ -324,10 +382,15 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile|serve|loadgen|lint> \
+    "usage: taster <report|ablate|sweep|summary|degradation|bench-json|profile|serve|loadgen|\
+     replicate|ab|lint> \
      [--scale S[,S...]] [--seed N] [--threads N] [--chunk N] [--max-mem-bytes B] \
      [--section NAME] [--faults PROFILE] [--out PATH] [--metrics] [--trace PATH] \
      [--overhead-gate FRAC] [--min-events-per-sec R]\n       \
+     taster replicate [--seeds N] [--resamples N] [--level F] [--format json] \
+     [--scale S] [--seed N] [--faults PROFILE]\n       \
+     taster ab --treatment NAME [--baseline NAME] [--seeds N] [--resamples N] [--level F] \
+     [--format json] [--scale S] [--seed N]\n       \
      taster serve [--socket PATH] [--checkpoint-dir DIR] [--resume] [--epoch-events N] \
      [--tick-rows N] [--max-pending N] [--request-timeout-ms MS] [--watchdog-ms MS] \
      [--final-report PATH] [--exit-when-done] [--test-hooks]\n       \
@@ -385,6 +448,8 @@ fn main() {
         "profile" => profile_cmd(&scenario, &args),
         "serve" => serve_cmd(&scenario, &args),
         "loadgen" => loadgen_cmd(&scenario, &args),
+        "replicate" => replicate_cmd(&scenario, &args),
+        "ab" => ab_cmd(&args),
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             std::process::exit(2);
@@ -793,6 +858,25 @@ fn bench_json(args: &Args) {
             e2e.untimed(),
             e2e.untimed_fraction() * 100.0,
         );
+        // One small observed replication per scale, so the bench tracks
+        // the cost of the statistical-rigor layer alongside the
+        // pipeline stages it fans out.
+        eprintln!("timing replicate (2 seeds)");
+        let rep_obs = taster::sim::Obs::with(true, false);
+        let rep_opts = replicate::ReplicateOptions {
+            seeds: 2,
+            resamples: 100,
+            level: 0.95,
+        };
+        if let Err(e) = replicate::replicate_observed(&scenario, rep_opts, &rep_obs) {
+            eprintln!("replicate bench failed: {e}");
+            std::process::exit(1);
+        }
+        let replicate_secs = rep_obs
+            .metrics
+            .timing(replicate::STAGE_REPLICATE)
+            .unwrap_or(0.0);
+        eprintln!("replicate (2 seeds) {replicate_secs:.3}s");
         let entry = profile::ScaleBench::new(
             scale,
             &scenario.name,
@@ -805,7 +889,8 @@ fn bench_json(args: &Args) {
             events,
             scenario.feeds.chunk_size,
         ))
-        .with_end_to_end(e2e);
+        .with_end_to_end(e2e)
+        .with_replicate_secs(replicate_secs);
         eprintln!(
             "scale {scale}: {events} events, chunk {}, ~{:.1} MB peak event buffers, \
              best {:.0} events/s",
@@ -971,4 +1056,96 @@ fn loadgen_cmd(scenario: &Scenario, args: &Args) {
         outcome.killed_daemon,
         args.out
     );
+}
+
+/// `taster replicate`: run the scenario under `--seeds` independent
+/// replicate seeds and print per-metric bootstrap confidence intervals.
+/// Exit codes: 0 on success, 1 on pipeline failure, 2 on bad options.
+fn replicate_cmd(scenario: &Scenario, args: &Args) {
+    let options = replicate::ReplicateOptions {
+        seeds: args.seeds,
+        resamples: args.resamples,
+        level: args.level,
+    };
+    eprintln!(
+        "replicating {} over {} seeds ({} resamples)",
+        scenario.name, options.seeds, options.resamples
+    );
+    let rep = match replicate::replicate(scenario, options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replicate failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match args.format.as_str() {
+        "text" => print!("{}", replicate::render_replication(&rep)),
+        "json" => print!("{}", replicate::render_replication_json(&rep)),
+        other => {
+            eprintln!("unknown format {other}; known: text json");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `taster ab`: paired A/B comparison between two named scenarios
+/// (`--baseline`, `--treatment`), each replicated over `--seeds`
+/// replicate seeds anchored on the baseline master seed. Exit codes:
+/// 0 on success, 1 on pipeline failure, 2 on bad options.
+fn ab_cmd(args: &Args) {
+    let resolve = |label: &str, name: &str| -> Scenario {
+        match ab::scenario_by_name(name, args.scales[0], args.seed) {
+            Some(s) => s,
+            None => {
+                eprintln!(
+                    "unknown {label} scenario {name}; known: {} and batch fault profiles: {}",
+                    ab::NAMED_SCENARIOS.join(" "),
+                    FaultProfile::CANONICAL
+                        .iter()
+                        .filter(|n| {
+                            FaultProfile::by_name(n).is_some_and(|p| !p.is_serve_only())
+                        })
+                        .copied()
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+    let baseline_name = args.baseline.clone().unwrap_or_else(|| "paper".to_string());
+    let Some(treatment_name) = args.treatment.clone() else {
+        eprintln!("ab needs --treatment <scenario>\n{}", usage());
+        std::process::exit(2);
+    };
+    let mut baseline = resolve("baseline", &baseline_name);
+    let mut treatment = resolve("treatment", &treatment_name);
+    if let Some(n) = args.threads {
+        baseline = baseline.with_threads(n);
+        treatment = treatment.with_threads(n);
+    }
+    let options = replicate::ReplicateOptions {
+        seeds: args.seeds,
+        resamples: args.resamples,
+        level: args.level,
+    };
+    eprintln!(
+        "ab: {} vs {} over {} paired seeds",
+        baseline.name, treatment.name, options.seeds
+    );
+    let cmp = match ab::ab_compare(&baseline, &treatment, options, &taster::sim::Obs::off()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ab failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match args.format.as_str() {
+        "text" => print!("{}", ab::render_ab(&cmp)),
+        "json" => print!("{}", ab::render_ab_json(&cmp)),
+        other => {
+            eprintln!("unknown format {other}; known: text json");
+            std::process::exit(2);
+        }
+    }
 }

@@ -18,7 +18,8 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use taster::core::{degradation, profile, Experiment, Scenario};
+use taster::core::replicate::ReplicateOptions;
+use taster::core::{ab, degradation, profile, replicate, Experiment, Scenario};
 use taster::sim::{FaultProfile, Obs};
 
 const SEEDS: [u64; 2] = [11, 424_242];
@@ -120,6 +121,56 @@ fn profile_views_match_goldens() {
                 &profile::deterministic_profile(&exp),
             );
         }
+    }
+}
+
+#[test]
+fn replicate_reports_match_goldens() {
+    // Two replicate counts × clean/flaky pins the whole statistical
+    // rendering stack: derived seeds, per-metric bootstrap bounds, BCa
+    // fallback markers and the fixed column layout.
+    for seeds in [2usize, 4] {
+        for (suffix, fault) in [
+            ("clean", FaultProfile::off()),
+            ("flaky", FaultProfile::flaky_crawler()),
+        ] {
+            let s = scenario(SEEDS[0]).with_faults(fault);
+            let options = ReplicateOptions {
+                seeds,
+                resamples: 100,
+                level: 0.95,
+            };
+            let rep = replicate::replicate(&s, options).expect("replication runs");
+            check_golden(
+                &format!("replicate_s{}_n{seeds}_{suffix}.txt", SEEDS[0]),
+                &replicate::render_replication(&rep),
+            );
+        }
+    }
+}
+
+#[test]
+fn ab_reports_match_goldens() {
+    // Paired A/B against two structurally different treatments; the
+    // golden pins effect signs, CI bounds and both p-value columns.
+    let options = ReplicateOptions {
+        seeds: 3,
+        resamples: 100,
+        level: 0.95,
+    };
+    for treatment_name in ["quiet-world", "no-poisoning"] {
+        let baseline = ab::scenario_by_name("paper", SCALE, SEEDS[0])
+            .expect("baseline resolves")
+            .with_threads(2);
+        let treatment = ab::scenario_by_name(treatment_name, SCALE, SEEDS[0])
+            .expect("treatment resolves")
+            .with_threads(2);
+        let cmp =
+            ab::ab_compare(&baseline, &treatment, options, &Obs::off()).expect("comparison runs");
+        check_golden(
+            &format!("ab_s{}_{treatment_name}.txt", SEEDS[0]),
+            &ab::render_ab(&cmp),
+        );
     }
 }
 
