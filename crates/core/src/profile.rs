@@ -38,11 +38,10 @@ use taster_sim::metrics::{
 };
 use taster_sim::{FaultPlan, FaultProfile, Obs, Parallelism};
 
-/// Registry timing key for fault-injected feed collection (bench only;
-/// not one of the report's canonical stages).
-pub const STAGE_COLLECT_FAULTED: &str = "collect_faulted";
-/// Registry timing key for fault-injected classification (bench only).
-pub const STAGE_CLASSIFY_FAULTED: &str = "classify_faulted";
+// Fault-injection timing keys live in the sim metrics registry
+// (`AUX_STAGE_KEYS`) so the stage inventory stays complete; re-export
+// them under their historical paths.
+pub use taster_sim::metrics::{STAGE_CLASSIFY_FAULTED, STAGE_COLLECT_FAULTED};
 
 /// Runs `scenario` end-to-end with full observability — metrics,
 /// tracing, and the four post-classification analysis stage groups —

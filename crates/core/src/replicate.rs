@@ -33,9 +33,10 @@ macro_rules! w {
     ($($arg:tt)*) => { let _ = write!($($arg)*); };
 }
 
-/// Registry timing key for the replication driver (bench only; not one
-/// of the report's canonical stages).
-pub const STAGE_REPLICATE: &str = "replicate";
+// The replication timing key lives in the sim metrics registry
+// (`AUX_STAGE_KEYS`) so the stage inventory stays complete; re-export
+// it under its historical path.
+pub use taster_sim::metrics::STAGE_REPLICATE;
 
 /// Stream-name key for per-replicate seed derivation.
 const SEED_STREAM: &str = "replicate/seed";

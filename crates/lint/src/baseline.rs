@@ -129,3 +129,24 @@ impl Baseline {
         self.entries.is_empty()
     }
 }
+
+/// Rewrites the baseline file at `path` dropping the entries listed in
+/// `stale` (the `rule<TAB>path<TAB>hash` strings a [`crate::run`]
+/// reported as matching nothing). Comments and blank lines are kept.
+/// Returns the number of lines removed.
+pub fn prune_file(path: &std::path::Path, stale: &[String]) -> Result<usize, crate::LintError> {
+    let text = std::fs::read_to_string(path).map_err(|e| crate::LintError::io(path, &e))?;
+    let stale: BTreeSet<&str> = stale.iter().map(String::as_str).collect();
+    let mut kept = String::new();
+    let mut removed = 0usize;
+    for raw in text.lines() {
+        if stale.contains(raw.trim()) {
+            removed += 1;
+        } else {
+            kept.push_str(raw);
+            kept.push('\n');
+        }
+    }
+    std::fs::write(path, kept).map_err(|e| crate::LintError::io(path, &e))?;
+    Ok(removed)
+}

@@ -45,6 +45,27 @@ impl Token {
     pub fn is_punct(&self, ch: char) -> bool {
         self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
     }
+
+    /// For a plain or raw **string** literal, the text between the
+    /// quotes; `None` for char literals, byte strings, and every other
+    /// token kind. Escape sequences are returned verbatim — the keyed
+    /// RNG rules compare key literals textually, and no key in this
+    /// workspace uses escapes.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokenKind::Literal {
+            return None;
+        }
+        let t = self.text.as_str();
+        if let Some(rest) = t.strip_prefix('"') {
+            return rest.strip_suffix('"');
+        }
+        if let Some(rest) = t.strip_prefix('r') {
+            let hashes = rest.bytes().take_while(|&b| b == b'#').count();
+            let body = rest.get(hashes..rest.len().saturating_sub(hashes))?;
+            return body.strip_prefix('"')?.strip_suffix('"');
+        }
+        None
+    }
 }
 
 /// A comment with its position, kept out of the token stream.
@@ -125,6 +146,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             '"' => {
                 let start_line = line;
+                let start = i;
                 i += 1;
                 while i < bytes.len() {
                     match bytes[i] {
@@ -147,7 +169,7 @@ pub fn lex(src: &str) -> Lexed {
                         _ => i += 1,
                     }
                 }
-                push_token(&mut out, TokenKind::Literal, "\"…\"", start_line);
+                push_token(&mut out, TokenKind::Literal, &src[start..i], start_line);
                 last_token_line = line;
             }
             '\'' => {
@@ -179,7 +201,8 @@ pub fn lex(src: &str) -> Lexed {
                 if j < bytes.len() && bytes[j] == b'\'' {
                     j += 1;
                 }
-                push_token(&mut out, TokenKind::Literal, "'…'", line);
+                let text = src.get(i..j.min(bytes.len())).unwrap_or("'…'");
+                push_token(&mut out, TokenKind::Literal, text, line);
                 last_token_line = line;
                 i = j;
             }
@@ -188,7 +211,7 @@ pub fn lex(src: &str) -> Lexed {
                 if let Some(len) = raw_string_len(&src[i..]) {
                     let start_line = line;
                     line += src[i..i + len].matches('\n').count();
-                    push_token(&mut out, TokenKind::Literal, "r\"…\"", start_line);
+                    push_token(&mut out, TokenKind::Literal, &src[i..i + len], start_line);
                     last_token_line = line;
                     i += len;
                 } else {

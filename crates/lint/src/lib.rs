@@ -12,31 +12,40 @@
 //! code neither panics nor prints. Runtime tests catch violations
 //! after the fact; this crate catches them at build time.
 //!
-//! The engine is a zero-dependency token-pattern analyzer: a small
-//! hand-rolled lexer ([`lexer`]) feeds a rule catalog ([`rules`])
-//! over every `.rs` file in the workspace ([`source`] classifies
-//! files and tracks `#[cfg(test)]` regions). Findings can be
-//! suppressed inline (`// lint:allow(<rule>) -- <reason>`, reason
-//! mandatory) or grandfathered in a checked-in [`baseline`] (kept
-//! empty by policy). `--self-test` ([`selftest`]) injects one
-//! violation per rule into a synthetic workspace and asserts each
-//! fires, so a rule can never silently stop matching.
+//! The engine is a multi-pass analyzer with no external dependencies:
+//! a hand-rolled lexer ([`lexer`]) feeds an item parser ([`parser`])
+//! and the rule catalog ([`rules`]) over every `.rs` file in the
+//! workspace ([`source`] classifies files and tracks `#[cfg(test)]`
+//! regions); the per-file pass fans out through `sim::par` and merges
+//! in path order, so output is byte-identical at any worker count.
+//! The manifests feed a crate-dependency graph ([`graph`]) whose
+//! declared layering, together with the merged per-file collections,
+//! drives the workspace-level rule families (`layering`,
+//! `rng-key-collision`). Findings can be suppressed inline
+//! (`// lint:allow(<rule>) -- <reason>`, reason mandatory) or
+//! grandfathered in a checked-in [`baseline`] (kept empty by policy).
+//! `--self-test` ([`selftest`]) injects one violation per rule into a
+//! synthetic workspace and asserts each fires, so a rule can never
+//! silently stop matching.
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod selftest;
 pub mod source;
 
 use baseline::{Baseline, BaselineEntry};
-use rules::Diagnostic;
-use source::SourceFile;
+use graph::CrateGraph;
+use rules::{Diagnostic, FileAnalysis};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use taster_sim::par::Parallelism;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +56,31 @@ pub struct LintConfig {
     pub strict: bool,
     /// Baseline file to load, if any.
     pub baseline: Option<PathBuf>,
+    /// Worker threads for the per-file pass (0 = resolve from
+    /// `TASTER_THREADS` / available cores). Output is byte-identical
+    /// at any worker count.
+    pub workers: usize,
+}
+
+impl LintConfig {
+    /// Config with defaults for `root`: no strict, no baseline,
+    /// auto worker count.
+    pub fn for_root(root: PathBuf) -> LintConfig {
+        LintConfig {
+            root,
+            strict: false,
+            baseline: None,
+            workers: 0,
+        }
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        if self.workers == 0 {
+            Parallelism::default()
+        } else {
+            Parallelism::fixed(self.workers)
+        }
+    }
 }
 
 /// Engine failure (I/O or malformed baseline) — distinct from
@@ -92,6 +126,8 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Crates in the dependency graph.
+    pub crates_scanned: usize,
     /// Findings silenced by well-formed inline suppressions.
     pub suppressed: usize,
     /// Findings silenced by the baseline.
@@ -119,8 +155,9 @@ impl LintReport {
             out.push_str(&format!("stale baseline entry (prune it): {stale}\n"));
         }
         out.push_str(&format!(
-            "{} file(s) scanned, {} finding(s), {} suppressed, {} baselined\n",
+            "{} file(s) scanned, {} crate(s), {} finding(s), {} suppressed, {} baselined\n",
             self.files_scanned,
+            self.crates_scanned,
             self.diagnostics.len(),
             self.suppressed,
             self.baselined
@@ -150,6 +187,7 @@ impl LintReport {
         }
         out.push_str("],\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"crates_scanned\": {},\n", self.crates_scanned));
         out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
         out.push_str(&format!("  \"baselined\": {},\n", self.baselined));
         out.push_str("  \"stale_baseline\": [");
@@ -183,7 +221,12 @@ fn json_str(s: &str) -> String {
 }
 
 /// Walks the workspace and runs the rule catalog over every `.rs`
-/// file, applying suppressions and the baseline.
+/// file plus the manifests, applying suppressions and the baseline.
+///
+/// The per-file pass (lex, item-parse, per-file rules, workspace-rule
+/// collections) fans out across [`LintConfig::workers`] threads; the
+/// ordered merge plus the deterministic workspace pass make the
+/// report byte-identical at any worker count.
 pub fn run(config: &LintConfig) -> Result<LintReport, LintError> {
     let baseline = match &config.baseline {
         Some(path) => {
@@ -192,27 +235,54 @@ pub fn run(config: &LintConfig) -> Result<LintReport, LintError> {
         }
         None => Baseline::default(),
     };
-    let mut files = Vec::new();
-    collect_rs_files(&config.root, &config.root, &mut files)?;
-    files.sort();
+    let mut rels = Vec::new();
+    collect_rs_files(&config.root, &config.root, &mut rels)?;
+    rels.sort();
 
-    let mut report = LintReport::default();
-    let mut matched_baseline: BTreeSet<BaselineEntry> = BTreeSet::new();
-    for rel in files {
+    // I/O stays serial (ordered, fallible); analysis fans out.
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(rels.len());
+    for rel in rels {
         let abs = config.root.join(&rel);
         let src = std::fs::read_to_string(&abs).map_err(|e| LintError::io(&abs, &e))?;
-        let file = SourceFile::parse(&rel, &src);
-        report.files_scanned += 1;
-        for d in rules::check_file(&file, config.strict) {
-            if file.is_suppressed(d.rule, d.line) {
-                report.suppressed += 1;
-            } else if baseline.covers(&d) {
-                report.baselined += 1;
-                matched_baseline.insert(Baseline::entry_for(&d));
-            } else {
-                report.diagnostics.push(d);
-            }
+        inputs.push((rel, src));
+    }
+    let strict = config.strict;
+    let analyses: Vec<FileAnalysis> = config
+        .parallelism()
+        .par_map(inputs, |(rel, src)| rules::analyze_file(&rel, &src, strict));
+
+    let graph = CrateGraph::load(&config.root);
+
+    let mut report = LintReport {
+        files_scanned: analyses.len(),
+        crates_scanned: graph.crates.len(),
+        ..LintReport::default()
+    };
+    let mut matched_baseline: BTreeSet<BaselineEntry> = BTreeSet::new();
+    let mut filter = |d: Diagnostic, file: Option<&source::SourceFile>, report: &mut LintReport| {
+        if file.is_some_and(|f| f.is_suppressed(d.rule, d.line)) {
+            report.suppressed += 1;
+        } else if baseline.covers(&d) {
+            report.baselined += 1;
+            matched_baseline.insert(Baseline::entry_for(&d));
+        } else {
+            report.diagnostics.push(d);
         }
+    };
+    for fa in &analyses {
+        for d in fa.diagnostics.clone() {
+            filter(d, Some(&fa.file), &mut report);
+        }
+    }
+    // Workspace-level findings land on .rs files (suppressible inline)
+    // or manifests (fix the manifest; no inline suppression channel).
+    for d in rules::workspace_check(&graph, &analyses) {
+        let file = analyses
+            .binary_search_by(|fa| fa.file.path.as_str().cmp(d.path.as_str()))
+            .ok()
+            .and_then(|idx| analyses.get(idx))
+            .map(|fa| &fa.file);
+        filter(d, file, &mut report);
     }
     report
         .diagnostics
@@ -225,13 +295,164 @@ pub fn run(config: &LintConfig) -> Result<LintReport, LintError> {
     Ok(report)
 }
 
-/// Lints a single source string — the unit-test entry point.
+/// Renders the item/dependency graph of the workspace at `root` as
+/// deterministic JSON (`taster lint --graph`): the declared layers,
+/// every crate with its resolved layer and dep edges, per-file item
+/// counts and crate references, and the keyed-RNG / stage-key
+/// inventories the workspace rules run on.
+pub fn graph_json(config: &LintConfig) -> Result<String, LintError> {
+    let mut rels = Vec::new();
+    collect_rs_files(&config.root, &config.root, &mut rels)?;
+    rels.sort();
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let abs = config.root.join(&rel);
+        let src = std::fs::read_to_string(&abs).map_err(|e| LintError::io(&abs, &e))?;
+        inputs.push((rel, src));
+    }
+    let analyses: Vec<FileAnalysis> = config
+        .parallelism()
+        .par_map(inputs, |(rel, src)| rules::analyze_file(&rel, &src, false));
+    let graph = CrateGraph::load(&config.root);
+
+    let mut out = String::from("{\n  \"schema\": \"taster-lint-graph/v1\",\n  \"layers\": [");
+    for (i, (name, crates)) in graph::LAYERS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let members: Vec<String> = crates.iter().map(|c| json_str(c)).collect();
+        out.push_str(&format!(
+            "\n    {{\"index\": {i}, \"name\": {}, \"crates\": [{}]}}",
+            json_str(name),
+            members.join(", ")
+        ));
+    }
+    out.push_str("\n  ],\n  \"crates\": [");
+    for (i, node) in graph.crates.values().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let layer = graph::layer_of(&node.name);
+        let deps: Vec<String> = node
+            .deps
+            .iter()
+            .filter(|d| !d.dev)
+            .map(|d| json_str(&d.name))
+            .collect();
+        let dev_deps: Vec<String> = node
+            .deps
+            .iter()
+            .filter(|d| d.dev)
+            .map(|d| json_str(&d.name))
+            .collect();
+        out.push_str(&format!(
+            "\n    {{\"name\": {}, \"dir\": {}, \"vendor\": {}, \"layer\": {}, \
+             \"layer_name\": {}, \"deps\": [{}], \"dev_deps\": [{}]}}",
+            json_str(&node.name),
+            json_str(&node.dir),
+            node.vendor,
+            layer.map_or("null".to_string(), |(idx, _)| idx.to_string()),
+            layer.map_or("null".to_string(), |(_, name)| json_str(name)),
+            deps.join(", "),
+            dev_deps.join(", ")
+        ));
+    }
+    out.push_str("\n  ],\n  \"files\": [");
+    for (i, fa) in analyses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (mods, fns, impls, uses) = fa.items.counts();
+        let mut refs: Vec<&str> = fa.crate_refs.iter().map(|r| r.target.as_str()).collect();
+        refs.sort_unstable();
+        refs.dedup();
+        let refs: Vec<String> = refs.into_iter().map(json_str).collect();
+        out.push_str(&format!(
+            "\n    {{\"path\": {}, \"crate\": {}, \"mods\": {mods}, \"fns\": {fns}, \
+             \"impls\": {impls}, \"uses\": {uses}, \"crate_refs\": [{}]}}",
+            json_str(&fa.file.path),
+            graph
+                .crate_for_path(&fa.file.path)
+                .map_or("null".to_string(), |n| json_str(&n.name)),
+            refs.join(", ")
+        ));
+    }
+    out.push_str("\n  ],\n  \"rng_keys\": [");
+    let mut by_key: std::collections::BTreeMap<&str, Vec<String>> =
+        std::collections::BTreeMap::new();
+    for fa in &analyses {
+        for site in &fa.key_sites {
+            by_key
+                .entry(site.key.as_str())
+                .or_default()
+                .push(format!("{}:{}", fa.file.path, site.line));
+        }
+    }
+    for (i, (key, sites)) in by_key.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let sites: Vec<String> = sites.iter().map(|s| json_str(s)).collect();
+        out.push_str(&format!(
+            "\n    {{\"key\": {}, \"sites\": [{}]}}",
+            json_str(key),
+            sites.join(", ")
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    Ok(out)
+}
+
+/// Lints a single source string — the unit-test entry point for the
+/// per-file rule families.
 pub fn lint_source(rel_path: &str, src: &str, strict: bool) -> Vec<Diagnostic> {
-    let file = SourceFile::parse(rel_path, src);
-    rules::check_file(&file, strict)
+    let fa = rules::analyze_file(rel_path, src, strict);
+    fa.diagnostics
         .into_iter()
-        .filter(|d| !file.is_suppressed(d.rule, d.line))
+        .filter(|d| !fa.file.is_suppressed(d.rule, d.line))
         .collect()
+}
+
+/// Analyzes a set of in-memory sources plus manifests as one
+/// workspace — the unit-test entry point for the workspace-level rule
+/// families (`layering`, `rng-key-collision`). `manifests` maps
+/// workspace-relative manifest paths (e.g. `crates/x/Cargo.toml`) to
+/// contents. Returns per-file *and* workspace findings, suppressions
+/// applied, sorted by (path, line, rule).
+pub fn analyze_sources(
+    sources: &[(&str, &str)],
+    manifests: &[(&str, &str)],
+    strict: bool,
+) -> Vec<Diagnostic> {
+    let analyses: Vec<FileAnalysis> = sources
+        .iter()
+        .map(|(rel, src)| rules::analyze_file(rel, src, strict))
+        .collect();
+    let mut graph = CrateGraph::default();
+    for (rel, text) in manifests {
+        if let Some(node) = graph::parse_manifest_str(rel, text, rel.starts_with("vendor/")) {
+            graph.crates.insert(node.name.clone(), node);
+        }
+    }
+    let mut out = Vec::new();
+    for fa in &analyses {
+        for d in fa.diagnostics.clone() {
+            if !fa.file.is_suppressed(d.rule, d.line) {
+                out.push(d);
+            }
+        }
+    }
+    for d in rules::workspace_check(&graph, &analyses) {
+        let suppressed = analyses
+            .iter()
+            .find(|fa| fa.file.path == d.path)
+            .is_some_and(|fa| fa.file.is_suppressed(d.rule, d.line));
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
 }
 
 /// Recursively gathers workspace-relative `.rs` paths, skipping build

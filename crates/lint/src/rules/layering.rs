@@ -1,0 +1,173 @@
+//! `layering`: the declared crate DAG, enforced.
+//!
+//! Two edge sources feed the check: `[dependencies]` entries in every
+//! manifest (parsed by [`crate::graph`]) and `taster_*` references in
+//! source code (`use` lines and inline paths alike — any mention of a
+//! sibling crate's extern-prelude name is an edge). Both must point
+//! *strictly downward* in [`crate::graph::LAYERS`]. `dev-dependencies`
+//! and test/bench/example code are exempt: test-only edges cannot leak
+//! into shipped determinism.
+
+use super::{Diagnostic, FileAnalysis};
+use crate::graph::{layer_of, CrateGraph};
+use crate::lexer::TokenKind;
+use crate::source::{Context, SourceFile};
+
+/// One source-level reference to a workspace crate.
+#[derive(Debug, Clone)]
+pub struct CrateRef {
+    /// Referenced crate, dash form (`taster-sim`).
+    pub target: String,
+    /// 1-based line of the reference.
+    pub line: usize,
+}
+
+/// Collects `taster_*` extern-prelude references from non-test code.
+/// One ref per (crate, line) — repeated mentions on a line collapse.
+pub(crate) fn collect_refs(file: &SourceFile) -> Vec<CrateRef> {
+    let mut out: Vec<CrateRef> = Vec::new();
+    for tok in &file.lexed.tokens {
+        if tok.kind != TokenKind::Ident
+            || !tok.text.starts_with("taster_")
+            || file.is_test_line(tok.line)
+        {
+            continue;
+        }
+        let target = tok.text.replace('_', "-");
+        if out
+            .last()
+            .is_none_or(|r| r.target != target || r.line != tok.line)
+        {
+            out.push(CrateRef {
+                target,
+                line: tok.line,
+            });
+        }
+    }
+    out
+}
+
+/// Checks every manifest dep edge and source use edge against the
+/// declared layer map.
+pub(crate) fn check(graph: &CrateGraph, files: &[FileAnalysis]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for node in graph.crates.values() {
+        if node.vendor {
+            // Vendored shims are leaves: depending on a workspace
+            // crate would invert the vendoring relationship.
+            for dep in &node.deps {
+                if dep.name.starts_with("taster-") {
+                    out.push(manifest_diag(
+                        node.manifest_path.clone(),
+                        dep.line,
+                        dep.snippet.clone(),
+                        format!(
+                            "vendored crate `{}` must not depend on workspace crate `{}`",
+                            node.name, dep.name
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+        let Some((layer_idx, layer_name)) = layer_of(&node.name) else {
+            out.push(manifest_diag(
+                node.manifest_path.clone(),
+                1,
+                format!("[package] name = \"{}\"", node.name),
+                format!(
+                    "workspace crate `{}` is not assigned to a layer in the declared \
+                     layer map (crates/lint/src/graph.rs LAYERS)",
+                    node.name
+                ),
+            ));
+            continue;
+        };
+        for dep in &node.deps {
+            if dep.dev || !dep.name.starts_with("taster-") {
+                continue;
+            }
+            match layer_of(&dep.name) {
+                Some((dep_idx, dep_layer)) if dep_idx >= layer_idx => {
+                    out.push(manifest_diag(
+                        node.manifest_path.clone(),
+                        dep.line,
+                        dep.snippet.clone(),
+                        format!(
+                            "`{}` (layer {layer_idx}: {layer_name}) must not depend on \
+                             `{}` (layer {dep_idx}: {dep_layer}); dependencies must point \
+                             strictly downward",
+                            node.name, dep.name
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    out.push(manifest_diag(
+                        node.manifest_path.clone(),
+                        dep.line,
+                        dep.snippet.clone(),
+                        format!(
+                            "`{}` depends on `{}`, which is not in the declared layer map",
+                            node.name, dep.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for fa in files {
+        if !matches!(fa.file.context, Context::Lib | Context::Bin) {
+            continue;
+        }
+        let Some(node) = graph.crate_for_path(&fa.file.path) else {
+            continue;
+        };
+        let Some((layer_idx, layer_name)) = layer_of(&node.name) else {
+            continue;
+        };
+        for r in &fa.crate_refs {
+            if r.target == node.name {
+                continue;
+            }
+            match layer_of(&r.target) {
+                Some((ref_idx, ref_layer)) if ref_idx >= layer_idx => {
+                    out.push(super::diag(
+                        &fa.file,
+                        "layering",
+                        r.line,
+                        format!(
+                            "`{}` (layer {layer_idx}: {layer_name}) must not reference \
+                             `{}` (layer {ref_idx}: {ref_layer}); use edges must point \
+                             strictly downward",
+                            node.name, r.target
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    out.push(super::diag(
+                        &fa.file,
+                        "layering",
+                        r.line,
+                        format!(
+                            "reference to `{}`, which is not in the declared layer map",
+                            r.target
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn manifest_diag(path: String, line: usize, snippet: String, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: "layering",
+        path,
+        line,
+        message,
+        snippet,
+    }
+}

@@ -1,0 +1,271 @@
+//! The rule catalog.
+//!
+//! Each rule encodes one repo invariant; the catalog is the executable
+//! form of the determinism contract described in DESIGN.md. The
+//! original families ([`tokens`]) are token-pattern checks over
+//! [`SourceFile`]s; the v2 families work on the item tree and the
+//! crate graph: [`layering`] (declared crate DAG), [`rng_keys`]
+//! (stream-key collisions + stage-registry completeness),
+//! [`iteration`] (hash iteration reaching render/report/serve sinks),
+//! and [`float_accum`] (order-sensitive float accumulation over hash
+//! iteration). All rules remain cheap, deterministic and conservative
+//! — no type information.
+
+pub mod float_accum;
+pub mod iteration;
+pub mod layering;
+pub mod rng_keys;
+pub mod tokens;
+
+use crate::graph::CrateGraph;
+use crate::parser::ItemTree;
+use crate::source::{Context, SourceFile};
+
+/// A single finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`no-panic`, `wall-clock`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Trimmed source line, for context in reports.
+    pub snippet: String,
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier used in suppressions and baselines.
+    pub id: &'static str,
+    /// One-line description for `--format json` and the docs.
+    pub summary: &'static str,
+    /// Advisory tier: only checked under `--strict`.
+    pub strict_only: bool,
+}
+
+/// Every rule the engine knows, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        summary: "no Instant/SystemTime wall-clock reads outside sim::trace, sim::metrics and \
+                  core::profile — wall time must stay quarantined in the timing map",
+        strict_only: false,
+    },
+    Rule {
+        id: "std-hash",
+        summary: "no std::collections::HashMap/HashSet (RandomState iteration order is \
+                  per-process); deterministic paths must use domain::fx or an ordered map",
+        strict_only: false,
+    },
+    Rule {
+        id: "thread-spawn",
+        summary: "no thread::spawn/scope/Builder outside sim::par — all fan-out goes through \
+                  the deterministic ordered-merge pool",
+        strict_only: false,
+    },
+    Rule {
+        id: "no-panic",
+        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library or \
+                  binary code — convert to typed errors or infallible rewrites",
+        strict_only: false,
+    },
+    Rule {
+        id: "no-print",
+        summary: "no println!/print!/eprintln!/eprint!/dbg! in library crates — output goes \
+                  through the report/trace layers",
+        strict_only: false,
+    },
+    Rule {
+        id: "rand-bypass",
+        summary: "no direct rand-shim sampling (SmallRng/SeedableRng/seed_from_u64/from_seed) \
+                  outside sim::rng — randomness comes from keyed RngStream constructors",
+        strict_only: false,
+    },
+    Rule {
+        id: "no-unsafe",
+        summary: "no unsafe blocks anywhere in the workspace, vendored shims included",
+        strict_only: false,
+    },
+    Rule {
+        id: "socket-deadline",
+        summary: "no unbounded socket operations (`.incoming()`, `.read_to_end()`, \
+                  `.read_to_string()`) in files that touch listener/stream types — accepts \
+                  must be polled nonblocking and reads chunked under an explicit deadline",
+        strict_only: false,
+    },
+    Rule {
+        id: "bad-suppression",
+        summary: "lint:allow comments must name known rules and carry a reason: \
+                  `// lint:allow(<rule>) -- <reason>`",
+        strict_only: false,
+    },
+    Rule {
+        id: "layering",
+        summary: "crate dependency and `use` edges must point strictly downward in the \
+                  declared layer map (foundation → kernel → world → agents → feeds → \
+                  analysis → driver → surface → app); vendored crates sit outside the \
+                  layering and must not depend on workspace crates",
+        strict_only: false,
+    },
+    Rule {
+        id: "rng-key-collision",
+        summary: "string keys fed to RngStream::new/child/name_key must not collide across \
+                  crates or repeat within one function (identical key + master seed = \
+                  identical stream), and every stage key must be registered in \
+                  STAGE_KEYS/AUX_STAGE_KEYS with a live call site",
+        strict_only: false,
+    },
+    Rule {
+        id: "unsorted-iteration",
+        summary: "FxHashMap/FxHashSet iteration reaching rendering/reporting/serve-response \
+                  code must pass through a sort or ordered collect before bytes are emitted",
+        strict_only: false,
+    },
+    Rule {
+        id: "float-accum",
+        summary: "f64 sum/fold over hash-ordered iteration is order-sensitive (float addition \
+                  is not associative); sort first or accumulate over an ordered container",
+        strict_only: false,
+    },
+    Rule {
+        id: "indexing",
+        summary: "advisory (--strict): bracket indexing in library code without a justifying \
+                  comment on or above the line — prefer get()/first()/last() or a comment \
+                  stating why the index is in bounds",
+        strict_only: true,
+    },
+];
+
+/// Looks a rule up by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Files where a rule is allowed by design (the quarantine sites the
+/// rule's invariant routes through).
+pub(crate) fn exempt(rule: &str, path: &str) -> bool {
+    match rule {
+        "wall-clock" => matches!(
+            path,
+            "crates/sim/src/trace.rs" | "crates/sim/src/metrics.rs" | "crates/core/src/profile.rs"
+        ),
+        "std-hash" => path == "crates/domain/src/fx.rs",
+        "thread-spawn" => path == "crates/sim/src/par.rs",
+        "rand-bypass" => path == "crates/sim/src/rng.rs",
+        _ => false,
+    }
+}
+
+/// Everything the engine learns about one file in a single pass: the
+/// parsed source, its item tree, the per-file findings, and the raw
+/// material the workspace-level rules aggregate afterwards. Built in
+/// parallel (one file at a time, no shared state), merged in path
+/// order.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// The parsed source file.
+    pub file: SourceFile,
+    /// The parsed item tree.
+    pub items: ItemTree,
+    /// Per-file findings, unfiltered (suppressions applied centrally).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Keyed-RNG derivation sites in this file.
+    pub key_sites: Vec<rng_keys::KeySite>,
+    /// `obs.stage(…)` / `time_stage(…)` call sites.
+    pub stage_uses: Vec<rng_keys::StageUse>,
+    /// `STAGE_KEYS` / `AUX_STAGE_KEYS` registry definitions.
+    pub registries: Vec<rng_keys::StageRegistry>,
+    /// References to other workspace crates (use edges).
+    pub crate_refs: Vec<layering::CrateRef>,
+}
+
+/// Analyzes one file: parse, item tree, per-file rules, and the
+/// collections the workspace rules need. Pure — safe to fan out.
+pub fn analyze_file(rel_path: &str, src: &str, strict: bool) -> FileAnalysis {
+    let file = SourceFile::parse(rel_path, src);
+    let items = ItemTree::parse(&file.lexed);
+    let diagnostics = check_file(&file, &items, strict);
+    let deterministic_code = matches!(file.context, Context::Lib | Context::Bin);
+    let ((key_sites, stage_uses, registries), crate_refs) = if deterministic_code {
+        (
+            rng_keys::collect(&file, &items),
+            layering::collect_refs(&file),
+        )
+    } else {
+        ((Vec::new(), Vec::new(), Vec::new()), Vec::new())
+    };
+    FileAnalysis {
+        file,
+        items,
+        diagnostics,
+        key_sites,
+        stage_uses,
+        registries,
+        crate_refs,
+    }
+}
+
+/// Runs the workspace-level rule families over the merged per-file
+/// analyses and the crate graph.
+pub fn workspace_check(graph: &CrateGraph, files: &[FileAnalysis]) -> Vec<Diagnostic> {
+    let mut out = layering::check(graph, files);
+    out.extend(rng_keys::check_workspace(files));
+    out
+}
+
+/// Runs every applicable per-file rule over `file`. Suppressions are
+/// *not* applied here — the engine filters them so it can count and
+/// validate them centrally.
+pub fn check_file(file: &SourceFile, items: &ItemTree, strict: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    tokens::check_unsafe(file, &mut out);
+    tokens::check_bad_suppressions(file, &mut out);
+    if file.context == Context::Vendor {
+        out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        return out;
+    }
+    let lib_or_bin = matches!(file.context, Context::Lib | Context::Bin);
+    if lib_or_bin {
+        tokens::check_wall_clock(file, &mut out);
+        tokens::check_std_hash(file, &mut out);
+        tokens::check_thread_spawn(file, &mut out);
+        tokens::check_no_panic(file, &mut out);
+        tokens::check_rand_bypass(file, &mut out);
+        tokens::check_socket_deadline(file, &mut out);
+        iteration::check(file, items, &mut out);
+        float_accum::check(file, items, &mut out);
+    }
+    if file.context == Context::Lib {
+        tokens::check_no_print(file, &mut out);
+        if strict {
+            tokens::check_indexing(file, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Builds a diagnostic with the file's own line text as snippet.
+pub(crate) fn diag(
+    file: &SourceFile,
+    rule: &'static str,
+    line: usize,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+    }
+}
+
+/// True when tokens `i..` start with path separator `::`.
+pub(crate) fn is_path_sep(t: &[crate::lexer::Token], i: usize) -> bool {
+    i + 1 < t.len() && t.get(i).is_some_and(|a| a.is_punct(':')) && t[i + 1].is_punct(':')
+}

@@ -1,169 +1,11 @@
-//! The rule catalog.
-//!
-//! Each rule encodes one repo invariant; the catalog is the executable
-//! form of the determinism contract described in DESIGN.md. Rules are
-//! token-pattern checks over [`SourceFile`]s — no type information, so
-//! every rule is written to be cheap, deterministic and conservative.
+//! The original token-pattern rule family: flat scans over the token
+//! stream, no item or graph context needed.
 
-use crate::lexer::{Token, TokenKind};
-use crate::source::{Context, SourceFile};
+use super::{diag, exempt, is_path_sep, rule_by_id, Diagnostic};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
 
-/// A single finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Rule id (`no-panic`, `wall-clock`, …).
-    pub rule: &'static str,
-    /// Workspace-relative path.
-    pub path: String,
-    /// 1-based line.
-    pub line: usize,
-    /// Human-readable explanation.
-    pub message: String,
-    /// Trimmed source line, for context in reports.
-    pub snippet: String,
-}
-
-/// Static description of one rule.
-#[derive(Debug, Clone, Copy)]
-pub struct Rule {
-    /// Stable identifier used in suppressions and baselines.
-    pub id: &'static str,
-    /// One-line description for `--format json` and the docs.
-    pub summary: &'static str,
-    /// Advisory tier: only checked under `--strict`.
-    pub strict_only: bool,
-}
-
-/// Every rule the engine knows, in reporting order.
-pub const RULES: &[Rule] = &[
-    Rule {
-        id: "wall-clock",
-        summary: "no Instant/SystemTime wall-clock reads outside sim::trace, sim::metrics and \
-                  core::profile — wall time must stay quarantined in the timing map",
-        strict_only: false,
-    },
-    Rule {
-        id: "std-hash",
-        summary: "no std::collections::HashMap/HashSet (RandomState iteration order is \
-                  per-process); deterministic paths must use domain::fx or an ordered map",
-        strict_only: false,
-    },
-    Rule {
-        id: "thread-spawn",
-        summary: "no thread::spawn/scope/Builder outside sim::par — all fan-out goes through \
-                  the deterministic ordered-merge pool",
-        strict_only: false,
-    },
-    Rule {
-        id: "no-panic",
-        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library or \
-                  binary code — convert to typed errors or infallible rewrites",
-        strict_only: false,
-    },
-    Rule {
-        id: "no-print",
-        summary: "no println!/print!/eprintln!/eprint!/dbg! in library crates — output goes \
-                  through the report/trace layers",
-        strict_only: false,
-    },
-    Rule {
-        id: "rand-bypass",
-        summary: "no direct rand-shim sampling (SmallRng/SeedableRng/seed_from_u64/from_seed) \
-                  outside sim::rng — randomness comes from keyed RngStream constructors",
-        strict_only: false,
-    },
-    Rule {
-        id: "no-unsafe",
-        summary: "no unsafe blocks anywhere in the workspace, vendored shims included",
-        strict_only: false,
-    },
-    Rule {
-        id: "socket-deadline",
-        summary: "no unbounded socket operations (`.incoming()`, `.read_to_end()`, \
-                  `.read_to_string()`) in files that touch listener/stream types — accepts \
-                  must be polled nonblocking and reads chunked under an explicit deadline",
-        strict_only: false,
-    },
-    Rule {
-        id: "bad-suppression",
-        summary: "lint:allow comments must name known rules and carry a reason: \
-                  `// lint:allow(<rule>) -- <reason>`",
-        strict_only: false,
-    },
-    Rule {
-        id: "indexing",
-        summary: "advisory (--strict): bracket indexing in library code without a justifying \
-                  comment on or above the line — prefer get()/first()/last() or a comment \
-                  stating why the index is in bounds",
-        strict_only: true,
-    },
-];
-
-/// Looks a rule up by id.
-pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
-    RULES.iter().find(|r| r.id == id)
-}
-
-/// Files where a rule is allowed by design (the quarantine sites the
-/// rule's invariant routes through).
-fn exempt(rule: &str, path: &str) -> bool {
-    match rule {
-        "wall-clock" => matches!(
-            path,
-            "crates/sim/src/trace.rs" | "crates/sim/src/metrics.rs" | "crates/core/src/profile.rs"
-        ),
-        "std-hash" => path == "crates/domain/src/fx.rs",
-        "thread-spawn" => path == "crates/sim/src/par.rs",
-        "rand-bypass" => path == "crates/sim/src/rng.rs",
-        _ => false,
-    }
-}
-
-/// Runs every applicable rule over `file`. Suppressions are *not*
-/// applied here — the engine filters them so it can count and validate
-/// them centrally.
-pub fn check_file(file: &SourceFile, strict: bool) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    check_unsafe(file, &mut out);
-    check_bad_suppressions(file, &mut out);
-    if file.context == Context::Vendor {
-        return out;
-    }
-    let lib_or_bin = matches!(file.context, Context::Lib | Context::Bin);
-    if lib_or_bin {
-        check_wall_clock(file, &mut out);
-        check_std_hash(file, &mut out);
-        check_thread_spawn(file, &mut out);
-        check_no_panic(file, &mut out);
-        check_rand_bypass(file, &mut out);
-        check_socket_deadline(file, &mut out);
-    }
-    if file.context == Context::Lib {
-        check_no_print(file, &mut out);
-        if strict {
-            check_indexing(file, &mut out);
-        }
-    }
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
-}
-
-fn diag(file: &SourceFile, rule: &'static str, line: usize, message: String) -> Diagnostic {
-    Diagnostic {
-        rule,
-        path: file.path.clone(),
-        line,
-        message,
-        snippet: file.line_text(line).to_string(),
-    }
-}
-
-/// True when tokens `i..` start with path separator `::`.
-fn is_path_sep(t: &[Token], i: usize) -> bool {
-    i + 1 < t.len() && t[i].is_punct(':') && t[i + 1].is_punct(':')
-}
-
-fn check_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if exempt("wall-clock", &file.path) {
         return;
     }
@@ -185,7 +27,7 @@ fn check_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_std_hash(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_std_hash(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if exempt("std-hash", &file.path) {
         return;
     }
@@ -255,7 +97,7 @@ fn check_std_hash(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_thread_spawn(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_thread_spawn(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if exempt("thread-spawn", &file.path) {
         return;
     }
@@ -283,7 +125,7 @@ fn check_thread_spawn(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let t = &file.lexed.tokens;
     for i in 0..t.len() {
         let tok = &t[i];
@@ -318,7 +160,7 @@ fn check_no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_no_print(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_no_print(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let t = &file.lexed.tokens;
     for i in 0..t.len() {
         let tok = &t[i];
@@ -344,7 +186,7 @@ fn check_no_print(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_rand_bypass(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_rand_bypass(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if exempt("rand-bypass", &file.path) {
         return;
     }
@@ -380,7 +222,7 @@ fn check_rand_bypass(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// which is exactly the slow-loris hole the serve layer guards against.
 /// Applies only to files that name a listener/stream type, so ordinary
 /// file I/O (`File::read_to_end`) stays untouched.
-fn check_socket_deadline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_socket_deadline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let t = &file.lexed.tokens;
     let touches_sockets = t.iter().any(|tok| {
         tok.kind == TokenKind::Ident
@@ -416,7 +258,7 @@ fn check_socket_deadline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     for tok in &file.lexed.tokens {
         if tok.is_ident("unsafe") {
             out.push(diag(
@@ -431,7 +273,7 @@ fn check_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_bad_suppressions(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_bad_suppressions(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     for s in &file.suppressions {
         if let Some(problem) = &s.malformed {
             out.push(diag(
@@ -455,7 +297,7 @@ fn check_bad_suppressions(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_indexing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_indexing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let t = &file.lexed.tokens;
     for i in 1..t.len() {
         if !t[i].is_punct('[') {

@@ -3,9 +3,10 @@
 //! A linter whose rules silently stop matching is worse than none —
 //! CI would go green while the invariants rot. The self-test writes a
 //! tiny synthetic workspace into a temp directory with exactly one
-//! violation per rule, runs the engine over it, and asserts each rule
-//! produced its diagnostic (and that a correctly-suppressed violation
-//! stays silent).
+//! violation per rule (including a manifest that violates the crate
+//! layering), runs the engine over it, and asserts each rule produced
+//! its diagnostic, that a correctly-suppressed violation stays silent,
+//! and that the report is byte-identical at 1, 2 and 8 workers.
 
 use crate::{run, LintConfig, LintError};
 use std::path::{Path, PathBuf};
@@ -19,9 +20,10 @@ pub struct SelfTestResult {
     pub fired: bool,
 }
 
-/// Per-rule fixture sources. Each is written as a library file in the
-/// synthetic workspace; the violation must be the *only* finding the
-/// rule reports for it.
+/// Per-rule fixture sources. Each is written into the synthetic
+/// workspace; the violation must be the *only* finding the rule
+/// reports for it. Most are library files; the `layering` fixture is
+/// a manifest that declares an upward dependency.
 fn fixtures() -> Vec<(&'static str, &'static str, String)> {
     vec![
         (
@@ -73,6 +75,43 @@ fn fixtures() -> Vec<(&'static str, &'static str, String)> {
             "// lint:allow(no-panic)\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n".to_string(),
         ),
         (
+            // A `kernel`-layer crate declaring a dependency on the
+            // `driver` layer: an upward manifest edge.
+            "layering",
+            "crates/fixture_sim/Cargo.toml",
+            "[package]\nname = \"taster-sim\"\n\n[dependencies]\n\
+             taster-core = { path = \"../core\" }\n"
+                .to_string(),
+        ),
+        (
+            // The same stream key derived twice in one function body.
+            "rng-key-collision",
+            "crates/fixture/src/rng_keys.rs",
+            "pub fn pair(seed: u64) -> (u64, u64) {\n    \
+             (name_key(\"fixture/dup\"), name_key(\"fixture/dup\"))\n}\n"
+                .to_string(),
+        ),
+        (
+            // Hash-map iteration in a render-module fn, no sort.
+            "unsorted-iteration",
+            "crates/fixture/src/render_unsorted.rs",
+            "use taster_domain::fx::FxHashMap;\n\
+             pub fn summarize(m: &FxHashMap<u32, u32>) -> String {\n    \
+             let mut out = String::new();\n    \
+             for (k, v) in m.iter() {\n        \
+             out.push_str(&format!(\"{k}={v};\"));\n    }\n    out\n}\n"
+                .to_string(),
+        ),
+        (
+            // f64 sum straight off hash-ordered values().
+            "float-accum",
+            "crates/fixture/src/float_accum.rs",
+            "use taster_domain::fx::FxHashMap;\n\
+             pub fn total(m: &FxHashMap<u32, f64>) -> f64 {\n    \
+             m.values().sum::<f64>()\n}\n"
+                .to_string(),
+        ),
+        (
             "indexing",
             "crates/fixture/src/indexing.rs",
             "pub fn first(xs: &[u8]) -> u8 { xs[0] }\n".to_string(),
@@ -98,20 +137,23 @@ pub fn self_test() -> Result<Vec<SelfTestResult>, LintError> {
 }
 
 fn run_fixtures(root: &Path) -> Result<Vec<SelfTestResult>, LintError> {
-    let src_dir = root.join("crates/fixture/src");
-    std::fs::create_dir_all(&src_dir).map_err(|e| LintError::io(&src_dir, &e))?;
     for (_, rel, source) in fixtures() {
         let path = root.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| LintError::io(parent, &e))?;
+        }
         std::fs::write(&path, source).map_err(|e| LintError::io(&path, &e))?;
     }
-    let suppressed = src_dir.join("suppressed.rs");
+    let suppressed = root.join("crates/fixture/src/suppressed.rs");
     std::fs::write(&suppressed, SUPPRESSED_FIXTURE).map_err(|e| LintError::io(&suppressed, &e))?;
 
-    let report = run(&LintConfig {
+    let config = LintConfig {
         root: root.to_path_buf(),
         strict: true,
         baseline: None,
-    })?;
+        workers: 1,
+    };
+    let report = run(&config)?;
 
     let mut out = Vec::new();
     for (rule, rel, _) in fixtures() {
@@ -130,6 +172,20 @@ fn run_fixtures(root: &Path) -> Result<Vec<SelfTestResult>, LintError> {
     out.push(SelfTestResult {
         rule: "suppression-honoured",
         fired: silent && report.suppressed > 0,
+    });
+    // The report must be byte-identical at 1, 2 and 8 workers.
+    let serial = (report.render_text(), report.render_json());
+    let mut identical = true;
+    for workers in [2usize, 8] {
+        let parallel = run(&LintConfig {
+            workers,
+            ..config.clone()
+        })?;
+        identical &= (parallel.render_text(), parallel.render_json()) == serial;
+    }
+    out.push(SelfTestResult {
+        rule: "parallel-identical",
+        fired: identical,
     });
     Ok(out)
 }

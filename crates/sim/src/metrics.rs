@@ -65,6 +65,25 @@ pub const STAGE_TIMING: &str = "timing";
 /// Plain-text report rendering (all tables and figures).
 pub const STAGE_RENDER: &str = "render";
 
+/// Auxiliary stage keys: timed scopes outside the canonical pipeline
+/// inventory (bench and replication drivers), declared here so the
+/// stage registry stays complete — `taster lint` checks every
+/// `stage()`/`time_stage()` call site against
+/// [`STAGE_KEYS`] ∪ [`AUX_STAGE_KEYS`], in both directions.
+pub const AUX_STAGE_KEYS: [&str; 3] = [
+    STAGE_COLLECT_FAULTED,
+    STAGE_CLASSIFY_FAULTED,
+    STAGE_REPLICATE,
+];
+
+/// Fault-injected feed collection (bench only; not one of the
+/// report's canonical stages).
+pub const STAGE_COLLECT_FAULTED: &str = "collect_faulted";
+/// Fault-injected classification (bench only).
+pub const STAGE_CLASSIFY_FAULTED: &str = "classify_faulted";
+/// The multi-seed replication driver (`taster replicate`).
+pub const STAGE_REPLICATE: &str = "replicate";
+
 /// A fixed-bucket histogram over `u64` values.
 ///
 /// `bounds` are strictly increasing upper bucket edges: a value `v`

@@ -111,6 +111,8 @@ struct Args {
     strict: bool,
     baseline: Option<String>,
     write_baseline: bool,
+    prune_baseline: bool,
+    graph: bool,
     socket: String,
     checkpoint_dir: Option<String>,
     resume: bool,
@@ -152,6 +154,8 @@ fn parse_args() -> Result<Args, String> {
         strict: false,
         baseline: None,
         write_baseline: false,
+        prune_baseline: false,
+        graph: false,
         socket: "taster-serve.sock".to_string(),
         checkpoint_dir: None,
         resume: false,
@@ -360,6 +364,8 @@ fn parse_args() -> Result<Args, String> {
                 out.baseline = Some(args.next().ok_or("--baseline needs a path")?);
             }
             "--write-baseline" => out.write_baseline = true,
+            "--prune-baseline" => out.prune_baseline = true,
+            "--graph" => out.graph = true,
             "--trace" => {
                 out.trace = Some(args.next().ok_or("--trace needs a path")?);
             }
@@ -396,7 +402,8 @@ fn usage() -> String {
      [--final-report PATH] [--exit-when-done] [--test-hooks]\n       \
      taster loadgen [--socket PATH] [--faults PROFILE] [--rounds N] \
      [--request-timeout-ms MS] [--out PATH]\n       \
-     taster lint [--format json] [--strict] [--self-test] [--baseline PATH] [--write-baseline]"
+     taster lint [--format json] [--strict] [--self-test] [--graph] [--threads N] \
+     [--baseline PATH] [--write-baseline] [--prune-baseline]"
         .to_string()
 }
 
@@ -458,8 +465,10 @@ fn main() {
 }
 
 /// `taster lint`: run the workspace determinism/panic-safety static
-/// analysis. Exit codes: 0 clean, 1 findings (or failed self-test),
-/// 2 setup problems.
+/// analysis. Exit codes: 0 clean, 1 findings / stale baseline (or
+/// failed self-test), 2 setup problems. `--graph` emits the
+/// item/dependency graph as JSON instead of linting; `--threads` pins
+/// the scan's worker count (output is byte-identical at any count).
 fn lint_cmd(args: &Args) {
     use taster::lint::{self, LintConfig};
 
@@ -515,7 +524,20 @@ fn lint_cmd(args: &Args) {
         } else {
             baseline.clone()
         },
+        workers: args.threads.unwrap_or(0),
     };
+    if args.graph {
+        match lint::graph_json(&config) {
+            Ok(json) => {
+                print!("{json}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let report = match lint::run(&config) {
         Ok(r) => r,
         Err(e) => {
@@ -523,6 +545,22 @@ fn lint_cmd(args: &Args) {
             std::process::exit(2);
         }
     };
+    if args.prune_baseline {
+        let Some(path) = baseline else {
+            eprintln!("--prune-baseline: no baseline file to prune");
+            std::process::exit(2);
+        };
+        match lint::baseline::prune_file(&path, &report.stale_baseline) {
+            Ok(removed) => {
+                eprintln!("pruned {removed} stale entry(ies) from {}", path.display());
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if args.write_baseline {
         let path = args
             .baseline
@@ -546,7 +584,11 @@ fn lint_cmd(args: &Args) {
     } else {
         print!("{}", report.render_text());
     }
-    if !report.is_clean() {
+    // Stale baseline entries gate red too: the baseline is a debt
+    // ledger, and entries that match nothing are paid-off debt that
+    // must be pruned (`--prune-baseline`) so it cannot mask a future
+    // regression at the same (rule, path, line-hash).
+    if !report.is_clean() || !report.stale_baseline.is_empty() {
         std::process::exit(1);
     }
 }
